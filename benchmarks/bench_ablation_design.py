@@ -1,0 +1,109 @@
+"""Ablations of the design choices called out in §IV (DESIGN.md experiment index).
+
+Three comparisons quantify why G-TADOC's design decisions matter:
+
+1. **Fine-grained thread-level scheduling vs vertical partitioning**
+   (Figure 4): the vertical design re-scans every rule reachable from
+   several partitions; its redundancy factor multiplies the traversal
+   work.
+2. **Self-managed memory pool vs naive worst-case allocation**: sizing
+   every rule's local table with the light-weight bound pass instead of
+   reserving a vocabulary-sized table per rule.
+3. **Head/tail sequence buffers vs expansion-based counting**: counting
+   sequences on the grammar (with head/tail buffers) versus scanning
+   the fully expanded token stream on the same GPU.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.base import Task
+from repro.bench.experiment import ExperimentRunner
+from repro.bench.tables import format_table, save_report
+from repro.core.scheduler import VerticalPartitioningScheduler
+from repro.perf.cost_model import CpuCostModel, GpuCostModel
+from repro.perf.extrapolation import extrapolate_gpu_record
+from repro.perf.platforms import VOLTA
+
+ABLATION_DATASET = "B"
+
+
+def _scheduling_ablation(runner: ExperimentRunner) -> list:
+    run = runner.gtadoc_run(ABLATION_DATASET, Task.WORD_COUNT)
+    layout = runner._engines[ABLATION_DATASET].layout
+    factor = runner.bundle(ABLATION_DATASET).extrapolation_factor
+    gpu_model = GpuCostModel(VOLTA.gpu)
+    host_model = CpuCostModel(VOLTA.cpu)
+    fine_grained = gpu_model.time_seconds(
+        extrapolate_gpu_record(run.traversal_record, factor), host_model
+    )
+    vertical = VerticalPartitioningScheduler(layout, num_partitions=1024)
+    redundancy = vertical.redundancy_factor()
+    vertical_time = fine_grained * redundancy
+    return [
+        [
+            "scheduling (word count)",
+            f"fine-grained: {fine_grained * 1000:.2f} ms",
+            f"vertical partitioning: {vertical_time * 1000:.2f} ms",
+            f"{redundancy:.2f}x redundant rule scans",
+        ]
+    ]
+
+
+def _memory_pool_ablation(runner: ExperimentRunner) -> list:
+    # The memory pool is exercised by the bottom-up traversal (local tables
+    # are carved out of it after the bound pass).
+    from repro.core.strategy import TraversalStrategy
+
+    run = runner.gtadoc_run(ABLATION_DATASET, Task.WORD_COUNT, TraversalStrategy.BOTTOM_UP)
+    layout = runner._engines[ABLATION_DATASET].layout
+    pool_bytes = max(1, run.memory_pool_bytes)
+    naive_bytes = layout.num_rules * layout.vocabulary_size * 16
+    return [
+        [
+            "memory sizing (word count)",
+            f"bound-pass pool: {pool_bytes / 1e6:.2f} MB",
+            f"worst-case per-rule tables: {naive_bytes / 1e6:.2f} MB",
+            f"{naive_bytes / pool_bytes:.1f}x smaller",
+        ]
+    ]
+
+
+def _sequence_support_ablation(runner: ExperimentRunner) -> list:
+    factor = runner.bundle(ABLATION_DATASET).extrapolation_factor
+    gpu_model = GpuCostModel(VOLTA.gpu)
+    host_model = CpuCostModel(VOLTA.cpu)
+    run = runner.gtadoc_run(ABLATION_DATASET, Task.SEQUENCE_COUNT)
+    with_buffers = gpu_model.time_seconds(
+        extrapolate_gpu_record(run.traversal_record, factor), host_model
+    )
+    expansion = runner.gpu_uncompressed_run(ABLATION_DATASET, Task.SEQUENCE_COUNT)
+    without_buffers = gpu_model.time_seconds(
+        extrapolate_gpu_record(expansion.record, factor)
+    )
+    return [
+        [
+            "sequence support (sequence count)",
+            f"head/tail buffers: {with_buffers * 1000:.2f} ms",
+            f"expansion-based scan: {without_buffers * 1000:.2f} ms",
+            f"{without_buffers / with_buffers:.2f}x faster with buffers",
+        ]
+    ]
+
+
+def _build_report(runner: ExperimentRunner) -> str:
+    rows = (
+        _scheduling_ablation(runner)
+        + _memory_pool_ablation(runner)
+        + _sequence_support_ablation(runner)
+    )
+    return format_table(
+        ["design choice", "G-TADOC design", "ablated alternative", "benefit"],
+        rows,
+        title=f"Design ablations on dataset {ABLATION_DATASET} (Volta)",
+    )
+
+
+def test_ablation_design_choices(benchmark, runner) -> None:
+    report = benchmark.pedantic(_build_report, args=(runner,), rounds=1, iterations=1)
+    save_report("ablation_design", report)
+    print("\n" + report)

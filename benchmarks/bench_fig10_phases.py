@@ -1,0 +1,69 @@
+"""Figure 10 — per-phase speedups (initialization and DAG traversal).
+
+Figure 10 splits the Figure 9 comparison into TADOC's two phases: the
+initialization phase (data-structure preparation and light-weight
+scanning) and the graph-traversal phase.  The paper reports an average
+9.5x speedup for the first phase and 64.1x for the second (i.e. 76.5%
+and 82.2% time savings).
+"""
+
+from __future__ import annotations
+
+from repro.analytics.base import Task
+from repro.bench.aggregate import geometric_mean
+from repro.bench.experiment import ExperimentRunner
+from repro.bench.tables import format_table, save_report
+from repro.data.generators import list_datasets
+from repro.perf.platforms import list_platforms
+
+
+def _build_report(runner: ExperimentRunner) -> str:
+    sections = []
+    for platform in list_platforms(gpu_only=True):
+        rows = []
+        init_speedups = []
+        traversal_speedups = []
+        for dataset in list_datasets():
+            for task in Task.all():
+                row = runner.speedup_row(dataset, task, platform)
+                init_speedups.append(row.speedup_initialization)
+                traversal_speedups.append(row.speedup_traversal)
+                rows.append(
+                    [
+                        dataset,
+                        task.value,
+                        f"{row.tadoc.initialization * 1000:10.2f}",
+                        f"{row.gtadoc.initialization * 1000:10.2f}",
+                        f"{row.speedup_initialization:7.1f}x",
+                        f"{row.tadoc.traversal * 1000:10.2f}",
+                        f"{row.gtadoc.traversal * 1000:10.2f}",
+                        f"{row.speedup_traversal:7.1f}x",
+                    ]
+                )
+        table = format_table(
+            [
+                "dataset",
+                "task",
+                "TADOC init (ms)",
+                "G-TADOC init (ms)",
+                "init speedup",
+                "TADOC trav (ms)",
+                "G-TADOC trav (ms)",
+                "trav speedup",
+            ],
+            rows,
+            title=f"Figure 10 ({platform.key}): per-phase speedups",
+        )
+        summary = (
+            f"Geometric means on {platform.key}: initialization {geometric_mean(init_speedups):.1f}x, "
+            f"traversal {geometric_mean(traversal_speedups):.1f}x "
+            f"(paper averages: 9.5x and 64.1x)"
+        )
+        sections.append(table + "\n\n" + summary)
+    return "\n\n".join(sections)
+
+
+def test_fig10_phase_speedups(benchmark, runner) -> None:
+    report = benchmark.pedantic(_build_report, args=(runner,), rounds=1, iterations=1)
+    save_report("fig10_phases", report)
+    print("\n" + report)

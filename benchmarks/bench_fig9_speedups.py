@@ -1,0 +1,59 @@
+"""Figure 9 — G-TADOC speedups over TADOC.
+
+Figure 9 plots, for each GPU platform (Pascal, Volta, Turing), the
+speedup of G-TADOC over the TADOC baseline for all six analytics tasks
+on the five datasets.  Dataset C's baseline is TADOC on the 10-node
+cluster, the others use the sequential CPU TADOC — exactly as in the
+paper's methodology.
+
+The report prints one sub-table per platform (mirroring Figures 9a-9c)
+with the modelled times and speedups, which is the series a plotting
+script would consume.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.base import Task
+from repro.bench.aggregate import geometric_mean
+from repro.bench.experiment import ExperimentRunner
+from repro.bench.tables import format_table, save_report
+from repro.data.generators import list_datasets
+from repro.perf.platforms import list_platforms
+
+
+def _platform_report(runner: ExperimentRunner, platform) -> str:
+    rows = []
+    speedups = []
+    for dataset in list_datasets():
+        for task in Task.all():
+            row = runner.speedup_row(dataset, task, platform)
+            speedups.append(row.speedup_total)
+            rows.append(
+                [
+                    dataset,
+                    task.value,
+                    row.baseline,
+                    f"{row.tadoc.total * 1000:10.2f}",
+                    f"{row.gtadoc.total * 1000:10.2f}",
+                    f"{row.speedup_total:8.1f}x",
+                ]
+            )
+    table = format_table(
+        ["dataset", "task", "baseline", "TADOC (ms)", "G-TADOC (ms)", "speedup"],
+        rows,
+        title=f"Figure 9 ({platform.key}): G-TADOC speedup over TADOC",
+    )
+    return table + f"\n\nGeometric-mean speedup on {platform.key}: {geometric_mean(speedups):.1f}x"
+
+
+def _build_report(runner: ExperimentRunner) -> str:
+    sections = [
+        _platform_report(runner, platform) for platform in list_platforms(gpu_only=True)
+    ]
+    return "\n\n".join(sections)
+
+
+def test_fig9_speedups(benchmark, runner) -> None:
+    report = benchmark.pedantic(_build_report, args=(runner,), rounds=1, iterations=1)
+    save_report("fig9_speedups", report)
+    print("\n" + report)

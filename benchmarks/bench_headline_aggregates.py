@@ -1,0 +1,53 @@
+"""Headline aggregates — the paper's §I / §VI-B / §VI-C summary claims.
+
+This benchmark aggregates the whole Figure 9/10 grid into the numbers
+the paper quotes directly:
+
+* 31.1x average speedup over state-of-the-art TADOC (abstract, §I),
+* 57.5x average on single nodes and 2.7x against the 10-node cluster (§VI-B),
+* 111.3x / 112.0x for sequence count and ranked inverted index (§VI-B),
+* 9.5x / 64.1x per-phase speedups, i.e. 76.5% / 82.2% time savings (§I, §VI-C).
+"""
+
+from __future__ import annotations
+
+from repro.bench.aggregate import summarize_rows
+from repro.bench.experiment import ExperimentRunner
+from repro.bench.tables import format_table, save_report
+
+#: Paper-reported values the measured aggregates are compared against.
+PAPER_CLAIMS = {
+    "overall_speedup": 31.1,
+    "single_node_speedup": 57.5,
+    "cluster_speedup": 2.7,
+    "sequence_count_speedup": 111.3,
+    "ranked_inverted_index_speedup": 112.0,
+    "initialization_speedup": 9.5,
+    "traversal_speedup": 64.1,
+    "initialization_time_saving": 0.765,
+    "traversal_time_saving": 0.822,
+}
+
+
+def _build_report(runner: ExperimentRunner) -> str:
+    rows_grid = runner.speedup_grid()
+    measured = summarize_rows(rows_grid)
+    rows = []
+    for key, paper_value in PAPER_CLAIMS.items():
+        measured_value = measured.get(key, 0.0)
+        if key.endswith("time_saving"):
+            rows.append([key, f"{paper_value * 100:.1f}%", f"{measured_value * 100:.1f}%"])
+        else:
+            rows.append([key, f"{paper_value:.1f}x", f"{measured_value:.1f}x"])
+    table = format_table(
+        ["aggregate", "paper", "measured (modelled)"],
+        rows,
+        title="Headline claims: paper vs this reproduction",
+    )
+    return table
+
+
+def test_headline_aggregates(benchmark, runner) -> None:
+    report = benchmark.pedantic(_build_report, args=(runner,), rounds=1, iterations=1)
+    save_report("headline_aggregates", report)
+    print("\n" + report)

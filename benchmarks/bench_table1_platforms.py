@@ -1,0 +1,64 @@
+"""Table I — platform configuration.
+
+Table I in the paper lists the four evaluation platforms (three GPU
+servers and the 10-node EC2 cluster).  This benchmark prints the
+configuration table the rest of the suite uses, together with the
+derived throughput numbers the cost models are built on (the paper
+quotes the Pascal GPU/CPU peak-performance ratio of ~185x and memory
+bandwidth ratio of ~8.3x; both are reproduced from the specs).
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import format_table, save_report
+from repro.perf.platforms import list_platforms
+
+
+def _build_report() -> str:
+    platforms = list_platforms()
+    config_rows = [
+        [
+            platform.key,
+            platform.gpu.name if platform.gpu else "NULL",
+            platform.gpu.memory_type if platform.gpu else "DDR3",
+            platform.cpu.name,
+            platform.os_name,
+            platform.compiler,
+        ]
+        for platform in platforms
+    ]
+    config_table = format_table(
+        ["Platform", "GPU", "GPU Memory", "CPU", "OS", "Compiler"],
+        config_rows,
+        title="Table I: platform configuration",
+    )
+
+    ratio_rows = []
+    for platform in platforms:
+        if platform.gpu is None:
+            continue
+        compute_ratio = platform.gpu.peak_gops / platform.cpu.peak_gops
+        bandwidth_ratio = (
+            platform.gpu.memory_bandwidth_gb_s / platform.cpu.memory_bandwidth_gb_s
+        )
+        ratio_rows.append(
+            [
+                platform.key,
+                f"{platform.gpu.peak_gops:,.0f} Gop/s",
+                f"{platform.cpu.peak_gops:,.0f} Gop/s",
+                f"{compute_ratio:.1f}x",
+                f"{bandwidth_ratio:.1f}x",
+            ]
+        )
+    ratio_table = format_table(
+        ["Platform", "GPU peak", "CPU peak", "compute ratio", "bandwidth ratio"],
+        ratio_rows,
+        title="Derived GPU/CPU ratios (paper quotes ~185x compute, ~8.3x bandwidth on Pascal)",
+    )
+    return config_table + "\n\n" + ratio_table
+
+
+def test_table1_platforms(benchmark) -> None:
+    report = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    save_report("table1_platforms", report)
+    print("\n" + report)

@@ -1,0 +1,61 @@
+"""Table II — dataset statistics.
+
+Table II reports, for each of the five corpora, its uncompressed size,
+file count, number of Sequitur rules and vocabulary size.  The paper's
+corpora are replaced by structural analogues (see DESIGN.md), so this
+benchmark reports the analogue's measured statistics side by side with
+the paper-scale numbers preserved as metadata, plus the extrapolation
+factor the other benchmarks use to price work at paper scale.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiment import ExperimentRunner
+from repro.bench.tables import format_table, save_report
+from repro.data.generators import list_datasets
+
+
+def _build_report(runner: ExperimentRunner) -> str:
+    rows = []
+    for key in list_datasets():
+        bundle = runner.bundle(key)
+        stats = bundle.compressed.statistics()
+        spec = bundle.spec
+        rows.append(
+            [
+                key,
+                spec.paper_size,
+                f"{spec.paper_files:,}",
+                f"{spec.paper_rules:,}",
+                f"{spec.paper_vocabulary:,}",
+                f"{stats.original_tokens:,}",
+                f"{stats.num_files:,}",
+                f"{stats.num_rules:,}",
+                f"{stats.vocabulary_size:,}",
+                f"{stats.compression_ratio:.2f}",
+                f"{bundle.extrapolation_factor:,.0f}x",
+            ]
+        )
+    return format_table(
+        [
+            "Dataset",
+            "paper size",
+            "paper files",
+            "paper rules",
+            "paper vocab",
+            "analogue tokens",
+            "files",
+            "rules",
+            "vocab",
+            "ratio",
+            "extrapolation",
+        ],
+        rows,
+        title="Table II: datasets (paper scale vs synthetic analogue)",
+    )
+
+
+def test_table2_datasets(benchmark, runner) -> None:
+    report = benchmark.pedantic(_build_report, args=(runner,), rounds=1, iterations=1)
+    save_report("table2_datasets", report)
+    print("\n" + report)

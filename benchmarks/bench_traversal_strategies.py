@@ -1,0 +1,77 @@
+"""§VI-C — top-down vs bottom-up traversal (term vector on datasets A and B).
+
+The paper's example: for term vector, the bottom-up traversal wins on
+the many-file dataset A (1.56 s vs 14.04 s) while the top-down
+traversal wins on the 4-file dataset B (0.11 s vs 0.43 s), because the
+top-down direction has to carry file information with every propagated
+weight.  This benchmark forces both directions on both datasets, prints
+the modelled times, and reports which direction the adaptive strategy
+selector would have picked.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.base import Task
+from repro.bench.experiment import ExperimentRunner
+from repro.bench.tables import format_table, save_report
+from repro.core.strategy import TraversalStrategy, TraversalStrategySelector
+from repro.perf.cost_model import CpuCostModel, GpuCostModel
+from repro.perf.extrapolation import extrapolate_gpu_record
+from repro.perf.platforms import VOLTA
+
+
+def _forced_time(runner: ExperimentRunner, key: str, strategy: TraversalStrategy) -> float:
+    run = runner.gtadoc_run(key, Task.TERM_VECTOR, traversal=strategy)
+    factor = runner.bundle(key).extrapolation_factor
+    gpu_model = GpuCostModel(VOLTA.gpu)
+    host_model = CpuCostModel(VOLTA.cpu)
+    return gpu_model.time_seconds(
+        extrapolate_gpu_record(run.init_record, factor), host_model
+    ) + gpu_model.time_seconds(extrapolate_gpu_record(run.traversal_record, factor), host_model)
+
+
+def _build_report(runner: ExperimentRunner) -> str:
+    rows = []
+    for key in ("A", "B"):
+        top_down = _forced_time(runner, key, TraversalStrategy.TOP_DOWN)
+        bottom_up = _forced_time(runner, key, TraversalStrategy.BOTTOM_UP)
+        bundle = runner.bundle(key)
+        runner.gtadoc_run(key, Task.TERM_VECTOR)  # ensure the engine (and layout) exists
+        selector = TraversalStrategySelector(runner._engines[key].layout)
+        decision = selector.select(Task.TERM_VECTOR)
+        best = "top_down" if top_down <= bottom_up else "bottom_up"
+        rows.append(
+            [
+                key,
+                f"{bundle.spec.num_files}",
+                f"{top_down * 1000:10.2f}",
+                f"{bottom_up * 1000:10.2f}",
+                best,
+                decision.strategy.value,
+                "yes" if decision.strategy.value == best else "no",
+            ]
+        )
+    table = format_table(
+        [
+            "dataset",
+            "files",
+            "top-down (ms)",
+            "bottom-up (ms)",
+            "faster",
+            "selector picks",
+            "selector correct",
+        ],
+        rows,
+        title="§VI-C: term vector, forced top-down vs bottom-up (Volta)",
+    )
+    note = (
+        "Paper: dataset A (many files) favours bottom-up (1.56 s vs 14.04 s); "
+        "dataset B (4 files) favours top-down (0.11 s vs 0.43 s)."
+    )
+    return table + "\n\n" + note
+
+
+def test_traversal_strategy_crossover(benchmark, runner) -> None:
+    report = benchmark.pedantic(_build_report, args=(runner,), rounds=1, iterations=1)
+    save_report("traversal_strategies", report)
+    print("\n" + report)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+functional engine runs are cached inside a session-scoped
+:class:`~repro.bench.experiment.ExperimentRunner`, so the per-benchmark
+work is mostly pricing and formatting; reports are written to
+``benchmarks/results/`` and printed (run pytest with ``-s`` to see them
+inline).
+
+The dataset analogue scale can be adjusted with the
+``REPRO_BENCH_SCALE`` environment variable (default ``0.15``); larger
+scales produce bigger grammars and slower, slightly smoother numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiment import ExperimentConfig, ExperimentRunner
+
+DEFAULT_SCALE = 0.15
+
+
+def _bench_scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+    except ValueError:
+        return DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide experiment runner with cached functional runs."""
+    return ExperimentRunner(ExperimentConfig(dataset_scale=_bench_scale()))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return _bench_scale()

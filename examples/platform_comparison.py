@@ -1,0 +1,62 @@
+"""Compare G-TADOC against the TADOC baselines across the Table I platforms.
+
+This example drives the same experiment harness the benchmarks use, on
+a reduced grid (datasets B and D, all three GPU generations), and prints
+a compact Figure 9 style report: modelled baseline time, modelled
+G-TADOC time and the speedup, plus the per-phase breakdown of Figure 10
+and the §VI-E comparison against GPU analytics on uncompressed data.
+
+Run with::
+
+    python examples/platform_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analytics.base import Task
+from repro.bench.aggregate import geometric_mean
+from repro.bench.experiment import ExperimentConfig, ExperimentRunner
+from repro.perf.platforms import VOLTA, list_platforms
+
+DATASETS = ["B", "D"]
+
+
+def main() -> None:
+    runner = ExperimentRunner(ExperimentConfig(dataset_scale=0.1))
+
+    print("Figure 9 style speedups (G-TADOC vs sequential CPU TADOC)")
+    for platform in list_platforms(gpu_only=True):
+        speedups = []
+        print(f"\n  platform: {platform.key} ({platform.gpu.name})")
+        for dataset in DATASETS:
+            for task in Task.all():
+                row = runner.speedup_row(dataset, task, platform)
+                speedups.append(row.speedup_total)
+                print(
+                    f"    {dataset} {task.value:24s} "
+                    f"TADOC {row.tadoc.total * 1000:9.2f} ms   "
+                    f"G-TADOC {row.gtadoc.total * 1000:8.2f} ms   "
+                    f"x{row.speedup_total:6.1f}"
+                )
+        print(f"    geometric mean: x{geometric_mean(speedups):.1f}")
+
+    print("\nFigure 10 style phase breakdown on Volta (dataset B):")
+    for task in Task.all():
+        row = runner.speedup_row("B", task, VOLTA)
+        print(
+            f"  {task.value:24s} init x{row.speedup_initialization:6.1f}   "
+            f"traversal x{row.speedup_traversal:7.1f}"
+        )
+
+    print("\n§VI-E: G-TADOC vs GPU-accelerated uncompressed analytics (Volta):")
+    ratios = []
+    for dataset in DATASETS:
+        for task in Task.all():
+            gtadoc = runner.gtadoc_times(dataset, task, VOLTA).total
+            uncompressed = runner.gpu_uncompressed_times(dataset, task, VOLTA).total
+            ratios.append(uncompressed / gtadoc)
+    print(f"  geometric-mean advantage: x{geometric_mean(ratios):.2f} (paper: about 2x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Sequence-sensitive analytics (n-gram counting) on compressed data.
+
+Sequence count is the task the paper singles out as hardest for
+compressed-domain processing: word order spans rule boundaries, so the
+original CPU TADOC falls back to an expansion that is as expensive as
+scanning the raw text.  G-TADOC's head/tail buffers avoid that.
+
+This example compresses the Wikipedia-style dataset B analogue, counts
+3-grams and 4-grams directly on the compressed form, verifies the
+counts against the uncompressed reference, and shows the head/tail
+buffers of a few grammar rules to make the mechanism visible.
+
+Run with::
+
+    python examples/sequence_analytics.py
+"""
+
+from __future__ import annotations
+
+from repro import GTadoc, GTadocConfig, Task, UncompressedAnalytics, compress_corpus, generate_dataset
+from repro.analytics.base import results_equal
+
+
+def show_top_sequences(result, length: int, top_k: int = 8) -> None:
+    print(f"\ntop {top_k} {length}-grams (counted on compressed data):")
+    ordered = sorted(result.items(), key=lambda item: (-item[1], item[0]))[:top_k]
+    for sequence, count in ordered:
+        print(f"  {' '.join(sequence):50s} {count}")
+
+
+def main() -> None:
+    corpus = generate_dataset("B", scale=0.1)
+    print(f"dataset B analogue: {len(corpus)} files, {corpus.num_tokens} tokens")
+    compressed = compress_corpus(corpus)
+    print(f"grammar: {len(compressed.grammar)} rules, "
+          f"{compressed.grammar.total_symbols()} symbols")
+
+    for length in (3, 4):
+        engine = GTadoc(compressed, config=GTadocConfig(sequence_length=length))
+        outcome = engine.run(Task.SEQUENCE_COUNT)
+        reference = UncompressedAnalytics(corpus, sequence_length=length).run(Task.SEQUENCE_COUNT)
+        assert results_equal(Task.SEQUENCE_COUNT, outcome.result, reference), (
+            "compressed-domain counts must match the uncompressed reference"
+        )
+        print(f"\n{length}-gram counting: {len(outcome.result)} distinct sequences, "
+              f"{outcome.total_kernel_launches} kernel launches, results verified")
+        show_top_sequences(outcome.result, length)
+
+    # Peek at the head/tail machinery for a few rules.
+    from repro.core import FineGrainedScheduler, build_sequence_buffers
+    from repro.core.layout import DeviceRuleLayout
+    from repro.gpusim import GPUDevice
+
+    layout = DeviceRuleLayout.from_compressed(compressed)
+    buffers = build_sequence_buffers(
+        layout, FineGrainedScheduler(layout), GPUDevice(), sequence_length=3
+    )
+    dictionary = compressed.dictionary
+    print("\nhead/tail buffers of the first few rules (sequence length 3):")
+    for rule_id in range(1, min(6, layout.num_rules)):
+        head = " ".join(dictionary.decode(word) for word in buffers.heads[rule_id])
+        tail = " ".join(dictionary.decode(word) for word in buffers.tails[rule_id])
+        print(f"  R{rule_id}: head=[{head}]  tail=[{tail}]  "
+              f"expands to {layout.expansion_lengths[rule_id]} words")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — a reproduction of G-TADOC (ICDE 2021).
+
+G-TADOC is the first framework for GPU-based text analytics directly on
+TADOC-compressed data.  This library reimplements the full system in
+Python:
+
+* the TADOC compression substrate (Sequitur grammars, dictionary
+  conversion, rule DAG) — :mod:`repro.compression`,
+* the six CompressDirect analytics tasks — :mod:`repro.analytics`,
+* a functional SIMT GPU simulator with the paper's device-side data
+  structures (memory pool, thread-safe hash tables) — :mod:`repro.gpusim`,
+* the G-TADOC engine itself (fine-grained thread scheduling, top-down
+  and bottom-up traversals, head/tail sequence support) — :mod:`repro.core`,
+* the baselines the paper compares against (sequential / parallel /
+  distributed CPU TADOC, GPU uncompressed analytics) —
+  :mod:`repro.baselines`, and
+* the evaluation harness regenerating every table and figure —
+  :mod:`repro.bench` plus the ``benchmarks/`` directory.
+
+Quick start::
+
+    from repro import compress_corpus, Corpus, GTadoc, Task
+
+    corpus = Corpus.from_texts({"a.txt": "the quick brown fox ...", "b.txt": "..."})
+    compressed = compress_corpus(corpus)
+    result = GTadoc(compressed).run(Task.WORD_COUNT).result
+"""
+
+from repro.analytics import Task, UncompressedAnalytics, results_equal
+from repro.compression import CompressedCorpus, TadocCompressor, compress_corpus
+from repro.core import GTadoc, GTadocConfig, GTadocRunResult, TraversalStrategy
+from repro.data import Corpus, Document, generate_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Task",
+    "UncompressedAnalytics",
+    "results_equal",
+    "CompressedCorpus",
+    "TadocCompressor",
+    "compress_corpus",
+    "GTadoc",
+    "GTadocConfig",
+    "GTadocRunResult",
+    "TraversalStrategy",
+    "Corpus",
+    "Document",
+    "generate_dataset",
+]

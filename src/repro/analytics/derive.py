@@ -1,0 +1,96 @@
+"""Shared result-derivation helpers.
+
+Several engines (CPU TADOC, distributed TADOC, G-TADOC) produce the
+same intermediate shapes — corpus-wide word-id counts or per-file
+word-id counts — and then derive the task-specific results from them.
+These helpers centralise that derivation so every engine reports
+results in exactly the canonical shapes defined in
+:mod:`repro.analytics.base`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analytics.base import Task, TaskResult, normalize_result
+from repro.compression.dictionary import Dictionary
+
+__all__ = [
+    "decode_word_counts",
+    "decode_per_file_counts",
+    "word_count_to_sort",
+    "per_file_counts_to_term_vector",
+    "per_file_counts_to_inverted_index",
+    "per_file_counts_to_ranked_inverted_index",
+    "per_file_counts_to_word_count",
+    "decode_sequence_counts",
+]
+
+
+def decode_word_counts(counts: Dict[int, int], dictionary: Dictionary) -> Dict[str, int]:
+    """Word-id counts -> word counts."""
+    return {dictionary.decode(word_id): count for word_id, count in counts.items() if count}
+
+
+def decode_per_file_counts(
+    per_file: Sequence[Dict[int, int]],
+    file_names: Sequence[str],
+    dictionary: Dictionary,
+) -> Dict[str, Dict[str, int]]:
+    """Per-file word-id counts -> ``{file: {word: count}}``."""
+    decoded: Dict[str, Dict[str, int]] = {}
+    for file_index, counts in enumerate(per_file):
+        decoded[file_names[file_index]] = {
+            dictionary.decode(word_id): count for word_id, count in counts.items() if count
+        }
+    return decoded
+
+
+def word_count_to_sort(word_counts: Dict[str, int]) -> List[Tuple[str, int]]:
+    return normalize_result(Task.SORT, word_counts)
+
+
+def per_file_counts_to_word_count(term_vector: Dict[str, Dict[str, int]]) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for counts in term_vector.values():
+        for word, count in counts.items():
+            totals[word] = totals.get(word, 0) + count
+    return totals
+
+
+def per_file_counts_to_term_vector(term_vector: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
+    return {file_name: dict(counts) for file_name, counts in term_vector.items()}
+
+
+def per_file_counts_to_inverted_index(term_vector: Dict[str, Dict[str, int]]) -> Dict[str, List[str]]:
+    index: Dict[str, List[str]] = {}
+    for file_name, counts in term_vector.items():
+        for word, count in counts.items():
+            if count:
+                index.setdefault(word, []).append(file_name)
+    return {word: sorted(files) for word, files in index.items()}
+
+
+def per_file_counts_to_ranked_inverted_index(
+    term_vector: Dict[str, Dict[str, int]],
+) -> Dict[str, List[Tuple[str, int]]]:
+    ranked: Dict[str, List[Tuple[str, int]]] = {}
+    for file_name, counts in term_vector.items():
+        for word, count in counts.items():
+            if count:
+                ranked.setdefault(word, []).append((file_name, count))
+    return {
+        word: sorted(pairs, key=lambda pair: (-pair[1], pair[0]))
+        for word, pairs in ranked.items()
+    }
+
+
+def decode_sequence_counts(
+    counts: Dict[Tuple[int, ...], int], dictionary: Dictionary
+) -> Dict[Tuple[str, ...], int]:
+    """Word-id l-gram counts -> word l-gram counts."""
+    return {
+        tuple(dictionary.decode(word_id) for word_id in key): count
+        for key, count in counts.items()
+        if count
+    }

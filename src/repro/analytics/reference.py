@@ -1,0 +1,89 @@
+"""Reference analytics over uncompressed token streams.
+
+These implementations scan the raw documents directly.  They are the
+ground truth that every compressed-domain engine is tested against, and
+they double as the functional core of the "GPU-accelerated analytics on
+uncompressed data" comparator (paper section VI-E): the GPU baseline
+executes exactly this work, only priced on a GPU device model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.analytics.base import SEQUENCE_LENGTH_DEFAULT, Task, TaskResult, normalize_result
+from repro.data.corpus import Corpus
+
+__all__ = ["UncompressedAnalytics"]
+
+
+class UncompressedAnalytics:
+    """Compute the six analytics tasks directly on a :class:`Corpus`."""
+
+    def __init__(self, corpus: Corpus, sequence_length: int = SEQUENCE_LENGTH_DEFAULT) -> None:
+        if sequence_length < 1:
+            raise ValueError("sequence_length must be >= 1")
+        self.corpus = corpus
+        self.sequence_length = sequence_length
+
+    # -- individual tasks ------------------------------------------------------------
+    def word_count(self) -> Dict[str, int]:
+        """Corpus-wide word frequencies."""
+        counts: Counter = Counter()
+        for document in self.corpus:
+            counts.update(document.tokens)
+        return dict(counts)
+
+    def sort(self) -> List[Tuple[str, int]]:
+        """Words sorted by descending corpus frequency (ties by word)."""
+        return normalize_result(Task.SORT, self.word_count())
+
+    def inverted_index(self) -> Dict[str, List[str]]:
+        """Word -> sorted list of files containing the word."""
+        index: Dict[str, set] = defaultdict(set)
+        for document in self.corpus:
+            for token in set(document.tokens):
+                index[token].add(document.name)
+        return {word: sorted(files) for word, files in index.items()}
+
+    def term_vector(self) -> Dict[str, Dict[str, int]]:
+        """File -> word frequency vector."""
+        return {
+            document.name: dict(Counter(document.tokens)) for document in self.corpus
+        }
+
+    def sequence_count(self) -> Dict[Tuple[str, ...], int]:
+        """Corpus-wide counts of word *l*-grams that stay within one file."""
+        length = self.sequence_length
+        counts: Counter = Counter()
+        for document in self.corpus:
+            tokens = document.tokens
+            for start in range(len(tokens) - length + 1):
+                counts[tuple(tokens[start : start + length])] += 1
+        return dict(counts)
+
+    def ranked_inverted_index(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Word -> files ranked by the word's in-file frequency."""
+        per_file = self.term_vector()
+        ranked: Dict[str, List[Tuple[str, int]]] = defaultdict(list)
+        for file_name, vector in per_file.items():
+            for word, count in vector.items():
+                ranked[word].append((file_name, count))
+        return {
+            word: sorted(pairs, key=lambda pair: (-pair[1], pair[0]))
+            for word, pairs in ranked.items()
+        }
+
+    # -- dispatcher --------------------------------------------------------------------
+    def run(self, task: Task) -> TaskResult:
+        """Run ``task`` and return its canonical result."""
+        handlers = {
+            Task.WORD_COUNT: self.word_count,
+            Task.SORT: self.sort,
+            Task.INVERTED_INDEX: self.inverted_index,
+            Task.TERM_VECTOR: self.term_vector,
+            Task.SEQUENCE_COUNT: self.sequence_count,
+            Task.RANKED_INVERTED_INDEX: self.ranked_inverted_index,
+        }
+        return normalize_result(task, handlers[task]())

@@ -1,0 +1,32 @@
+"""Baseline engines the paper compares G-TADOC against.
+
+* :class:`CpuTadoc` — the sequential, state-of-the-art CPU TADOC
+  (CompressDirect, reference [2] in the paper).  This is the
+  denominator of every speedup in Figures 9 and 10.
+* :class:`ParallelCpuTadoc` — the coarse-grained parallel TADOC of
+  reference [4]: the corpus is partitioned by files, every partition is
+  compressed and processed independently, and partial results are
+  merged.
+* :class:`DistributedTadoc` — the same coarse-grained scheme spread
+  over a simulated multi-node Spark-style cluster (the paper's baseline
+  for the 50 GB dataset C).
+* :class:`GpuUncompressedAnalytics` — the six tasks implemented
+  directly over the raw token stream and priced on a GPU device model
+  (the §VI-E comparison, where G-TADOC wins by about 2x).
+"""
+
+from repro.baselines.cpu_tadoc import CpuTadoc, CpuTadocRunResult
+from repro.baselines.parallel_tadoc import ParallelCpuTadoc, ParallelRunResult
+from repro.baselines.distributed import DistributedTadoc, DistributedRunResult
+from repro.baselines.gpu_uncompressed import GpuUncompressedAnalytics, GpuUncompressedRunResult
+
+__all__ = [
+    "CpuTadoc",
+    "CpuTadocRunResult",
+    "ParallelCpuTadoc",
+    "ParallelRunResult",
+    "DistributedTadoc",
+    "DistributedRunResult",
+    "GpuUncompressedAnalytics",
+    "GpuUncompressedRunResult",
+]

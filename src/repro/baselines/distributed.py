@@ -1,0 +1,127 @@
+"""Distributed TADOC on a simulated Spark-style cluster.
+
+This is the paper's baseline for dataset C: TADOC's coarse-grained
+parallelism spread over a 10-node Amazon EC2 cluster (Table I).  The
+corpus is partitioned by files, partitions are placed on nodes
+round-robin, every node runs a real sequential TADOC engine on its
+partitions, and partial results are shuffled to a driver for merging.
+Per-node compute counters and the shuffle counter are returned so the
+harness can price the run with
+:class:`~repro.perf.cost_model.ClusterCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analytics.base import SEQUENCE_LENGTH_DEFAULT, Task, TaskResult, normalize_result
+from repro.baselines.cpu_tadoc import CpuTadoc
+from repro.baselines.merge import merge_partial_results, result_entry_count
+from repro.baselines.partitioning import partition_corpus
+from repro.cluster.simulator import ClusterSimulator, ClusterSpec, NodeExecution
+from repro.compression.compressor import compress_corpus
+from repro.data.corpus import Corpus
+from repro.perf.counters import CostCounter
+
+__all__ = ["DistributedTadoc", "DistributedRunResult"]
+
+
+@dataclass
+class DistributedRunResult:
+    """Result and work accounting of one distributed TADOC run."""
+
+    task: Task
+    result: TaskResult
+    #: Per-node compute work of the initialization phase (no shuffle).
+    node_init_executions: List[NodeExecution] = field(default_factory=list)
+    #: Per-node compute work of the traversal phase (result shuffle included).
+    node_traversal_executions: List[NodeExecution] = field(default_factory=list)
+    shuffle_counter: CostCounter = field(default_factory=CostCounter)
+    merge_counter: CostCounter = field(default_factory=CostCounter)
+
+    @property
+    def node_executions(self) -> List[NodeExecution]:
+        """Per-node totals (initialization + traversal), for convenience."""
+        totals: List[NodeExecution] = []
+        for init, traversal in zip(self.node_init_executions, self.node_traversal_executions):
+            combined = NodeExecution(
+                node_index=init.node_index,
+                partition_indices=list(init.partition_indices),
+            )
+            combined.counter.merge(init.counter)
+            combined.counter.merge(traversal.counter)
+            totals.append(combined)
+        return totals
+
+    def per_node_counters(self) -> List[CostCounter]:
+        return [execution.counter for execution in self.node_executions]
+
+    def per_node_init_counters(self) -> List[CostCounter]:
+        return [execution.counter for execution in self.node_init_executions]
+
+    def per_node_traversal_counters(self) -> List[CostCounter]:
+        return [execution.counter for execution in self.node_traversal_executions]
+
+
+class DistributedTadoc:
+    """Coarse-grained TADOC across a simulated multi-node cluster."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        cluster: Optional[ClusterSpec] = None,
+        partitions_per_node: int = 2,
+        sequence_length: int = SEQUENCE_LENGTH_DEFAULT,
+    ) -> None:
+        self.corpus = corpus
+        self.cluster = cluster or ClusterSpec()
+        self.partitions_per_node = max(1, partitions_per_node)
+        self.sequence_length = sequence_length
+        self._engines: Optional[List[CpuTadoc]] = None
+
+    def _partition_engines(self) -> List[CpuTadoc]:
+        if self._engines is None:
+            num_partitions = self.cluster.num_nodes * self.partitions_per_node
+            partitions = partition_corpus(self.corpus, num_partitions)
+            self._engines = [
+                CpuTadoc(compress_corpus(partition), sequence_length=self.sequence_length)
+                for partition in partitions
+            ]
+        return self._engines
+
+    def run(self, task: Task) -> DistributedRunResult:
+        """Run ``task`` across the cluster and merge the partial results."""
+        if isinstance(task, str):
+            task = Task.from_name(task)
+        engines = self._partition_engines()
+        simulator = ClusterSimulator(self.cluster)
+
+        partials: List[TaskResult] = []
+        init_counters: List[CostCounter] = []
+        traversal_counters: List[CostCounter] = []
+        partition_entries: List[int] = []
+        for engine in engines:
+            partition_run = engine.run(task)
+            partials.append(partition_run.result)
+            init_counters.append(partition_run.init_counter)
+            traversal_counters.append(partition_run.traversal_counter)
+            partition_entries.append(result_entry_count(task, partition_run.result))
+
+        init_executions = simulator.execute(init_counters, [0] * len(init_counters))
+        traversal_executions = simulator.execute(traversal_counters, partition_entries)
+        shuffle = simulator.shuffle_counter(traversal_executions)
+
+        merge_counter = CostCounter()
+        merged = merge_partial_results(task, partials, merge_counter)
+        return DistributedRunResult(
+            task=task,
+            result=normalize_result(task, merged),
+            node_init_executions=init_executions,
+            node_traversal_executions=traversal_executions,
+            shuffle_counter=shuffle,
+            merge_counter=merge_counter,
+        )
+
+    def run_all(self) -> Dict[Task, DistributedRunResult]:
+        return {task: self.run(task) for task in Task.all()}

@@ -1,0 +1,140 @@
+"""GPU-accelerated analytics on *uncompressed* data (paper §VI-E).
+
+The paper notes that no public GPU implementation of the six tasks
+existed, so the authors wrote their own efficient uncompressed GPU
+analytics to compare against; G-TADOC still wins by about 2x because it
+touches the (much smaller) grammar instead of the full token stream.
+
+This baseline mirrors that comparator: the functional result comes from
+the uncompressed reference implementation, and the GPU work record is
+built from the token volume — chunks of tokens per thread, regular
+(well-coalesced) memory traffic, and atomic updates into the global
+result table whose conflict rate follows the corpus' word skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analytics.base import SEQUENCE_LENGTH_DEFAULT, Task, TaskResult
+from repro.analytics.reference import UncompressedAnalytics
+from repro.data.corpus import Corpus
+from repro.perf import workcosts as wc
+from repro.perf.counters import GpuRunRecord, KernelStats
+
+__all__ = ["GpuUncompressedAnalytics", "GpuUncompressedRunResult"]
+
+#: Tokens processed by one GPU thread (a typical grid-stride chunk).
+_TOKENS_PER_THREAD = 128
+#: Mild warp imbalance of chunked text processing (uneven line lengths).
+_WARP_IMBALANCE = 1.15
+
+
+@dataclass
+class GpuUncompressedRunResult:
+    """Result and GPU work record of one uncompressed-analytics run."""
+
+    task: Task
+    result: TaskResult
+    record: GpuRunRecord
+
+
+class GpuUncompressedAnalytics:
+    """The six analytics tasks over raw tokens, priced on a GPU model."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        sequence_length: int = SEQUENCE_LENGTH_DEFAULT,
+        needs_pcie_transfer: bool = False,
+    ) -> None:
+        self.corpus = corpus
+        self.sequence_length = sequence_length
+        self.needs_pcie_transfer = needs_pcie_transfer
+        self._reference = UncompressedAnalytics(corpus, sequence_length=sequence_length)
+
+    # -- work-record construction ----------------------------------------------------------
+    def _scan_kernel(self, name: str, tokens: int, ops_per_token: float, atomic_fraction: float) -> KernelStats:
+        num_threads = max(1, (tokens + _TOKENS_PER_THREAD - 1) // _TOKENS_PER_THREAD)
+        num_warps = max(1, (num_threads + 31) // 32)
+        total_ops = tokens * ops_per_token
+        atomic_ops = tokens * atomic_fraction
+        distinct = max(1, self.corpus.vocabulary_size)
+        # Zipf-skewed words mean many threads hit the same hot entries.
+        conflicts = max(0.0, atomic_ops - distinct) * 0.15
+        return KernelStats(
+            name=name,
+            num_threads=num_threads,
+            num_warps=num_warps,
+            warp_serial_ops=(total_ops / 32.0) * _WARP_IMBALANCE,
+            total_thread_ops=total_ops,
+            memory_bytes=tokens * wc.TOKEN_SCAN_BYTES,
+            atomic_ops=atomic_ops,
+            atomic_conflicts=conflicts,
+        )
+
+    def _sort_kernel(self, name: str, keys: int) -> KernelStats:
+        keys = max(1, keys)
+        total_ops = wc.SORT_OPS_PER_KEY * keys * max(1.0, float(int(keys).bit_length()))
+        num_threads = max(1, keys // 4)
+        return KernelStats(
+            name=name,
+            num_threads=num_threads,
+            num_warps=max(1, (num_threads + 31) // 32),
+            warp_serial_ops=total_ops / 32.0,
+            total_thread_ops=total_ops,
+            memory_bytes=keys * 16.0,
+            atomic_ops=0.0,
+            atomic_conflicts=0.0,
+        )
+
+    def _build_record(self, task: Task) -> GpuRunRecord:
+        record = GpuRunRecord()
+        tokens = self.corpus.num_tokens
+        vocabulary = self.corpus.vocabulary_size
+        if self.needs_pcie_transfer:
+            record.pcie_bytes += float(self.corpus.size_bytes)
+
+        record.add_kernel(
+            self._scan_kernel("tokenizeKernel", tokens, ops_per_token=wc.TOKEN_SCAN_OPS, atomic_fraction=0.0)
+        )
+        if task in (Task.WORD_COUNT, Task.SORT):
+            record.add_kernel(
+                self._scan_kernel("wordCountKernel", tokens, wc.HASH_UPDATE_OPS, atomic_fraction=1.0)
+            )
+            if task is Task.SORT:
+                record.add_kernel(self._sort_kernel("sortKernel", vocabulary))
+        elif task in (Task.TERM_VECTOR, Task.INVERTED_INDEX, Task.RANKED_INVERTED_INDEX):
+            record.add_kernel(
+                self._scan_kernel("perFileCountKernel", tokens, wc.HASH_UPDATE_OPS, atomic_fraction=1.0)
+            )
+            entries = sum(len(set(doc.tokens)) for doc in self.corpus)
+            if task is Task.RANKED_INVERTED_INDEX:
+                record.add_kernel(self._sort_kernel("rankKernel", entries))
+            else:
+                record.add_kernel(self._sort_kernel("gatherKernel", max(1, entries // 4)))
+        elif task is Task.SEQUENCE_COUNT:
+            windows = max(1, tokens - len(self.corpus) * (self.sequence_length - 1))
+            record.add_kernel(
+                self._scan_kernel(
+                    "sequenceCountKernel",
+                    windows,
+                    wc.TOKEN_SCAN_OPS * self.sequence_length,
+                    atomic_fraction=1.0,
+                )
+            )
+        record.host_counter.charge(compute_ops=1_000.0, memory_bytes=4_096.0)
+        return record
+
+    # -- public API ------------------------------------------------------------------------------
+    def run(self, task: Task) -> GpuUncompressedRunResult:
+        """Run ``task`` on the raw tokens; record the GPU work it implies."""
+        if isinstance(task, str):
+            task = Task.from_name(task)
+        result = self._reference.run(task)
+        record = self._build_record(task)
+        return GpuUncompressedRunResult(task=task, result=result, record=record)
+
+    def run_all(self) -> Dict[Task, GpuUncompressedRunResult]:
+        return {task: self.run(task) for task in Task.all()}

@@ -1,0 +1,96 @@
+"""Merging of per-partition task results (coarse-grained TADOC).
+
+Both the coarse-grained parallel TADOC [4] and the distributed TADOC
+baseline split the corpus by files, process every partition
+independently and then merge partial results.  The merge semantics per
+task live here, together with the work accounting of the merge stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analytics.base import Task, TaskResult, normalize_result
+from repro.perf import workcosts as wc
+from repro.perf.counters import CostCounter
+
+__all__ = ["merge_partial_results", "result_entry_count"]
+
+
+def result_entry_count(task: Task, result: TaskResult) -> int:
+    """Number of entries a partial result contributes to the shuffle."""
+    if task is Task.SORT:
+        return len(result)  # type: ignore[arg-type]
+    if task is Task.TERM_VECTOR:
+        return sum(len(counts) for counts in result.values())  # type: ignore[union-attr]
+    if task in (Task.INVERTED_INDEX, Task.RANKED_INVERTED_INDEX):
+        return sum(len(entries) for entries in result.values())  # type: ignore[union-attr]
+    return len(result)  # type: ignore[arg-type]
+
+
+def merge_partial_results(
+    task: Task, partials: Sequence[TaskResult], counter: CostCounter
+) -> TaskResult:
+    """Merge per-partition results into one corpus-level result.
+
+    Partitions hold disjoint files, so file-keyed results concatenate
+    while corpus-keyed counts add up.  The merge work is charged to
+    ``counter``.
+    """
+    if task is Task.WORD_COUNT:
+        merged_counts: Dict[str, int] = {}
+        for partial in partials:
+            counter.charge(hash_ops=float(len(partial)), memory_bytes=wc.HASH_UPDATE_BYTES * len(partial))
+            for word, count in partial.items():  # type: ignore[union-attr]
+                merged_counts[word] = merged_counts.get(word, 0) + count
+        return merged_counts
+
+    if task is Task.SORT:
+        merged_counts = {}
+        for partial in partials:
+            counter.charge(hash_ops=float(len(partial)))
+            for word, count in partial:  # type: ignore[union-attr]
+                merged_counts[word] = merged_counts.get(word, 0) + count
+        keys = max(1, len(merged_counts))
+        counter.charge(compute_ops=wc.SORT_OPS_PER_KEY * keys * max(1.0, float(int(keys).bit_length())))
+        return normalize_result(Task.SORT, merged_counts)
+
+    if task is Task.TERM_VECTOR:
+        merged_vectors: Dict[str, Dict[str, int]] = {}
+        for partial in partials:
+            counter.charge(hash_ops=float(sum(len(v) for v in partial.values())))  # type: ignore[union-attr]
+            merged_vectors.update(partial)  # type: ignore[arg-type]
+        return merged_vectors
+
+    if task is Task.INVERTED_INDEX:
+        merged_index: Dict[str, List[str]] = {}
+        for partial in partials:
+            for word, files in partial.items():  # type: ignore[union-attr]
+                counter.charge(hash_ops=1.0, compute_ops=float(len(files)))
+                merged_index.setdefault(word, []).extend(files)
+        return {word: sorted(set(files)) for word, files in merged_index.items()}
+
+    if task is Task.RANKED_INVERTED_INDEX:
+        merged_ranked: Dict[str, List[Tuple[str, int]]] = {}
+        for partial in partials:
+            for word, pairs in partial.items():  # type: ignore[union-attr]
+                counter.charge(hash_ops=1.0, compute_ops=float(len(pairs)))
+                merged_ranked.setdefault(word, []).extend(pairs)
+        counter.charge(
+            compute_ops=wc.SORT_OPS_PER_KEY
+            * sum(len(pairs) for pairs in merged_ranked.values())
+        )
+        return {
+            word: sorted(pairs, key=lambda pair: (-pair[1], pair[0]))
+            for word, pairs in merged_ranked.items()
+        }
+
+    if task is Task.SEQUENCE_COUNT:
+        merged_sequences: Dict[Tuple[str, ...], int] = {}
+        for partial in partials:
+            counter.charge(hash_ops=float(len(partial)))
+            for key, count in partial.items():  # type: ignore[union-attr]
+                merged_sequences[key] = merged_sequences.get(key, 0) + count
+        return merged_sequences
+
+    raise ValueError(f"unknown task: {task!r}")

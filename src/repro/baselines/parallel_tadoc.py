@@ -1,0 +1,97 @@
+"""Coarse-grained parallel CPU TADOC (reference [4] in the paper).
+
+The corpus is partitioned by files, every partition is compressed and
+processed independently by a sequential TADOC engine (one partition per
+CPU thread), and partial results are merged.  The per-partition work
+counters let the harness model the parallel execution time as the
+slowest partition plus the merge — exactly the behaviour that makes
+this design "too coarse" for a GPU's thousands of threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analytics.base import SEQUENCE_LENGTH_DEFAULT, Task, TaskResult, normalize_result
+from repro.baselines.cpu_tadoc import CpuTadoc
+from repro.baselines.merge import merge_partial_results, result_entry_count
+from repro.baselines.partitioning import partition_corpus
+from repro.compression.compressor import compress_corpus
+from repro.data.corpus import Corpus
+from repro.perf.counters import CostCounter
+
+__all__ = ["ParallelCpuTadoc", "ParallelRunResult"]
+
+
+@dataclass
+class ParallelRunResult:
+    """Result and per-partition work of one coarse-grained parallel run."""
+
+    task: Task
+    result: TaskResult
+    partition_init_counters: List[CostCounter] = field(default_factory=list)
+    partition_traversal_counters: List[CostCounter] = field(default_factory=list)
+    merge_counter: CostCounter = field(default_factory=CostCounter)
+    partition_result_entries: List[int] = field(default_factory=list)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partition_traversal_counters)
+
+    def partition_total_counters(self) -> List[CostCounter]:
+        return [
+            init + traversal
+            for init, traversal in zip(
+                self.partition_init_counters, self.partition_traversal_counters
+            )
+        ]
+
+
+class ParallelCpuTadoc:
+    """File-partitioned, thread-per-partition TADOC."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        num_threads: int = 8,
+        sequence_length: int = SEQUENCE_LENGTH_DEFAULT,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.corpus = corpus
+        self.num_threads = num_threads
+        self.sequence_length = sequence_length
+        self._engines: Optional[List[CpuTadoc]] = None
+
+    def _partition_engines(self) -> List[CpuTadoc]:
+        """Compress every partition once and cache the per-partition engines."""
+        if self._engines is None:
+            partitions = partition_corpus(self.corpus, self.num_threads)
+            self._engines = [
+                CpuTadoc(compress_corpus(partition), sequence_length=self.sequence_length)
+                for partition in partitions
+            ]
+        return self._engines
+
+    def run(self, task: Task) -> ParallelRunResult:
+        """Run ``task`` on every partition and merge the partial results."""
+        if isinstance(task, str):
+            task = Task.from_name(task)
+        engines = self._partition_engines()
+        partials: List[TaskResult] = []
+        outcome = ParallelRunResult(task=task, result={})
+        for engine in engines:
+            partition_run = engine.run(task)
+            partials.append(partition_run.result)
+            outcome.partition_init_counters.append(partition_run.init_counter)
+            outcome.partition_traversal_counters.append(partition_run.traversal_counter)
+            outcome.partition_result_entries.append(
+                result_entry_count(task, partition_run.result)
+            )
+        merged = merge_partial_results(task, partials, outcome.merge_counter)
+        outcome.result = normalize_result(task, merged)
+        return outcome
+
+    def run_all(self) -> Dict[Task, ParallelRunResult]:
+        return {task: self.run(task) for task in Task.all()}

@@ -1,0 +1,42 @@
+"""Corpus partitioning for coarse-grained TADOC parallelism.
+
+Both the multi-threaded TADOC of [4] and the distributed baseline split
+the input *by files* — each worker compresses and processes a disjoint
+group of files, which is exactly why that parallelism is too coarse for
+GPUs (the paper's Challenge 1).  Partitions are balanced by token count
+using a greedy longest-first assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.data.corpus import Corpus
+
+__all__ = ["partition_corpus"]
+
+
+def partition_corpus(corpus: Corpus, num_partitions: int) -> List[Corpus]:
+    """Split ``corpus`` into at most ``num_partitions`` balanced sub-corpora.
+
+    Documents keep their identity; empty partitions are dropped, so the
+    result may contain fewer partitions than requested when the corpus
+    has fewer files.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    documents = sorted(corpus.documents, key=lambda doc: doc.num_tokens, reverse=True)
+    buckets: List[List] = [[] for _ in range(min(num_partitions, len(documents)) or 1)]
+    loads = [0] * len(buckets)
+    for document in documents:
+        lightest = loads.index(min(loads))
+        buckets[lightest].append(document)
+        loads[lightest] += document.num_tokens
+    partitions: List[Corpus] = []
+    original_order = {doc.name: index for index, doc in enumerate(corpus.documents)}
+    for bucket_index, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        ordered = sorted(bucket, key=lambda doc: original_order[doc.name])
+        partitions.append(Corpus(ordered, name=f"{corpus.name}_part{bucket_index}"))
+    return partitions

@@ -1,0 +1,29 @@
+"""Experiment harness shared by the ``benchmarks/`` suite and the CLI.
+
+The harness prepares the dataset analogues, runs every engine
+(G-TADOC, sequential CPU TADOC, distributed TADOC, GPU uncompressed
+analytics), prices their work records on the Table I platforms, applies
+the paper-scale extrapolation and formats the resulting tables/series.
+Each benchmark file under ``benchmarks/`` is a thin wrapper around one
+of these entry points.
+"""
+
+from repro.bench.experiment import (
+    DatasetBundle,
+    ExperimentConfig,
+    ExperimentRunner,
+    SpeedupRow,
+)
+from repro.bench.aggregate import geometric_mean, summarize_rows
+from repro.bench.tables import format_table, save_report
+
+__all__ = [
+    "DatasetBundle",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "SpeedupRow",
+    "geometric_mean",
+    "summarize_rows",
+    "format_table",
+    "save_report",
+]

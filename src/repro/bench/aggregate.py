@@ -1,0 +1,67 @@
+"""Aggregation of speedup rows into the paper's headline numbers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bench.experiment import SpeedupRow
+
+__all__ = ["geometric_mean", "summarize_rows"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty input)."""
+    values = [value for value in values if value > 0 and math.isfinite(value)]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def summarize_rows(rows: Sequence[SpeedupRow]) -> Dict[str, float]:
+    """The paper's headline aggregates over a Figure 9/10 grid.
+
+    Returned keys mirror the claims in sections I and VI-B/VI-C:
+
+    * ``overall_speedup`` — average speedup across all cells (the 31.1x claim),
+    * ``single_node_speedup`` — cells whose baseline is the sequential CPU
+      TADOC (the 57.5x claim),
+    * ``cluster_speedup`` — cells whose baseline is the 10-node cluster
+      (the 2.7x claim),
+    * ``sequence_count_speedup`` / ``ranked_inverted_index_speedup`` — the
+      sequence-sensitive tasks (the 111x / 112x claims),
+    * ``initialization_speedup`` / ``traversal_speedup`` — per-phase
+      aggregates (the 9.5x / 64.1x claims),
+    * ``initialization_time_saving`` / ``traversal_time_saving`` — the same
+      expressed as fractional time savings (the 76.5% / 82.2% claims).
+    """
+    overall = geometric_mean(row.speedup_total for row in rows)
+    single_node = geometric_mean(
+        row.speedup_total for row in rows if "cluster" not in row.baseline
+    )
+    cluster = geometric_mean(
+        row.speedup_total for row in rows if "cluster" in row.baseline
+    )
+    sequence_count = geometric_mean(
+        row.speedup_total for row in rows if row.task == "sequence_count"
+    )
+    ranked = geometric_mean(
+        row.speedup_total for row in rows if row.task == "ranked_inverted_index"
+    )
+    initialization = geometric_mean(row.speedup_initialization for row in rows)
+    traversal = geometric_mean(row.speedup_traversal for row in rows)
+
+    def saving(speedup: float) -> float:
+        return 1.0 - 1.0 / speedup if speedup > 0 else 0.0
+
+    return {
+        "overall_speedup": overall,
+        "single_node_speedup": single_node,
+        "cluster_speedup": cluster,
+        "sequence_count_speedup": sequence_count,
+        "ranked_inverted_index_speedup": ranked,
+        "initialization_speedup": initialization,
+        "traversal_speedup": traversal,
+        "initialization_time_saving": saving(initialization),
+        "traversal_time_saving": saving(traversal),
+    }

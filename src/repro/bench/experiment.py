@@ -1,0 +1,289 @@
+"""Experiment runner: every engine, every dataset, every platform.
+
+The runner caches functional runs (they are platform-independent) and
+prices them under each platform's cost model, applying the paper-scale
+extrapolation described in :mod:`repro.perf.extrapolation`.  It
+produces :class:`SpeedupRow` records — one per (dataset, task,
+platform) — which the benchmark scripts turn into the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analytics.base import Task
+from repro.baselines.cpu_tadoc import CpuTadoc, CpuTadocRunResult
+from repro.baselines.distributed import DistributedTadoc, DistributedRunResult
+from repro.baselines.gpu_uncompressed import GpuUncompressedAnalytics, GpuUncompressedRunResult
+from repro.compression.compressor import CompressedCorpus, compress_corpus
+from repro.core.engine import GTadoc, GTadocConfig, GTadocRunResult
+from repro.core.strategy import TraversalStrategy
+from repro.data.corpus import Corpus
+from repro.data.generators import DATASET_SPECS, DatasetSpec, generate_dataset
+from repro.perf.cost_model import ClusterCostModel, CpuCostModel, GpuCostModel
+from repro.perf.counters import PhaseTiming
+from repro.perf.extrapolation import (
+    dataset_scale_factor,
+    extrapolate_counter,
+    extrapolate_gpu_record,
+)
+from repro.perf.platforms import CLUSTER_PLATFORM, Platform, list_platforms
+
+__all__ = ["ExperimentConfig", "DatasetBundle", "SpeedupRow", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    #: Token-volume multiplier of the synthetic analogues.
+    dataset_scale: float = 0.25
+    #: Generator seed (results are deterministic for a given seed).
+    seed: int = 2021
+    #: Sequence length for sequence count.
+    sequence_length: int = 3
+    #: Extrapolate measured work to the paper's Table II scale.
+    extrapolate_to_paper_scale: bool = True
+    #: Dataset keys whose compressed data does not fit GPU memory at paper
+    #: scale and therefore pays PCIe transfers (the paper's "large datasets").
+    pcie_datasets: Tuple[str, ...] = ("C",)
+    #: Dataset keys whose TADOC baseline runs on the 10-node cluster.
+    cluster_datasets: Tuple[str, ...] = ("C",)
+
+
+@dataclass
+class DatasetBundle:
+    """A generated dataset analogue plus its compressed form."""
+
+    key: str
+    spec: DatasetSpec
+    corpus: Corpus
+    compressed: CompressedCorpus
+    extrapolation_factor: float
+
+    @property
+    def uses_cluster_baseline(self) -> bool:
+        return self.spec.cluster_baseline
+
+
+@dataclass
+class SpeedupRow:
+    """One cell of Figure 9/10: a dataset x task x platform comparison."""
+
+    dataset: str
+    task: str
+    platform: str
+    baseline: str
+    gtadoc: PhaseTiming
+    tadoc: PhaseTiming
+
+    @property
+    def speedup_total(self) -> float:
+        return self.tadoc.total / self.gtadoc.total if self.gtadoc.total else float("inf")
+
+    @property
+    def speedup_initialization(self) -> float:
+        if self.gtadoc.initialization <= 0:
+            return float("inf")
+        return self.tadoc.initialization / self.gtadoc.initialization
+
+    @property
+    def speedup_traversal(self) -> float:
+        if self.gtadoc.traversal <= 0:
+            return float("inf")
+        return self.tadoc.traversal / self.gtadoc.traversal
+
+
+class ExperimentRunner:
+    """Prepare datasets, run engines once, price them per platform."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._bundles: Dict[str, DatasetBundle] = {}
+        self._gtadoc_runs: Dict[Tuple[str, Task, Optional[TraversalStrategy]], GTadocRunResult] = {}
+        self._cpu_runs: Dict[Tuple[str, Task], CpuTadocRunResult] = {}
+        self._distributed_runs: Dict[Tuple[str, Task], DistributedRunResult] = {}
+        self._gpu_uncompressed_runs: Dict[Tuple[str, Task], GpuUncompressedRunResult] = {}
+        self._engines: Dict[str, GTadoc] = {}
+        self._cpu_engines: Dict[str, CpuTadoc] = {}
+        self._distributed_engines: Dict[str, DistributedTadoc] = {}
+
+    # -- dataset preparation ----------------------------------------------------------------
+    def bundle(self, key: str) -> DatasetBundle:
+        """Generate and compress dataset ``key`` (cached)."""
+        if key not in self._bundles:
+            spec = DATASET_SPECS[key].scaled(self.config.dataset_scale)
+            corpus = generate_dataset(key, scale=self.config.dataset_scale, seed=self.config.seed)
+            compressed = compress_corpus(corpus)
+            if self.config.extrapolate_to_paper_scale:
+                factor = dataset_scale_factor(spec.paper_rules, len(compressed.grammar))
+            else:
+                factor = 1.0
+            self._bundles[key] = DatasetBundle(
+                key=key,
+                spec=spec,
+                corpus=corpus,
+                compressed=compressed,
+                extrapolation_factor=factor,
+            )
+        return self._bundles[key]
+
+    # -- engine runs (functional, cached) --------------------------------------------------------
+    def gtadoc_run(
+        self, key: str, task: Task, traversal: Optional[TraversalStrategy] = None
+    ) -> GTadocRunResult:
+        cache_key = (key, task, traversal)
+        if cache_key not in self._gtadoc_runs:
+            bundle = self.bundle(key)
+            if key not in self._engines:
+                self._engines[key] = GTadoc(
+                    bundle.compressed,
+                    config=GTadocConfig(
+                        sequence_length=self.config.sequence_length,
+                        needs_pcie_transfer=key in self.config.pcie_datasets,
+                    ),
+                )
+            self._gtadoc_runs[cache_key] = self._engines[key].run(task, traversal=traversal)
+        return self._gtadoc_runs[cache_key]
+
+    def cpu_tadoc_run(self, key: str, task: Task) -> CpuTadocRunResult:
+        cache_key = (key, task)
+        if cache_key not in self._cpu_runs:
+            bundle = self.bundle(key)
+            if key not in self._cpu_engines:
+                self._cpu_engines[key] = CpuTadoc(
+                    bundle.compressed, sequence_length=self.config.sequence_length
+                )
+            self._cpu_runs[cache_key] = self._cpu_engines[key].run(task)
+        return self._cpu_runs[cache_key]
+
+    def distributed_run(self, key: str, task: Task) -> DistributedRunResult:
+        cache_key = (key, task)
+        if cache_key not in self._distributed_runs:
+            bundle = self.bundle(key)
+            if key not in self._distributed_engines:
+                self._distributed_engines[key] = DistributedTadoc(
+                    bundle.corpus, sequence_length=self.config.sequence_length
+                )
+            self._distributed_runs[cache_key] = self._distributed_engines[key].run(task)
+        return self._distributed_runs[cache_key]
+
+    def gpu_uncompressed_run(self, key: str, task: Task) -> GpuUncompressedRunResult:
+        cache_key = (key, task)
+        if cache_key not in self._gpu_uncompressed_runs:
+            bundle = self.bundle(key)
+            analytics = GpuUncompressedAnalytics(
+                bundle.corpus,
+                sequence_length=self.config.sequence_length,
+                needs_pcie_transfer=key in self.config.pcie_datasets,
+            )
+            self._gpu_uncompressed_runs[cache_key] = analytics.run(task)
+        return self._gpu_uncompressed_runs[cache_key]
+
+    # -- pricing --------------------------------------------------------------------------------------
+    def _factor(self, key: str) -> float:
+        return self.bundle(key).extrapolation_factor
+
+    def gtadoc_times(self, key: str, task: Task, platform: Platform) -> PhaseTiming:
+        """Modelled G-TADOC phase times on ``platform`` for (dataset, task)."""
+        if platform.gpu is None:
+            raise ValueError(f"platform {platform.key} has no GPU")
+        run = self.gtadoc_run(key, task)
+        factor = self._factor(key)
+        gpu_model = GpuCostModel(platform.gpu)
+        host_model = CpuCostModel(platform.cpu)
+        init_record = extrapolate_gpu_record(run.init_record, factor)
+        traversal_record = extrapolate_gpu_record(run.traversal_record, factor)
+        return PhaseTiming(
+            initialization=gpu_model.time_seconds(init_record, host_model),
+            traversal=gpu_model.time_seconds(traversal_record, host_model),
+        )
+
+    def cpu_tadoc_times(self, key: str, task: Task, platform: Platform) -> PhaseTiming:
+        """Modelled sequential TADOC phase times on ``platform``'s CPU."""
+        run = self.cpu_tadoc_run(key, task)
+        factor = self._factor(key)
+        model = CpuCostModel(platform.cpu, threads=1)
+        return PhaseTiming(
+            initialization=model.time_seconds(extrapolate_counter(run.init_counter, factor)),
+            traversal=model.time_seconds(extrapolate_counter(run.traversal_counter, factor)),
+        )
+
+    def cluster_times(self, key: str, task: Task) -> PhaseTiming:
+        """Modelled distributed TADOC phase times on the 10-node cluster."""
+        run = self.distributed_run(key, task)
+        factor = self._factor(key)
+        cluster_model = ClusterCostModel(
+            node_spec=CLUSTER_PLATFORM.cpu,
+            num_nodes=CLUSTER_PLATFORM.num_nodes,
+            network_bandwidth_gb_s=CLUSTER_PLATFORM.network_bandwidth_gb_s,
+            network_latency_s=CLUSTER_PLATFORM.network_latency_s,
+        )
+        init_counters = [
+            extrapolate_counter(counter, factor) for counter in run.per_node_init_counters()
+        ]
+        traversal_counters = [
+            extrapolate_counter(counter, factor) for counter in run.per_node_traversal_counters()
+        ]
+        shuffle = extrapolate_counter(run.shuffle_counter, factor)
+        # The final merge is a distributed reduce: the merge work is spread
+        # across the nodes (each reduces a key range), not run on a single
+        # driver thread.
+        merge_model = CpuCostModel(CLUSTER_PLATFORM.cpu, threads=cluster_model.threads_per_node)
+        merge_counter = extrapolate_counter(run.merge_counter, factor).scaled(
+            1.0 / CLUSTER_PLATFORM.num_nodes
+        )
+        merge_time = merge_model.time_seconds(merge_counter)
+        return PhaseTiming(
+            initialization=cluster_model.time_seconds(init_counters, None, num_stages=1),
+            traversal=cluster_model.time_seconds(traversal_counters, shuffle, num_stages=1)
+            + merge_time,
+        )
+
+    def gpu_uncompressed_times(self, key: str, task: Task, platform: Platform) -> PhaseTiming:
+        """Modelled GPU uncompressed-analytics time on ``platform``."""
+        if platform.gpu is None:
+            raise ValueError(f"platform {platform.key} has no GPU")
+        run = self.gpu_uncompressed_run(key, task)
+        bundle = self.bundle(key)
+        # Uncompressed work scales with tokens, not rules; keep the ratio of
+        # tokens to rules fixed by reusing the same extrapolation factor.
+        record = extrapolate_gpu_record(run.record, self._factor(key))
+        model = GpuCostModel(platform.gpu)
+        return PhaseTiming(initialization=0.0, traversal=model.time_seconds(record))
+
+    # -- grids --------------------------------------------------------------------------------------------
+    def baseline_times(self, key: str, task: Task, platform: Platform) -> Tuple[str, PhaseTiming]:
+        """The paper's TADOC baseline for (dataset, platform): cluster for C."""
+        if key in self.config.cluster_datasets:
+            return "TADOC (10-node cluster)", self.cluster_times(key, task)
+        return "TADOC (sequential CPU)", self.cpu_tadoc_times(key, task, platform)
+
+    def speedup_row(self, key: str, task: Task, platform: Platform) -> SpeedupRow:
+        baseline_name, tadoc_times = self.baseline_times(key, task, platform)
+        return SpeedupRow(
+            dataset=key,
+            task=task.value,
+            platform=platform.key,
+            baseline=baseline_name,
+            gtadoc=self.gtadoc_times(key, task, platform),
+            tadoc=tadoc_times,
+        )
+
+    def speedup_grid(
+        self,
+        datasets: Optional[List[str]] = None,
+        tasks: Optional[List[Task]] = None,
+        platforms: Optional[List[Platform]] = None,
+    ) -> List[SpeedupRow]:
+        """The full Figure 9/10 grid (datasets x tasks x GPU platforms)."""
+        datasets = datasets or sorted(DATASET_SPECS)
+        tasks = tasks or Task.all()
+        platforms = platforms or list_platforms(gpu_only=True)
+        rows: List[SpeedupRow] = []
+        for platform in platforms:
+            for dataset in datasets:
+                for task in tasks:
+                    rows.append(self.speedup_row(dataset, task, platform))
+        return rows

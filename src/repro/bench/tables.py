@@ -1,0 +1,41 @@
+"""Plain-text table formatting and report persistence for benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["format_table", "save_report", "RESULTS_DIR"]
+
+#: Default directory benchmark reports are written to.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def save_report(name: str, content: str, directory: Union[str, Path, None] = None) -> Path:
+    """Write a benchmark report to ``benchmarks/results/<name>.txt``."""
+    target_dir = Path(directory) if directory is not None else RESULTS_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"{name}.txt"
+    path.write_text(content + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+Four sub-commands cover the CompressDirect-style workflow:
+
+``gtadoc compress``
+    Compress a directory of text files (or a generated dataset
+    analogue) into the TADOC format.
+``gtadoc run``
+    Run one of the six analytics tasks on a compressed corpus with the
+    G-TADOC engine and print the top results.
+``gtadoc info``
+    Print Table II style statistics of a compressed corpus.
+``gtadoc bench``
+    Run the Figure 9 speedup grid for selected datasets/platforms and
+    print the resulting table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analytics.base import Task
+from repro.bench.experiment import ExperimentConfig, ExperimentRunner
+from repro.bench.tables import format_table
+from repro.compression.serializer import load_compressed, save_compressed
+from repro.compression.compressor import compress_corpus
+from repro.core.engine import GTadoc, GTadocConfig
+from repro.data.generators import generate_dataset, list_datasets
+from repro.data.loaders import load_corpus_dir
+from repro.perf.platforms import get_platform, list_platforms
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gtadoc",
+        description="G-TADOC: GPU-based text analytics directly on compressed data",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compress = subparsers.add_parser("compress", help="compress text files into TADOC form")
+    source = compress.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input-dir", help="directory of .txt files to compress")
+    source.add_argument(
+        "--dataset", choices=list_datasets(), help="generate and compress a dataset analogue"
+    )
+    compress.add_argument("--scale", type=float, default=0.25, help="dataset analogue scale")
+    compress.add_argument("--output", required=True, help="output .json path")
+
+    run = subparsers.add_parser("run", help="run an analytics task on compressed data")
+    run.add_argument("--compressed", required=True, help="path written by 'gtadoc compress'")
+    run.add_argument("--task", required=True, choices=[task.value for task in Task])
+    run.add_argument("--traversal", choices=["top_down", "bottom_up"], default=None)
+    run.add_argument("--top", type=int, default=10, help="number of result entries to print")
+
+    info = subparsers.add_parser("info", help="print statistics of a compressed corpus")
+    info.add_argument("--compressed", required=True)
+
+    bench = subparsers.add_parser("bench", help="print the Figure 9 speedup grid")
+    bench.add_argument("--datasets", default="A,B,D", help="comma-separated dataset keys")
+    bench.add_argument("--platform", default="Pascal", help="Table I platform key")
+    bench.add_argument("--scale", type=float, default=0.15, help="dataset analogue scale")
+
+    return parser
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    if args.input_dir:
+        corpus = load_corpus_dir(args.input_dir)
+    else:
+        corpus = generate_dataset(args.dataset, scale=args.scale)
+    compressed = compress_corpus(corpus)
+    path = save_compressed(compressed, args.output)
+    stats = compressed.statistics()
+    print(f"compressed {stats.num_files} files / {stats.original_tokens} tokens")
+    print(f"rules: {stats.num_rules}   vocabulary: {stats.vocabulary_size}")
+    print(f"compression ratio (tokens/symbols): {stats.compression_ratio:.2f}")
+    print(f"written to {path}")
+    return 0
+
+
+def _format_result_preview(task: Task, result, top: int) -> List[str]:
+    lines: List[str] = []
+    if task is Task.SORT:
+        for word, count in result[:top]:
+            lines.append(f"{word}\t{count}")
+    elif task is Task.SEQUENCE_COUNT:
+        ordered = sorted(result.items(), key=lambda item: (-item[1], item[0]))[:top]
+        for key, count in ordered:
+            lines.append(f"{' '.join(key)}\t{count}")
+    elif task is Task.WORD_COUNT:
+        ordered = sorted(result.items(), key=lambda item: (-item[1], item[0]))[:top]
+        for word, count in ordered:
+            lines.append(f"{word}\t{count}")
+    else:
+        for key in list(result)[:top]:
+            lines.append(f"{key}\t{result[key]}")
+    return lines
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    compressed = load_compressed(args.compressed)
+    task = Task.from_name(args.task)
+    traversal = None
+    if args.traversal:
+        from repro.core.strategy import TraversalStrategy
+
+        traversal = TraversalStrategy(args.traversal)
+    engine = GTadoc(compressed, config=GTadocConfig())
+    outcome = engine.run(task, traversal=traversal)
+    print(f"task: {task.value}   traversal: {outcome.strategy.value}")
+    print(f"kernel launches: {outcome.total_kernel_launches}")
+    print(f"memory pool: {outcome.memory_pool_bytes} bytes")
+    print("top results:")
+    for line in _format_result_preview(task, outcome.result, args.top):
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    compressed = load_compressed(args.compressed)
+    stats = compressed.statistics()
+    rows = [
+        ("files", stats.num_files),
+        ("original tokens", stats.original_tokens),
+        ("original bytes", stats.original_size_bytes),
+        ("rules", stats.num_rules),
+        ("vocabulary", stats.vocabulary_size),
+        ("compressed symbols", stats.compressed_symbols),
+        ("compression ratio", f"{stats.compression_ratio:.2f}"),
+        ("DAG depth", stats.dag.depth),
+        ("DAG edges", stats.dag.num_edges),
+    ]
+    print(format_table(["statistic", "value"], rows, title=f"Compressed corpus: {compressed.name}"))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    platform = get_platform(args.platform)
+    if not platform.has_gpu:
+        print("the bench command needs a GPU platform (Pascal, Volta or Turing)", file=sys.stderr)
+        return 2
+    datasets = [key.strip().upper() for key in args.datasets.split(",") if key.strip()]
+    runner = ExperimentRunner(ExperimentConfig(dataset_scale=args.scale))
+    rows = runner.speedup_grid(datasets=datasets, platforms=[platform])
+    table_rows = [
+        (
+            row.dataset,
+            row.task,
+            f"{row.gtadoc.total * 1000:.2f} ms",
+            f"{row.tadoc.total * 1000:.2f} ms",
+            f"{row.speedup_total:.1f}x",
+        )
+        for row in rows
+    ]
+    print(
+        format_table(
+            ["dataset", "task", "G-TADOC", "TADOC baseline", "speedup"],
+            table_rows,
+            title=f"Figure 9 style speedups on {platform.key}",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``gtadoc`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "compress": _cmd_compress,
+        "run": _cmd_run,
+        "info": _cmd_info,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Distributed-cluster simulation substrate.
+
+The paper's baseline for the 50 GB dataset C is TADOC running on a
+10-node Amazon EC2 Spark cluster (Table I).  This package provides the
+coarse-grained distributed execution model that baseline needs: file
+partitions are assigned to nodes, every node processes its partition
+independently (that is exactly TADOC's coarse-grained parallelism), and
+partial results are shuffled over the network to a merger.
+"""
+
+from repro.cluster.simulator import ClusterSpec, ClusterSimulator, NodeExecution
+
+__all__ = ["ClusterSpec", "ClusterSimulator", "NodeExecution"]

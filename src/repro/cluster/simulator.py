@@ -1,0 +1,85 @@
+"""Coarse-grained cluster execution model.
+
+A :class:`ClusterSimulator` assigns work partitions to nodes round-robin
+and accounts for the shuffle of partial results back to the driver.
+The *functional* work of a partition is supplied by the caller (the
+distributed TADOC baseline runs a real sequential TADOC engine per
+partition); the simulator's job is bookkeeping: which node ran what,
+how much each node computed, and how many bytes crossed the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.perf.counters import CostCounter
+from repro.perf.specs import CPUSpec, E5_2676_V3
+from repro.perf import workcosts as wc
+
+__all__ = ["ClusterSpec", "NodeExecution", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of the simulated cluster (defaults mirror Table I's EC2 cluster)."""
+
+    num_nodes: int = 10
+    node_cpu: CPUSpec = E5_2676_V3
+    threads_per_node: int = 12
+    network_bandwidth_gb_s: float = 1.25
+    network_latency_s: float = 200e-6
+
+
+@dataclass
+class NodeExecution:
+    """Work executed by one node."""
+
+    node_index: int
+    partition_indices: List[int] = field(default_factory=list)
+    counter: CostCounter = field(default_factory=CostCounter)
+
+
+class ClusterSimulator:
+    """Round-robin partition placement plus shuffle accounting."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        if spec.num_nodes < 1:
+            raise ValueError("a cluster needs at least one node")
+        self.spec = spec
+
+    def assign_partitions(self, num_partitions: int) -> Dict[int, List[int]]:
+        """Round-robin mapping ``node index -> partition indices``."""
+        assignment: Dict[int, List[int]] = {node: [] for node in range(self.spec.num_nodes)}
+        for partition in range(num_partitions):
+            assignment[partition % self.spec.num_nodes].append(partition)
+        return assignment
+
+    def execute(
+        self, partition_counters: Sequence[CostCounter], result_entries_per_partition: Sequence[int]
+    ) -> List[NodeExecution]:
+        """Place partitions on nodes and attribute their work and shuffle traffic."""
+        if len(partition_counters) != len(result_entries_per_partition):
+            raise ValueError("counters and result sizes must align")
+        assignment = self.assign_partitions(len(partition_counters))
+        executions: List[NodeExecution] = []
+        for node_index, partitions in assignment.items():
+            execution = NodeExecution(node_index=node_index, partition_indices=partitions)
+            for partition in partitions:
+                execution.counter.merge(partition_counters[partition])
+                entries = result_entries_per_partition[partition]
+                execution.counter.charge_network(
+                    bytes_sent=wc.RESULT_ENTRY_BYTES * entries, messages=1.0
+                )
+            executions.append(execution)
+        return executions
+
+    def shuffle_counter(self, executions: Sequence[NodeExecution]) -> CostCounter:
+        """Aggregate network traffic of the merge/shuffle stage."""
+        shuffle = CostCounter()
+        for execution in executions:
+            shuffle.charge_network(
+                bytes_sent=execution.counter.network_bytes,
+                messages=execution.counter.network_messages,
+            )
+        return shuffle

@@ -1,0 +1,50 @@
+"""TADOC compression substrate.
+
+This package implements the compression side of TADOC as described in
+section II-A of the paper (and in the earlier TADOC papers it builds
+on):
+
+* dictionary conversion — words and file splitters become integers
+  (:mod:`repro.compression.dictionary`),
+* Sequitur grammar inference — the token stream becomes a context-free
+  grammar whose repeated substrings are shared rules
+  (:mod:`repro.compression.sequitur`),
+* the grammar / rule representation and symbol encoding
+  (:mod:`repro.compression.grammar`),
+* the rule DAG used by all analytics traversals
+  (:mod:`repro.compression.dag`),
+* the end-to-end compressor and the :class:`CompressedCorpus` container
+  (:mod:`repro.compression.compressor`), and
+* a numeric on-disk format mirroring Figure 1(c)
+  (:mod:`repro.compression.serializer`).
+"""
+
+from repro.compression.dictionary import Dictionary
+from repro.compression.grammar import (
+    Grammar,
+    Rule,
+    is_rule_ref,
+    make_rule_ref,
+    rule_ref_id,
+)
+from repro.compression.sequitur import SequiturEncoder
+from repro.compression.dag import GrammarDAG, DagStatistics
+from repro.compression.compressor import CompressedCorpus, TadocCompressor, compress_corpus
+from repro.compression.serializer import load_compressed, save_compressed
+
+__all__ = [
+    "Dictionary",
+    "Grammar",
+    "Rule",
+    "is_rule_ref",
+    "make_rule_ref",
+    "rule_ref_id",
+    "SequiturEncoder",
+    "GrammarDAG",
+    "DagStatistics",
+    "CompressedCorpus",
+    "TadocCompressor",
+    "compress_corpus",
+    "load_compressed",
+    "save_compressed",
+]

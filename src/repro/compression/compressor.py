@@ -1,0 +1,178 @@
+"""End-to-end TADOC compression: corpus -> dictionary + grammar + DAG.
+
+The pipeline follows Figure 1 of the paper:
+
+1. tokenize every document and encode words as integers
+   (*dictionary conversion*, Figure 1(b)),
+2. concatenate the documents' id streams with unique splitter symbols
+   at file boundaries,
+3. run Sequitur over the combined stream (*CFG construction*,
+   Figure 1(c)/(d)) — splitters occur exactly once, so they always stay
+   in the root rule, which keeps file boundaries visible at the root,
+4. build the DAG view used by every analytics traversal (Figure 1(e)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compression.dag import DagStatistics, GrammarDAG
+from repro.compression.dictionary import Dictionary
+from repro.compression.grammar import Grammar, is_rule_ref, rule_ref_id
+from repro.compression.sequitur import SequiturEncoder
+from repro.data.corpus import Corpus, Document
+
+__all__ = ["CompressedCorpus", "TadocCompressor", "compress_corpus"]
+
+
+@dataclass(frozen=True)
+class CompressionStatistics:
+    """Table II style statistics for a compressed corpus."""
+
+    original_size_bytes: int
+    original_tokens: int
+    num_files: int
+    num_rules: int
+    vocabulary_size: int
+    compressed_symbols: int
+    compression_ratio: float
+    dag: DagStatistics
+
+
+class CompressedCorpus:
+    """A corpus in TADOC compressed form.
+
+    This is the input object of every analytics engine in the library
+    (CPU TADOC, parallel TADOC, distributed TADOC and G-TADOC).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dictionary: Dictionary,
+        grammar: Grammar,
+        file_names: Sequence[str],
+        splitter_ids: Sequence[int],
+        original_size_bytes: int,
+        original_tokens: int,
+    ) -> None:
+        self.name = name
+        self.dictionary = dictionary
+        self.grammar = grammar
+        self.file_names = list(file_names)
+        self.splitter_ids = list(splitter_ids)
+        self.original_size_bytes = original_size_bytes
+        self.original_tokens = original_tokens
+        self.dag = GrammarDAG(grammar)
+        self._splitter_set = set(self.splitter_ids)
+        self._root_segments = self._compute_root_segments()
+
+    # -- file segmentation -------------------------------------------------------
+    def _compute_root_segments(self) -> List[Tuple[int, int]]:
+        """Half-open symbol ranges of the root body belonging to each file.
+
+        Splitters occur exactly once in the input so Sequitur can never
+        fold them into a sub-rule; they are guaranteed to sit in the
+        root body, which this method also verifies.
+        """
+        root_symbols = self.grammar.root.symbols
+        boundaries: List[int] = []
+        for position, symbol in enumerate(root_symbols):
+            if not is_rule_ref(symbol) and symbol in self._splitter_set:
+                boundaries.append(position)
+        if len(boundaries) != len(self.file_names) - 1 and len(self.file_names) > 0:
+            raise ValueError(
+                "splitter symbols missing from the root rule; "
+                f"expected {len(self.file_names) - 1}, found {len(boundaries)}"
+            )
+        segments: List[Tuple[int, int]] = []
+        start = 0
+        for boundary in boundaries:
+            segments.append((start, boundary))
+            start = boundary + 1
+        segments.append((start, len(root_symbols)))
+        return segments
+
+    @property
+    def root_file_segments(self) -> List[Tuple[int, int]]:
+        """Per-file half-open ranges ``(start, end)`` into the root body."""
+        return list(self._root_segments)
+
+    def is_splitter(self, symbol: int) -> bool:
+        """True if the (terminal) symbol id is a file splitter."""
+        return symbol in self._splitter_set
+
+    # -- decompression -------------------------------------------------------------
+    def expand_file_tokens(self, file_index: int) -> List[str]:
+        """Fully expand one file back to its word tokens (verification path)."""
+        start, end = self._root_segments[file_index]
+        ids: List[int] = []
+        for symbol in self.grammar.root.symbols[start:end]:
+            if is_rule_ref(symbol):
+                ids.extend(self.grammar.expand_rule(rule_ref_id(symbol)))
+            else:
+                ids.append(symbol)
+        return self.dictionary.decode_tokens(ids)
+
+    def decompress(self) -> Corpus:
+        """Reconstruct the original corpus (used to verify losslessness)."""
+        documents = [
+            Document.from_tokens(name, self.expand_file_tokens(index))
+            for index, name in enumerate(self.file_names)
+        ]
+        return Corpus(documents, name=self.name)
+
+    # -- statistics ------------------------------------------------------------------
+    def statistics(self) -> CompressionStatistics:
+        compressed_symbols = self.grammar.total_symbols()
+        ratio = (
+            self.original_tokens / compressed_symbols if compressed_symbols else 0.0
+        )
+        return CompressionStatistics(
+            original_size_bytes=self.original_size_bytes,
+            original_tokens=self.original_tokens,
+            num_files=len(self.file_names),
+            num_rules=len(self.grammar),
+            vocabulary_size=self.dictionary.num_words,
+            compressed_symbols=compressed_symbols,
+            compression_ratio=ratio,
+            dag=self.dag.statistics(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompressedCorpus(name={self.name!r}, files={len(self.file_names)}, "
+            f"rules={len(self.grammar)}, vocab={self.dictionary.num_words})"
+        )
+
+
+class TadocCompressor:
+    """Compress a :class:`~repro.data.corpus.Corpus` into TADOC form."""
+
+    def compress(self, corpus: Corpus) -> CompressedCorpus:
+        dictionary = Dictionary()
+        encoded_files: List[List[int]] = [
+            dictionary.encode_tokens(document.tokens) for document in corpus
+        ]
+        splitter_ids = dictionary.allocate_splitters(max(0, len(corpus) - 1))
+        stream: List[int] = []
+        for index, encoded in enumerate(encoded_files):
+            if index > 0:
+                stream.append(splitter_ids[index - 1])
+            stream.extend(encoded)
+        grammar = SequiturEncoder().encode(stream)
+        return CompressedCorpus(
+            name=corpus.name,
+            dictionary=dictionary,
+            grammar=grammar,
+            file_names=corpus.file_names,
+            splitter_ids=splitter_ids,
+            original_size_bytes=corpus.size_bytes,
+            original_tokens=corpus.num_tokens,
+        )
+
+
+def compress_corpus(corpus: Corpus) -> CompressedCorpus:
+    """Convenience wrapper: ``TadocCompressor().compress(corpus)``."""
+    return TadocCompressor().compress(corpus)

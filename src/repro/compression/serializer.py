@@ -1,0 +1,81 @@
+"""On-disk format for TADOC compressed corpora.
+
+The format is a single JSON document mirroring Figure 1(c) of the
+paper: the dictionary, the splitter ids, the file names and the rule
+bodies as integer sequences.  A flat numbering view (words, splitters
+and rules in one id space, exactly as the paper prints it) is also
+provided for interoperability and inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.compression.compressor import CompressedCorpus
+from repro.compression.dictionary import Dictionary
+from repro.compression.grammar import Grammar, Rule, is_rule_ref, rule_ref_id
+
+__all__ = ["save_compressed", "load_compressed", "to_flat_numbering"]
+
+_FORMAT_VERSION = 1
+
+
+def to_flat_numbering(compressed: CompressedCorpus) -> Dict[str, object]:
+    """Return the compressed data in the paper's flat numbering.
+
+    Words and splitters keep their dictionary ids; rule ``r`` gets id
+    ``num_symbols + r``.  Each rule body is then a plain list of
+    non-negative integers, as in Figure 1(c).
+    """
+    offset = compressed.dictionary.num_symbols
+    flat_rules: List[List[int]] = []
+    for rule in compressed.grammar:
+        body = [
+            offset + rule_ref_id(symbol) if is_rule_ref(symbol) else symbol
+            for symbol in rule.symbols
+        ]
+        flat_rules.append(body)
+    return {
+        "rule_id_offset": offset,
+        "rules": flat_rules,
+    }
+
+
+def save_compressed(compressed: CompressedCorpus, path: Union[str, Path]) -> Path:
+    """Serialize ``compressed`` to ``path`` (JSON)."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": compressed.name,
+        "file_names": compressed.file_names,
+        "splitter_ids": compressed.splitter_ids,
+        "original_size_bytes": compressed.original_size_bytes,
+        "original_tokens": compressed.original_tokens,
+        "dictionary": compressed.dictionary.to_dict(),
+        "rules": [rule.symbols for rule in compressed.grammar],
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload), encoding="utf-8")
+    return target
+
+
+def load_compressed(path: Union[str, Path]) -> CompressedCorpus:
+    """Load a compressed corpus previously written by :func:`save_compressed`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported compressed format version: {version!r}")
+    dictionary = Dictionary.from_dict(payload["dictionary"])
+    rules = [Rule(rule_id=i, symbols=list(body)) for i, body in enumerate(payload["rules"])]
+    grammar = Grammar(rules)
+    return CompressedCorpus(
+        name=payload["name"],
+        dictionary=dictionary,
+        grammar=grammar,
+        file_names=payload["file_names"],
+        splitter_ids=payload["splitter_ids"],
+        original_size_bytes=int(payload["original_size_bytes"]),
+        original_tokens=int(payload["original_tokens"]),
+    )

@@ -1,0 +1,47 @@
+"""G-TADOC core: the paper's primary contribution.
+
+The sub-modules map onto the paper's sections:
+
+* :mod:`repro.core.layout` — device data-structure layout (Figure 3's
+  initialization inputs),
+* :mod:`repro.core.scheduler` — fine-grained thread-level workload
+  scheduling, plus the abandoned vertical partitioning for ablations
+  (Figure 4),
+* :mod:`repro.core.traversal` — top-down and bottom-up traversal
+  kernels (Algorithms 1 and 2),
+* :mod:`repro.core.sequence` — head/tail buffers and sequence counting
+  (Figures 6-8),
+* :mod:`repro.core.strategy` — the adaptive traversal-strategy selector,
+* :mod:`repro.core.tuning` — greedy parameter selection,
+* :mod:`repro.core.engine` — the :class:`GTadoc` facade tying it all
+  together.
+"""
+
+from repro.core.engine import GTadoc, GTadocConfig, GTadocRunResult
+from repro.core.layout import DeviceRuleLayout
+from repro.core.scheduler import (
+    FineGrainedScheduler,
+    ThreadAssignment,
+    VerticalPartitioningScheduler,
+)
+from repro.core.sequence import SequenceBuffers, build_sequence_buffers, sequence_counts
+from repro.core.strategy import StrategyDecision, TraversalStrategy, TraversalStrategySelector
+from repro.core.tuning import GreedyParameterTuner, TuningResult
+
+__all__ = [
+    "GTadoc",
+    "GTadocConfig",
+    "GTadocRunResult",
+    "DeviceRuleLayout",
+    "FineGrainedScheduler",
+    "ThreadAssignment",
+    "VerticalPartitioningScheduler",
+    "SequenceBuffers",
+    "build_sequence_buffers",
+    "sequence_counts",
+    "TraversalStrategy",
+    "TraversalStrategySelector",
+    "StrategyDecision",
+    "GreedyParameterTuner",
+    "TuningResult",
+]

@@ -1,0 +1,159 @@
+"""Device-side layout of the compressed corpus (G-TADOC data structures).
+
+Before any kernel runs, G-TADOC flattens the grammar into plain arrays
+that GPU threads can index by rule id — sub-rule adjacency with
+multiplicities, local (direct terminal) word tables, in/out edge
+counts, parent lists and the root's per-file segments.  This mirrors
+the "data structure preparation" step of the initialization phase in
+Figure 3 of the paper and is shared by every task program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compression.compressor import CompressedCorpus
+from repro.compression.grammar import Grammar, is_rule_ref, rule_ref_id
+
+__all__ = ["DeviceRuleLayout", "RootElement"]
+
+
+@dataclass(frozen=True)
+class RootElement:
+    """One element of the root body, annotated with its file index."""
+
+    position: int
+    symbol: int
+    file_index: int
+    is_rule: bool
+
+
+@dataclass
+class DeviceRuleLayout:
+    """Flattened, kernel-friendly view of a compressed corpus."""
+
+    num_rules: int
+    num_files: int
+    vocabulary_size: int
+    #: Per rule: body length in symbols.
+    rule_lengths: List[int]
+    #: Per rule: ``[(sub-rule id, multiplicity), ...]``.
+    subrules: List[List[Tuple[int, int]]]
+    #: Per rule: ``[(word id, count), ...]`` over the rule's direct terminals
+    #: (splitters excluded).
+    local_words: List[List[Tuple[int, int]]]
+    #: Per rule: number of distinct non-root parents (drives top-down masks).
+    num_in_edges: List[int]
+    #: Per rule: number of distinct sub-rules (drives bottom-up masks).
+    num_out_edges: List[int]
+    #: Per rule: distinct parent rule ids (root included).
+    parents: List[List[int]]
+    #: Per rule: number of terminals the rule expands to.
+    expansion_lengths: List[int]
+    #: Per rule: occurrence count in the full corpus expansion.
+    rule_weights: List[int]
+    #: Root body elements annotated with file indices (splitters dropped).
+    root_elements: List[RootElement]
+    #: Per file: occurrences of each direct sub-rule of the root in that file.
+    root_subrule_freq_per_file: List[Dict[int, int]]
+    #: Per file: direct terminal word counts of the root in that file.
+    root_words_per_file: List[Dict[int, int]]
+    #: Raw root body (with splitters) and file segments, for sequence tasks.
+    root_symbols: List[int] = field(default_factory=list)
+    root_segments: List[Tuple[int, int]] = field(default_factory=list)
+    #: Per rule: raw body symbols (rule references encoded negatively).
+    rule_bodies: List[List[int]] = field(default_factory=list)
+
+    # -- construction ----------------------------------------------------------------
+    @classmethod
+    def from_compressed(cls, compressed: CompressedCorpus) -> "DeviceRuleLayout":
+        grammar = compressed.grammar
+        dag = compressed.dag
+        num_rules = len(grammar)
+        num_files = len(compressed.file_names)
+
+        rule_lengths = [len(rule) for rule in grammar]
+        subrules = dag.subrule_frequency_lists()
+        local_words: List[List[Tuple[int, int]]] = []
+        for rule in grammar:
+            counts: Dict[int, int] = {}
+            for symbol in rule.symbols:
+                if is_rule_ref(symbol) or compressed.is_splitter(symbol):
+                    continue
+                counts[symbol] = counts.get(symbol, 0) + 1
+            local_words.append(sorted(counts.items()))
+
+        parents = dag.parent_lists()
+        num_in_edges = [
+            sum(1 for parent in parents[rule_id] if parent != Grammar.ROOT_ID)
+            for rule_id in range(num_rules)
+        ]
+        num_out_edges = list(dag.num_out_edges)
+
+        root_elements: List[RootElement] = []
+        root_subrule_freq_per_file: List[Dict[int, int]] = [dict() for _ in range(num_files)]
+        root_words_per_file: List[Dict[int, int]] = [dict() for _ in range(num_files)]
+        root_symbols = list(grammar.root.symbols)
+        for file_index, (start, end) in enumerate(compressed.root_file_segments):
+            for position in range(start, end):
+                symbol = root_symbols[position]
+                if is_rule_ref(symbol):
+                    child = rule_ref_id(symbol)
+                    root_elements.append(
+                        RootElement(position, symbol, file_index, is_rule=True)
+                    )
+                    table = root_subrule_freq_per_file[file_index]
+                    table[child] = table.get(child, 0) + 1
+                else:
+                    if compressed.is_splitter(symbol):
+                        continue
+                    root_elements.append(
+                        RootElement(position, symbol, file_index, is_rule=False)
+                    )
+                    table = root_words_per_file[file_index]
+                    table[symbol] = table.get(symbol, 0) + 1
+
+        return cls(
+            num_rules=num_rules,
+            num_files=num_files,
+            vocabulary_size=compressed.dictionary.num_words,
+            rule_lengths=rule_lengths,
+            subrules=subrules,
+            local_words=local_words,
+            num_in_edges=num_in_edges,
+            num_out_edges=num_out_edges,
+            parents=parents,
+            expansion_lengths=list(dag.expansion_lengths),
+            rule_weights=list(dag.weights),
+            root_elements=root_elements,
+            root_subrule_freq_per_file=root_subrule_freq_per_file,
+            root_words_per_file=root_words_per_file,
+            root_symbols=root_symbols,
+            root_segments=list(compressed.root_file_segments),
+            rule_bodies=[list(rule.symbols) for rule in grammar],
+        )
+
+    # -- derived quantities ----------------------------------------------------------------
+    @property
+    def total_symbols(self) -> int:
+        return sum(self.rule_lengths)
+
+    @property
+    def average_rule_length(self) -> float:
+        non_root = self.rule_lengths[1:] or [0]
+        return sum(non_root) / max(1, len(non_root))
+
+    def estimated_local_table_entries(self) -> int:
+        """Upper bound on the total number of local-table entries (pool sizing)."""
+        return sum(len(words) for words in self.local_words) + sum(
+            len(children) for children in self.subrules
+        )
+
+    def device_footprint_bytes(self) -> int:
+        """Approximate bytes the layout occupies in GPU memory."""
+        symbol_bytes = self.total_symbols * 8
+        adjacency_bytes = sum(len(children) for children in self.subrules) * 16
+        word_bytes = sum(len(words) for words in self.local_words) * 16
+        metadata_bytes = self.num_rules * 6 * 8
+        return symbol_bytes + adjacency_bytes + word_bytes + metadata_bytes

@@ -1,0 +1,473 @@
+"""Top-down and bottom-up DAG traversal kernels (Algorithms 1 and 2).
+
+Every function here launches simulated GPU kernels through a
+:class:`~repro.gpusim.device.GPUDevice`, so the work they perform is
+recorded per kernel and can be priced later.  The traversals follow the
+paper's algorithms closely:
+
+* **top-down** (Algorithm 1): rule weights (occurrence counts, or
+  per-file occurrence counts for file-sensitive tasks) are pushed from
+  the root towards the leaves; readiness is tracked with per-rule
+  masks driven by in-edge counters; a final reduce kernel folds every
+  rule's local word table, scaled by its weight, into a global
+  thread-safe hash table.
+* **bottom-up** (Algorithm 2): per-rule local tables are sized with a
+  light-weight bound pass, allocated from the G-TADOC memory pool,
+  filled leaves-first (masks driven by out-edge counters), and finally
+  the root plus its direct (level-2) children are reduced into the
+  result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.layout import DeviceRuleLayout
+from repro.core.scheduler import FineGrainedScheduler
+from repro.gpusim.device import GPUDevice
+from repro.gpusim.hashtable import DeviceHashTable
+from repro.gpusim.memory_pool import MemoryPool
+from repro.perf import workcosts as wc
+
+__all__ = [
+    "compute_rule_weights_topdown",
+    "topdown_word_count",
+    "bottomup_word_count",
+    "topdown_per_file_counts",
+    "bottomup_per_file_counts",
+    "prepare_bottomup",
+    "build_local_tables_bottomup",
+]
+
+
+# ----------------------------------------------------------------------------------------
+# Top-down traversal (Algorithm 1)
+# ----------------------------------------------------------------------------------------
+
+def compute_rule_weights_topdown(
+    layout: DeviceRuleLayout, scheduler: FineGrainedScheduler, device: GPUDevice
+) -> List[int]:
+    """Propagate rule occurrence weights from the root (Algorithm 1, lines 1-7).
+
+    Returns ``weights[r]`` = number of times rule ``r`` occurs in the
+    corpus expansion.  The root's weight is 1 by definition.
+    """
+    num_rules = layout.num_rules
+    weights = [0] * num_rules
+    weights[0] = 1
+    cur_in_edges = [0] * num_rules
+    masks = [False] * num_rules
+
+    root_frequencies: Dict[int, int] = {}
+    for per_file in layout.root_subrule_freq_per_file:
+        for child, count in per_file.items():
+            root_frequencies[child] = root_frequencies.get(child, 0) + count
+
+    def init_mask_kernel(tid: int, ctx) -> None:
+        rule_id = tid + 1  # the root is excluded, as in the paper
+        if rule_id >= num_rules:
+            return
+        ctx.charge(ops=wc.MASK_CHECK_OPS + wc.WEIGHT_UPDATE_OPS, memory_bytes=16.0)
+        weights[rule_id] = root_frequencies.get(rule_id, 0)
+        cur_in_edges[rule_id] = 0
+        masks[rule_id] = layout.num_in_edges[rule_id] == 0
+
+    if num_rules > 1:
+        device.launch("initTopDownMaskKernel", init_mask_kernel, max(1, num_rules - 1))
+
+    stop = False
+    while not stop:
+        stop = True
+
+        def topdown_kernel(tid: int, ctx) -> None:
+            nonlocal stop
+            rule_id = tid + 1
+            if rule_id >= num_rules:
+                return
+            ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=4.0)
+            if not masks[rule_id]:
+                return
+            for child, frequency in layout.subrules[rule_id]:
+                ctx.charge(ops=wc.EDGE_VISIT_OPS, memory_bytes=wc.EDGE_VISIT_BYTES)
+                ctx.atomic_add(weights, child, frequency * weights[rule_id])
+                ctx.atomic_add(cur_in_edges, child, 1)
+                if cur_in_edges[child] == layout.num_in_edges[child]:
+                    masks[child] = True
+                    stop = False
+                    ctx.charge(ops=wc.MASK_CHECK_OPS)
+            masks[rule_id] = False
+
+        if num_rules > 1:
+            device.launch("topDownKernel", topdown_kernel, max(1, num_rules - 1))
+        else:
+            break
+    return weights
+
+
+def topdown_word_count(
+    layout: DeviceRuleLayout,
+    scheduler: FineGrainedScheduler,
+    device: GPUDevice,
+    weights: Optional[List[int]] = None,
+) -> Dict[int, int]:
+    """Corpus-wide word counts via the top-down traversal (Algorithm 1)."""
+    if weights is None:
+        weights = compute_rule_weights_topdown(layout, scheduler, device)
+    table = DeviceHashTable.sized_for(layout.vocabulary_size)
+
+    rule_ids = list(range(layout.num_rules))
+    items = [len(layout.local_words[rule_id]) for rule_id in rule_ids]
+    assignments = scheduler.partition_items(rule_ids, items)
+
+    def reduce_kernel(tid: int, ctx) -> None:
+        assignment = assignments[tid]
+        rule_weight = weights[assignment.rule_id]
+        ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=8.0)
+        if rule_weight == 0:
+            return
+        local = layout.local_words[assignment.rule_id]
+        for word_id, count in local[assignment.start : assignment.end]:
+            ctx.charge(ops=wc.SYMBOL_VISIT_OPS, memory_bytes=wc.SYMBOL_VISIT_BYTES)
+            table.insert_add(word_id, count * rule_weight, ctx)
+
+    device.launch("reduceResultKernel", reduce_kernel, max(1, len(assignments)))
+    return table.to_dict()
+
+
+def topdown_per_file_counts(
+    layout: DeviceRuleLayout,
+    scheduler: FineGrainedScheduler,
+    device: GPUDevice,
+) -> List[Dict[int, int]]:
+    """Per-file word counts via top-down propagation of file weights.
+
+    Instead of a scalar occurrence weight, every rule carries a small
+    table ``{file index: occurrences within that file}`` — this is the
+    "file information" the paper describes transmitting from the root,
+    and is exactly why the top-down strategy becomes expensive when the
+    corpus has very many files (section VI-C).
+    """
+    num_rules = layout.num_rules
+    file_weights: List[Dict[int, int]] = [dict() for _ in range(num_rules)]
+    cur_in_edges = [0] * num_rules
+    masks = [False] * num_rules
+
+    def init_mask_kernel(tid: int, ctx) -> None:
+        rule_id = tid + 1
+        if rule_id >= num_rules:
+            return
+        ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=16.0)
+        for file_index, per_file in enumerate(layout.root_subrule_freq_per_file):
+            count = per_file.get(rule_id, 0)
+            if count:
+                file_weights[rule_id][file_index] = count
+                ctx.charge(ops=wc.WEIGHT_UPDATE_OPS, memory_bytes=8.0)
+        masks[rule_id] = layout.num_in_edges[rule_id] == 0
+
+    if num_rules > 1:
+        device.launch("initTopDownFileMaskKernel", init_mask_kernel, max(1, num_rules - 1))
+
+    stop = False
+    while not stop:
+        stop = True
+
+        def topdown_kernel(tid: int, ctx) -> None:
+            nonlocal stop
+            rule_id = tid + 1
+            if rule_id >= num_rules:
+                return
+            ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=4.0)
+            if not masks[rule_id]:
+                return
+            own_weights = file_weights[rule_id]
+            for child, frequency in layout.subrules[rule_id]:
+                ctx.charge(ops=wc.EDGE_VISIT_OPS, memory_bytes=wc.EDGE_VISIT_BYTES)
+                child_weights = file_weights[child]
+                for file_index, weight in own_weights.items():
+                    ctx.charge(
+                        ops=wc.WEIGHT_UPDATE_OPS + 1.0, memory_bytes=wc.SYMBOL_VISIT_BYTES
+                    )
+                    ctx.atomic_ops += 1.0
+                    child_weights[file_index] = child_weights.get(file_index, 0) + frequency * weight
+                ctx.atomic_add(cur_in_edges, child, 1)
+                if cur_in_edges[child] == layout.num_in_edges[child]:
+                    masks[child] = True
+                    stop = False
+            masks[rule_id] = False
+
+        if num_rules > 1:
+            device.launch("topDownFileKernel", topdown_kernel, max(1, num_rules - 1))
+        else:
+            break
+
+    per_file_counts: List[Dict[int, int]] = [dict() for _ in range(layout.num_files)]
+    rule_ids = list(range(1, num_rules)) if num_rules > 1 else []
+    items = [len(layout.local_words[rule_id]) for rule_id in rule_ids]
+    assignments = scheduler.partition_items(rule_ids, items) if rule_ids else []
+
+    def reduce_kernel(tid: int, ctx) -> None:
+        assignment = assignments[tid]
+        rule_id = assignment.rule_id
+        ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=8.0)
+        weights = file_weights[rule_id]
+        if not weights:
+            return
+        local = layout.local_words[rule_id][assignment.start : assignment.end]
+        for word_id, count in local:
+            ctx.charge(ops=wc.SYMBOL_VISIT_OPS, memory_bytes=wc.SYMBOL_VISIT_BYTES)
+            for file_index, weight in weights.items():
+                ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+                ctx.atomic_ops += 1.0
+                table = per_file_counts[file_index]
+                table[word_id] = table.get(word_id, 0) + count * weight
+
+    if assignments:
+        device.launch("reduceFileResultKernel", reduce_kernel, len(assignments))
+
+    # The root's direct terminals are attributed to their files separately.
+    def root_words_kernel(tid: int, ctx) -> None:
+        file_index = tid
+        if file_index >= layout.num_files:
+            return
+        for word_id, count in layout.root_words_per_file[file_index].items():
+            ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+            table = per_file_counts[file_index]
+            table[word_id] = table.get(word_id, 0) + count
+
+    device.launch("rootWordsKernel", root_words_kernel, max(1, layout.num_files))
+    return per_file_counts
+
+
+# ----------------------------------------------------------------------------------------
+# Bottom-up traversal (Algorithm 2)
+# ----------------------------------------------------------------------------------------
+
+def _bottomup_bound_pass(
+    layout: DeviceRuleLayout, device: GPUDevice
+) -> List[int]:
+    """genLocTblBoundKernel loop: upper bound of every rule's local table."""
+    num_rules = layout.num_rules
+    bounds = [0] * num_rules
+    cur_out_edges = [0] * num_rules
+    masks = [False] * num_rules
+
+    def init_mask_kernel(tid: int, ctx) -> None:
+        rule_id = tid
+        if rule_id >= num_rules:
+            return
+        ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=8.0)
+        masks[rule_id] = layout.num_out_edges[rule_id] == 0
+
+    device.launch("initBottomUpMaskKernel", init_mask_kernel, num_rules)
+
+    stop = False
+    while not stop:
+        stop = True
+
+        def bound_kernel(tid: int, ctx) -> None:
+            nonlocal stop
+            rule_id = tid
+            if rule_id >= num_rules:
+                return
+            ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=4.0)
+            if not masks[rule_id]:
+                return
+            if rule_id == 0:
+                # The root is never accumulated into (it holds file
+                # information); it only terminates the traversal.
+                masks[0] = False
+                return
+            bound = len(layout.local_words[rule_id])
+            ctx.charge(ops=wc.SYMBOL_VISIT_OPS, memory_bytes=8.0)
+            for child, _frequency in layout.subrules[rule_id]:
+                ctx.charge(ops=wc.EDGE_VISIT_OPS, memory_bytes=wc.EDGE_VISIT_BYTES)
+                bound += bounds[child]
+            bounds[rule_id] = min(bound, layout.vocabulary_size)
+            for parent in layout.parents[rule_id]:
+                ctx.charge(ops=wc.WEIGHT_UPDATE_OPS, memory_bytes=8.0)
+                ctx.atomic_add(cur_out_edges, parent, 1)
+                if cur_out_edges[parent] == layout.num_out_edges[parent]:
+                    masks[parent] = True
+                    stop = False
+            masks[rule_id] = False
+
+        device.launch("genLocTblBoundKernel", bound_kernel, num_rules)
+    return bounds
+
+
+def prepare_bottomup(
+    layout: DeviceRuleLayout,
+    device: GPUDevice,
+    memory_pool: Optional[MemoryPool] = None,
+) -> List[int]:
+    """Initialization-phase half of Algorithm 2.
+
+    Generates the child->parent pointers, runs the light-weight bound
+    pass that sizes every rule's local table, and (when a memory pool is
+    supplied) allocates those tables from the pool.  Returns the bounds.
+    """
+    num_rules = layout.num_rules
+
+    def gen_parents_kernel(tid: int, ctx) -> None:
+        rule_id = tid
+        if rule_id >= num_rules:
+            return
+        for _child, _frequency in layout.subrules[rule_id]:
+            ctx.charge(ops=wc.EDGE_VISIT_OPS, memory_bytes=wc.EDGE_VISIT_BYTES)
+
+    device.launch("genRuleParentsKernel", gen_parents_kernel, num_rules)
+
+    bounds = _bottomup_bound_pass(layout, device)
+
+    if memory_pool is not None:
+        for rule_id, bound in enumerate(bounds):
+            memory_pool.allocate(f"locTbl[{rule_id}]", 2 * max(1, bound))
+    return bounds
+
+
+def build_local_tables_bottomup(
+    layout: DeviceRuleLayout,
+    scheduler: FineGrainedScheduler,
+    device: GPUDevice,
+    memory_pool: Optional[MemoryPool] = None,
+    bounds: Optional[List[int]] = None,
+) -> Tuple[List[Dict[int, int]], List[int]]:
+    """Build subtree-complete local word tables for every rule (Algorithm 2).
+
+    Returns ``(local_tables, bounds)`` where ``local_tables[r]`` maps
+    word id to the number of occurrences in one expansion of rule ``r``.
+    When ``bounds`` is not supplied, the initialization-phase half
+    (:func:`prepare_bottomup`) is run first.
+    """
+    num_rules = layout.num_rules
+    if bounds is None:
+        bounds = prepare_bottomup(layout, device, memory_pool)
+
+    local_tables: List[Dict[int, int]] = [dict() for _ in range(num_rules)]
+    cur_out_edges = [0] * num_rules
+    masks = [False] * num_rules
+
+    def init_mask_kernel(tid: int, ctx) -> None:
+        rule_id = tid
+        if rule_id >= num_rules:
+            return
+        ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=8.0)
+        masks[rule_id] = layout.num_out_edges[rule_id] == 0
+
+    device.launch("initBottomUpMaskKernel", init_mask_kernel, num_rules)
+
+    stop = False
+    while not stop:
+        stop = True
+
+        def loc_tbl_kernel(tid: int, ctx) -> None:
+            nonlocal stop
+            rule_id = tid
+            if rule_id >= num_rules:
+                return
+            ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=4.0)
+            if not masks[rule_id]:
+                return
+            if rule_id == 0:
+                # Results are gathered at the root's direct children
+                # (level-2 nodes), never at the root itself.
+                masks[0] = False
+                return
+            table = local_tables[rule_id]
+            for word_id, count in layout.local_words[rule_id]:
+                ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+                table[word_id] = table.get(word_id, 0) + count
+            for child, frequency in layout.subrules[rule_id]:
+                ctx.charge(ops=wc.EDGE_VISIT_OPS, memory_bytes=wc.EDGE_VISIT_BYTES)
+                for word_id, count in local_tables[child].items():
+                    ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+                    table[word_id] = table.get(word_id, 0) + count * frequency
+            for parent in layout.parents[rule_id]:
+                ctx.charge(ops=wc.WEIGHT_UPDATE_OPS, memory_bytes=8.0)
+                ctx.atomic_add(cur_out_edges, parent, 1)
+                if cur_out_edges[parent] == layout.num_out_edges[parent]:
+                    masks[parent] = True
+                    stop = False
+            masks[rule_id] = False
+
+        device.launch("genLocTblKernel", loc_tbl_kernel, num_rules)
+    return local_tables, bounds
+
+
+def bottomup_word_count(
+    layout: DeviceRuleLayout,
+    scheduler: FineGrainedScheduler,
+    device: GPUDevice,
+    memory_pool: Optional[MemoryPool] = None,
+    local_tables: Optional[List[Dict[int, int]]] = None,
+) -> Dict[int, int]:
+    """Corpus-wide word counts via the bottom-up traversal (Algorithm 2)."""
+    if local_tables is None:
+        local_tables, _bounds = build_local_tables_bottomup(
+            layout, scheduler, device, memory_pool
+        )
+    table = DeviceHashTable.sized_for(layout.vocabulary_size)
+
+    # Level-2 nodes: the root's direct children, with their root frequencies.
+    level2: Dict[int, int] = {}
+    for per_file in layout.root_subrule_freq_per_file:
+        for child, count in per_file.items():
+            level2[child] = level2.get(child, 0) + count
+    level2_items = sorted(level2.items())
+
+    def reduce_kernel(tid: int, ctx) -> None:
+        if tid == 0:
+            # The root's own terminal words.
+            for word_id, count in layout.local_words[0]:
+                ctx.charge(ops=wc.SYMBOL_VISIT_OPS, memory_bytes=wc.SYMBOL_VISIT_BYTES)
+                table.insert_add(word_id, count, ctx)
+            return
+        index = tid - 1
+        if index >= len(level2_items):
+            return
+        child, root_frequency = level2_items[index]
+        ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=8.0)
+        for word_id, count in local_tables[child].items():
+            ctx.charge(ops=wc.SYMBOL_VISIT_OPS, memory_bytes=wc.SYMBOL_VISIT_BYTES)
+            table.insert_add(word_id, count * root_frequency, ctx)
+
+    device.launch("reduceResultKernel", reduce_kernel, 1 + len(level2_items))
+    return table.to_dict()
+
+
+def bottomup_per_file_counts(
+    layout: DeviceRuleLayout,
+    scheduler: FineGrainedScheduler,
+    device: GPUDevice,
+    memory_pool: Optional[MemoryPool] = None,
+    local_tables: Optional[List[Dict[int, int]]] = None,
+) -> List[Dict[int, int]]:
+    """Per-file word counts via the bottom-up traversal.
+
+    Local tables are built once (subtree-complete), then each file's
+    result is assembled from the root segment belonging to that file:
+    its direct terminal words plus its direct sub-rules' local tables
+    scaled by their in-file occurrence counts.
+    """
+    if local_tables is None:
+        local_tables, _bounds = build_local_tables_bottomup(
+            layout, scheduler, device, memory_pool
+        )
+    per_file_counts: List[Dict[int, int]] = [dict() for _ in range(layout.num_files)]
+
+    def reduce_kernel(tid: int, ctx) -> None:
+        file_index = tid
+        if file_index >= layout.num_files:
+            return
+        result = per_file_counts[file_index]
+        for word_id, count in layout.root_words_per_file[file_index].items():
+            ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+            result[word_id] = result.get(word_id, 0) + count
+        for child, frequency in layout.root_subrule_freq_per_file[file_index].items():
+            ctx.charge(ops=wc.EDGE_VISIT_OPS, memory_bytes=wc.EDGE_VISIT_BYTES)
+            for word_id, count in local_tables[child].items():
+                ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+                result[word_id] = result.get(word_id, 0) + count * frequency
+
+    device.launch("reduceFileResultKernel", reduce_kernel, max(1, layout.num_files))
+    return per_file_counts

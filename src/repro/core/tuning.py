@@ -1,0 +1,105 @@
+"""Parameter selection (paper §IV-B, "Parameter selection").
+
+G-TADOC exposes a small number of tunables — most importantly the
+oversize threshold that decides when a rule receives a whole thread
+group.  The paper sets these with a greedy search over a sampled input;
+this module reproduces that procedure: it extracts a sample of the
+compressed corpus, evaluates a candidate grid with the real engine
+under a chosen GPU cost model, and greedily fixes one parameter at a
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analytics.base import Task
+from repro.compression.compressor import CompressedCorpus
+from repro.core.engine import GTadoc, GTadocConfig
+from repro.perf.cost_model import GpuCostModel
+from repro.perf.specs import GPUSpec
+
+__all__ = ["TuningResult", "GreedyParameterTuner"]
+
+DEFAULT_THRESHOLD_CANDIDATES = (4.0, 8.0, 16.0, 32.0, 64.0)
+DEFAULT_GROUP_CANDIDATES = (32, 64, 128, 256)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a greedy tuning pass."""
+
+    config: GTadocConfig
+    evaluated: Dict[str, Dict[float, float]]
+    task: Task
+
+
+class GreedyParameterTuner:
+    """Greedy, one-parameter-at-a-time tuner driven by modelled time."""
+
+    def __init__(
+        self,
+        compressed: CompressedCorpus,
+        gpu_spec: GPUSpec,
+        task: Task = Task.WORD_COUNT,
+        threshold_candidates: Sequence[float] = DEFAULT_THRESHOLD_CANDIDATES,
+        group_candidates: Sequence[int] = DEFAULT_GROUP_CANDIDATES,
+    ) -> None:
+        self.compressed = compressed
+        self.gpu_spec = gpu_spec
+        self.task = task
+        self.threshold_candidates = list(threshold_candidates)
+        self.group_candidates = list(group_candidates)
+
+    def _modelled_time(self, config: GTadocConfig) -> float:
+        engine = GTadoc(self.compressed, config=config)
+        run = engine.run(self.task)
+        model = GpuCostModel(self.gpu_spec)
+        return model.time_seconds(run.init_record) + model.time_seconds(run.traversal_record)
+
+    def tune(self, base_config: Optional[GTadocConfig] = None) -> TuningResult:
+        """Greedily pick the oversize threshold, then the max group size."""
+        config = base_config or GTadocConfig()
+        evaluated: Dict[str, Dict[float, float]] = {"oversize_threshold": {}, "max_group_size": {}}
+
+        best_threshold = config.oversize_threshold
+        best_time = float("inf")
+        for candidate in self.threshold_candidates:
+            trial = GTadocConfig(
+                sequence_length=config.sequence_length,
+                oversize_threshold=candidate,
+                max_group_size=config.max_group_size,
+                use_memory_pool=config.use_memory_pool,
+                needs_pcie_transfer=config.needs_pcie_transfer,
+            )
+            modelled = self._modelled_time(trial)
+            evaluated["oversize_threshold"][candidate] = modelled
+            if modelled < best_time:
+                best_time = modelled
+                best_threshold = candidate
+
+        best_group = config.max_group_size
+        best_time = float("inf")
+        for candidate in self.group_candidates:
+            trial = GTadocConfig(
+                sequence_length=config.sequence_length,
+                oversize_threshold=best_threshold,
+                max_group_size=candidate,
+                use_memory_pool=config.use_memory_pool,
+                needs_pcie_transfer=config.needs_pcie_transfer,
+            )
+            modelled = self._modelled_time(trial)
+            evaluated["max_group_size"][float(candidate)] = modelled
+            if modelled < best_time:
+                best_time = modelled
+                best_group = candidate
+
+        tuned = GTadocConfig(
+            sequence_length=config.sequence_length,
+            oversize_threshold=best_threshold,
+            max_group_size=best_group,
+            use_memory_pool=config.use_memory_pool,
+            needs_pcie_transfer=config.needs_pcie_transfer,
+        )
+        return TuningResult(config=tuned, evaluated=evaluated, task=self.task)

@@ -1,0 +1,32 @@
+"""Corpus model and synthetic dataset generators.
+
+The paper evaluates five real-world corpora (NSFRAA, two Wikipedia
+collections, Yelp COVID-19, DBLP).  Those corpora are not available
+offline, so this package provides deterministic synthetic generators
+that reproduce each dataset's *structural* signature (file count,
+relative size, vocabulary growth, redundancy) at laptop scale.  See
+``DESIGN.md`` section 2 for the substitution rationale.
+"""
+
+from repro.data.corpus import Corpus, Document, tokenize
+from repro.data.generators import (
+    DATASET_SPECS,
+    DatasetSpec,
+    SyntheticCorpusGenerator,
+    generate_dataset,
+    list_datasets,
+)
+from repro.data.loaders import load_corpus_dir, save_corpus_dir
+
+__all__ = [
+    "Corpus",
+    "Document",
+    "tokenize",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "SyntheticCorpusGenerator",
+    "generate_dataset",
+    "list_datasets",
+    "load_corpus_dir",
+    "save_corpus_dir",
+]

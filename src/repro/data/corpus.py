@@ -1,0 +1,153 @@
+"""Document and corpus model used throughout the library.
+
+A :class:`Corpus` is an ordered collection of :class:`Document` objects.
+TADOC compression concatenates the documents' token streams, separated
+by unique splitter symbols, so document order is meaningful and is
+preserved everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+__all__ = ["Document", "Corpus", "tokenize"]
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into word tokens.
+
+    TADOC operates on word granularity.  The paper (and the original
+    CompressDirect implementation) uses whitespace tokenization after
+    lower-casing; punctuation attached to words is kept as part of the
+    word, which is what we do here as well.
+    """
+    return text.lower().split()
+
+
+@dataclass
+class Document:
+    """A single input file.
+
+    Parameters
+    ----------
+    name:
+        File name, unique within a corpus.
+    text:
+        Raw text content.  The token view is computed lazily and cached.
+    """
+
+    name: str
+    text: str
+    _tokens: Optional[List[str]] = field(default=None, repr=False, compare=False)
+
+    @property
+    def tokens(self) -> List[str]:
+        """Word tokens of the document (cached)."""
+        if self._tokens is None:
+            self._tokens = tokenize(self.text)
+        return self._tokens
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the raw text in bytes (UTF-8)."""
+        return len(self.text.encode("utf-8"))
+
+    @classmethod
+    def from_tokens(cls, name: str, tokens: Sequence[str]) -> "Document":
+        """Build a document whose text is the space-joined tokens."""
+        token_list = list(tokens)
+        doc = cls(name=name, text=" ".join(token_list))
+        doc._tokens = token_list
+        return doc
+
+
+class Corpus:
+    """An ordered, named collection of documents."""
+
+    def __init__(self, documents: Iterable[Document], name: str = "corpus") -> None:
+        self.name = name
+        self.documents: List[Document] = list(documents)
+        names = [d.name for d in self.documents]
+        if len(names) != len(set(names)):
+            raise ValueError("document names within a corpus must be unique")
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self.documents[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Corpus):
+            return NotImplemented
+        return [(d.name, d.tokens) for d in self.documents] == [
+            (d.name, d.tokens) for d in other.documents
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Corpus(name={self.name!r}, files={len(self.documents)}, "
+            f"tokens={self.num_tokens})"
+        )
+
+    # -- derived properties --------------------------------------------------
+    @property
+    def file_names(self) -> List[str]:
+        return [d.name for d in self.documents]
+
+    @property
+    def num_tokens(self) -> int:
+        return sum(d.num_tokens for d in self.documents)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(d.size_bytes for d in self.documents)
+
+    @property
+    def vocabulary(self) -> Dict[str, int]:
+        """Mapping of distinct words to their corpus-wide frequency."""
+        vocab: Dict[str, int] = {}
+        for doc in self.documents:
+            for token in doc.tokens:
+                vocab[token] = vocab.get(token, 0) + 1
+        return vocab
+
+    @property
+    def vocabulary_size(self) -> int:
+        seen = set()
+        for doc in self.documents:
+            seen.update(doc.tokens)
+        return len(seen)
+
+    def document_by_name(self, name: str) -> Document:
+        for doc in self.documents:
+            if doc.name == name:
+                return doc
+        raise KeyError(name)
+
+    def token_streams(self) -> Dict[str, List[str]]:
+        """Mapping ``file name -> token list`` (used by reference analytics)."""
+        return {d.name: d.tokens for d in self.documents}
+
+    @classmethod
+    def from_texts(cls, texts: Dict[str, str], name: str = "corpus") -> "Corpus":
+        """Build a corpus from a ``{file name: text}`` mapping (ordered)."""
+        return cls([Document(n, t) for n, t in texts.items()], name=name)
+
+    @classmethod
+    def from_token_streams(
+        cls, streams: Dict[str, Sequence[str]], name: str = "corpus"
+    ) -> "Corpus":
+        """Build a corpus from a ``{file name: tokens}`` mapping (ordered)."""
+        return cls(
+            [Document.from_tokens(n, toks) for n, toks in streams.items()], name=name
+        )

@@ -1,0 +1,61 @@
+"""Load and save corpora as plain text directories.
+
+A corpus directory contains one ``*.txt`` file per document plus an
+optional ``_order.txt`` manifest listing document order (one file name
+per line).  Without a manifest, files are loaded in sorted-name order.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Union
+
+from repro.data.corpus import Corpus, Document
+
+__all__ = ["load_corpus_dir", "save_corpus_dir"]
+
+_MANIFEST_NAME = "_order.txt"
+
+
+def save_corpus_dir(corpus: Corpus, directory: Union[str, Path]) -> Path:
+    """Write ``corpus`` to ``directory`` (created if missing).
+
+    Returns the directory path.  Document names are used as file names
+    with a ``.txt`` suffix appended when missing.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    order: List[str] = []
+    for doc in corpus:
+        file_name = doc.name if doc.name.endswith(".txt") else f"{doc.name}.txt"
+        (path / file_name).write_text(doc.text, encoding="utf-8")
+        # The manifest records the *document* names so loading restores them
+        # exactly, whether or not they already carried a .txt suffix.
+        order.append(doc.name)
+    (path / _MANIFEST_NAME).write_text("\n".join(order) + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus_dir(directory: Union[str, Path], name: str = "corpus") -> Corpus:
+    """Load a corpus previously written by :func:`save_corpus_dir`.
+
+    Any directory of ``*.txt`` files works; the manifest is optional.
+    """
+    path = Path(directory)
+    if not path.is_dir():
+        raise FileNotFoundError(f"corpus directory not found: {path}")
+    manifest = path / _MANIFEST_NAME
+    documents = []
+    if manifest.exists():
+        doc_names = [line.strip() for line in manifest.read_text().splitlines() if line.strip()]
+        for doc_name in doc_names:
+            file_name = doc_name if doc_name.endswith(".txt") else f"{doc_name}.txt"
+            text = (path / file_name).read_text(encoding="utf-8")
+            documents.append(Document(doc_name, text))
+    else:
+        file_names = sorted(entry for entry in os.listdir(path) if entry.endswith(".txt"))
+        for file_name in file_names:
+            text = (path / file_name).read_text(encoding="utf-8")
+            documents.append(Document(file_name[:-4], text))
+    return Corpus(documents, name=name)

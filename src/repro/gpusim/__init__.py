@@ -1,0 +1,39 @@
+"""Functional SIMT GPU execution-model simulator.
+
+This package stands in for the CUDA runtime and devices that the paper
+uses.  Kernels are plain Python callables with the signature
+``kernel(tid, ctx)``; :class:`GPUDevice.launch` executes them for every
+thread id, grouping threads into 32-wide warps and recording the work
+they perform:
+
+* per-thread scalar operations (aggregated per warp as the *maximum*
+  over the warp, modelling SIMT lock-step execution and divergence),
+* global-memory traffic,
+* atomic operations and address conflicts (conflicting atomics
+  serialise),
+* kernel launch counts.
+
+The recorded :class:`~repro.perf.counters.KernelStats` are later priced
+by :class:`~repro.perf.cost_model.GpuCostModel` for a concrete device
+from Table I.  Functional results are exact — the simulator actually
+executes the kernels — only the timing is modelled.
+
+The package also provides the G-TADOC device-side data structures from
+section IV-C of the paper: the self-managed memory pool and the
+thread-safe hash table with lock / entry / key / value / next buffers
+(Figure 5).
+"""
+
+from repro.gpusim.context import ThreadContext
+from repro.gpusim.device import GPUDevice, KernelLaunch
+from repro.gpusim.memory_pool import MemoryPool, PoolAllocation
+from repro.gpusim.hashtable import DeviceHashTable
+
+__all__ = [
+    "ThreadContext",
+    "GPUDevice",
+    "KernelLaunch",
+    "MemoryPool",
+    "PoolAllocation",
+    "DeviceHashTable",
+]

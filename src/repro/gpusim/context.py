@@ -1,0 +1,71 @@
+"""Per-thread execution context for simulated GPU kernels.
+
+A kernel receives one :class:`ThreadContext` per thread id.  The
+context is how kernels report the work they perform; it also funnels
+atomic operations through the launch-level conflict tracker so that
+contended addresses are charged as serialised work, mirroring how
+global atomics behave on real GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, MutableSequence, Tuple
+
+__all__ = ["ThreadContext"]
+
+
+class ThreadContext:
+    """Work accounting handle passed to every simulated GPU thread."""
+
+    __slots__ = (
+        "tid",
+        "ops",
+        "memory_bytes",
+        "shared_bytes",
+        "atomic_ops",
+        "_conflict_tracker",
+    )
+
+    def __init__(self, tid: int, conflict_tracker: Dict[Hashable, int]) -> None:
+        self.tid = tid
+        self.ops = 0.0
+        self.memory_bytes = 0.0
+        self.shared_bytes = 0.0
+        self.atomic_ops = 0.0
+        self._conflict_tracker = conflict_tracker
+
+    # -- plain work ------------------------------------------------------------------
+    def charge(self, ops: float = 0.0, memory_bytes: float = 0.0, shared_bytes: float = 0.0) -> None:
+        """Record scalar operations and memory traffic performed by this thread."""
+        self.ops += ops
+        self.memory_bytes += memory_bytes
+        self.shared_bytes += shared_bytes
+
+    # -- atomics ----------------------------------------------------------------------
+    def _record_atomic(self, address: Hashable) -> None:
+        self.atomic_ops += 1.0
+        self.ops += 1.0
+        self.memory_bytes += 8.0
+        self._conflict_tracker[address] = self._conflict_tracker.get(address, 0) + 1
+
+    def atomic_add(self, array: MutableSequence, index: int, value, space: str = "global"):
+        """``atomicAdd(&array[index], value)`` — returns the old value."""
+        old = array[index]
+        array[index] = old + value
+        self._record_atomic((space, id(array), index))
+        return old
+
+    def atomic_max(self, array: MutableSequence, index: int, value) -> None:
+        """``atomicMax(&array[index], value)``."""
+        if value > array[index]:
+            array[index] = value
+        self._record_atomic(("global", id(array), index))
+
+    def atomic_cas(self, array: MutableSequence, index: int, expected, desired) -> Tuple[bool, object]:
+        """``atomicCAS``: returns ``(swapped, old value)``."""
+        old = array[index]
+        swapped = old == expected
+        if swapped:
+            array[index] = desired
+        self._record_atomic(("global", id(array), index))
+        return swapped, old

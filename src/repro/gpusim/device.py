@@ -1,0 +1,128 @@
+"""Simulated GPU device: kernel launch, warp grouping, work recording.
+
+The device executes kernels functionally (every thread really runs, so
+results are exact) and records their work as
+:class:`~repro.perf.counters.KernelStats`.  The SIMT execution model is
+captured by aggregating per-thread operation counts into per-warp
+maxima: a warp is only as fast as its slowest thread, which is exactly
+the workload-imbalance effect the paper's fine-grained scheduler is
+designed to mitigate (section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.gpusim.context import ThreadContext
+from repro.perf.counters import GpuRunRecord, KernelStats
+from repro.perf.specs import GPUSpec
+
+__all__ = ["GPUDevice", "KernelLaunch"]
+
+KernelFunction = Callable[[int, ThreadContext], None]
+
+
+@dataclass
+class KernelLaunch:
+    """Outcome of one simulated kernel launch."""
+
+    stats: KernelStats
+
+    @property
+    def name(self) -> str:
+        return self.stats.name
+
+
+class GPUDevice:
+    """A simulated CUDA device.
+
+    Parameters
+    ----------
+    spec:
+        Hardware spec used only for the warp size here; pricing happens
+        later in :class:`~repro.perf.cost_model.GpuCostModel`, so one
+        functional run can be priced under several device models.
+    record:
+        Optional :class:`GpuRunRecord` that every launch appends to; the
+        engine swaps records between phases.
+    """
+
+    def __init__(self, spec: Optional[GPUSpec] = None, record: Optional[GpuRunRecord] = None) -> None:
+        self.spec = spec
+        self.warp_size = spec.warp_size if spec is not None else 32
+        self.record = record if record is not None else GpuRunRecord()
+        self.launch_history: list = []
+
+    # -- record management -----------------------------------------------------------
+    def set_record(self, record: GpuRunRecord) -> None:
+        """Redirect subsequent launches into ``record`` (phase switching)."""
+        self.record = record
+
+    # -- kernel launch ------------------------------------------------------------------
+    def launch(
+        self,
+        name: str,
+        kernel: KernelFunction,
+        num_threads: int,
+        memory_bytes_per_thread: float = 0.0,
+    ) -> KernelLaunch:
+        """Execute ``kernel`` for thread ids ``0 .. num_threads-1``.
+
+        ``memory_bytes_per_thread`` charges a flat per-thread global
+        memory cost (parameter loads) in addition to whatever the kernel
+        itself charges through its context.
+        """
+        if num_threads <= 0:
+            raise ValueError("a kernel launch needs at least one thread")
+        conflict_tracker: Dict[Hashable, int] = {}
+        warp_serial_ops = 0.0
+        total_thread_ops = 0.0
+        memory_bytes = 0.0
+        shared_bytes = 0.0
+        atomic_ops = 0.0
+        warp_max = 0.0
+        for tid in range(num_threads):
+            ctx = ThreadContext(tid, conflict_tracker)
+            if memory_bytes_per_thread:
+                ctx.charge(memory_bytes=memory_bytes_per_thread)
+            kernel(tid, ctx)
+            total_thread_ops += ctx.ops
+            memory_bytes += ctx.memory_bytes
+            shared_bytes += ctx.shared_bytes
+            atomic_ops += ctx.atomic_ops
+            if ctx.ops > warp_max:
+                warp_max = ctx.ops
+            if (tid + 1) % self.warp_size == 0:
+                warp_serial_ops += warp_max
+                warp_max = 0.0
+        if num_threads % self.warp_size != 0:
+            warp_serial_ops += warp_max
+        num_warps = (num_threads + self.warp_size - 1) // self.warp_size
+        atomic_conflicts = float(
+            sum(count - 1 for count in conflict_tracker.values() if count > 1)
+        )
+        stats = KernelStats(
+            name=name,
+            num_threads=num_threads,
+            num_warps=num_warps,
+            warp_serial_ops=warp_serial_ops,
+            total_thread_ops=total_thread_ops,
+            memory_bytes=memory_bytes,
+            shared_memory_bytes=shared_bytes,
+            atomic_ops=atomic_ops,
+            atomic_conflicts=atomic_conflicts,
+        )
+        self.record.add_kernel(stats)
+        launch = KernelLaunch(stats=stats)
+        self.launch_history.append(launch)
+        return launch
+
+    # -- host <-> device transfers ----------------------------------------------------------
+    def transfer_to_device(self, num_bytes: float) -> None:
+        """Charge a host-to-device (PCIe) transfer to the current record."""
+        self.record.pcie_bytes += float(num_bytes)
+
+    def transfer_to_host(self, num_bytes: float) -> None:
+        """Charge a device-to-host (PCIe) transfer to the current record."""
+        self.record.pcie_bytes += float(num_bytes)

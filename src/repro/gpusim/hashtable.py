@@ -1,0 +1,158 @@
+"""Thread-safe GPU hash table (paper Figure 5).
+
+The table is an open hash with separate chaining laid out in five flat
+buffers, exactly as the paper draws it:
+
+* ``locks``   — one lock per bucket (1 = locked, 0 = unlocked),
+* ``entries`` — per-bucket head index into the node arrays (-1 = empty),
+* ``keys`` / ``values`` — node payload,
+* ``next``    — per-node chain link (-1 = end of chain).
+
+Threads insert with :meth:`insert_add`; an existing key is updated with
+an atomic add, a new key takes the bucket lock, re-checks for the key
+(another thread may have inserted it while we waited), claims a node
+slot and links it at the chain position.  The simulator executes
+threads sequentially so correctness is structural, but every probe,
+atomic and lock acquisition is charged to the calling thread's context
+so the contention *cost* shows up in the modelled time.
+
+Private (per-thread) tables can be created with ``use_locks=False``; as
+the paper notes, a table owned by one thread does not need its lock
+buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.gpusim.context import ThreadContext
+
+__all__ = ["DeviceHashTable"]
+
+_EMPTY = -1
+
+
+class DeviceHashTable:
+    """Fixed-capacity chained hash table over flat device buffers."""
+
+    def __init__(self, num_buckets: int, capacity: int, use_locks: bool = True) -> None:
+        if num_buckets <= 0 or capacity <= 0:
+            raise ValueError("num_buckets and capacity must be positive")
+        self.num_buckets = int(num_buckets)
+        self.capacity = int(capacity)
+        self.use_locks = use_locks
+        self.locks = np.zeros(self.num_buckets, dtype=np.int8)
+        self.entries = np.full(self.num_buckets, _EMPTY, dtype=np.int64)
+        self.keys = np.zeros(self.capacity, dtype=np.int64)
+        self.values = np.zeros(self.capacity, dtype=np.int64)
+        self.next = np.full(self.capacity, _EMPTY, dtype=np.int64)
+        self._node_cursor = 0
+        #: Number of times a thread found a bucket lock already taken.
+        self.lock_contention_events = 0
+
+    # -- hashing -------------------------------------------------------------------------
+    def _bucket_of(self, key: int) -> int:
+        # Knuth multiplicative hashing keeps buckets well spread for the
+        # dense word ids TADOC produces.
+        return int((key * 2654435761) % self.num_buckets)
+
+    # -- device-side operations -------------------------------------------------------------
+    def insert_add(self, key: int, value: int, ctx: Optional[ThreadContext] = None) -> None:
+        """Add ``value`` to the entry for ``key``, inserting it if missing."""
+
+        def charge(ops: float = 0.0, memory_bytes: float = 0.0) -> None:
+            if ctx is not None:
+                ctx.charge(ops=ops, memory_bytes=memory_bytes)
+
+        bucket = self._bucket_of(key)
+        charge(ops=2.0, memory_bytes=8.0)
+        # First pass: look for the key without taking the lock.
+        node = int(self.entries[bucket])
+        while node != _EMPTY:
+            charge(ops=2.0, memory_bytes=16.0)
+            if int(self.keys[node]) == key:
+                if ctx is not None:
+                    ctx.atomic_add(self.values, node, value)
+                else:
+                    self.values[node] += value
+                return
+            node = int(self.next[node])
+        # Key absent: take the bucket lock (charged as an atomic CAS).
+        if self.use_locks:
+            if ctx is not None:
+                swapped, _old = ctx.atomic_cas(self.locks, bucket, 0, 1)
+                if not swapped:
+                    # Another thread holds the lock; on a real GPU the thread
+                    # retries in the next round.  The simulator can proceed
+                    # immediately but records the contention event.
+                    self.lock_contention_events += 1
+                self.locks[bucket] = 1
+            else:
+                self.locks[bucket] = 1
+        try:
+            # Re-check under the lock: the key may have appeared meanwhile.
+            node = int(self.entries[bucket])
+            last = _EMPTY
+            while node != _EMPTY:
+                charge(ops=2.0, memory_bytes=16.0)
+                if int(self.keys[node]) == key:
+                    if ctx is not None:
+                        ctx.atomic_add(self.values, node, value)
+                    else:
+                        self.values[node] += value
+                    return
+                last = node
+                node = int(self.next[node])
+            # Claim a node slot and link it.
+            if self._node_cursor >= self.capacity:
+                raise MemoryError("DeviceHashTable capacity exhausted")
+            slot = self._node_cursor
+            self._node_cursor += 1
+            self.keys[slot] = key
+            self.values[slot] = value
+            self.next[slot] = _EMPTY
+            charge(ops=4.0, memory_bytes=32.0)
+            if last == _EMPTY:
+                self.entries[bucket] = slot
+            else:
+                self.next[last] = slot
+        finally:
+            if self.use_locks:
+                self.locks[bucket] = 0
+                charge(ops=1.0, memory_bytes=1.0)
+
+    def lookup(self, key: int, ctx: Optional[ThreadContext] = None) -> Optional[int]:
+        """Return the value stored for ``key`` or ``None``."""
+        bucket = self._bucket_of(key)
+        node = int(self.entries[bucket])
+        while node != _EMPTY:
+            if ctx is not None:
+                ctx.charge(ops=2.0, memory_bytes=16.0)
+            if int(self.keys[node]) == key:
+                return int(self.values[node])
+            node = int(self.next[node])
+        return None
+
+    # -- host-side extraction ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._node_cursor
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all stored ``(key, value)`` pairs."""
+        for slot in range(self._node_cursor):
+            yield int(self.keys[slot]), int(self.values[slot])
+
+    def to_dict(self) -> Dict[int, int]:
+        return dict(self.items())
+
+    @classmethod
+    def sized_for(cls, expected_keys: int, use_locks: bool = True) -> "DeviceHashTable":
+        """Create a table with comfortable headroom for ``expected_keys``."""
+        expected = max(1, int(expected_keys))
+        return cls(
+            num_buckets=max(8, expected * 2),
+            capacity=max(8, int(expected * 1.5) + 8),
+            use_locks=use_locks,
+        )

@@ -1,0 +1,128 @@
+"""G-TADOC's self-managed GPU memory pool (paper section IV-C).
+
+Dynamic per-thread allocation is expensive on GPUs and the amount of
+memory each rule needs is only known at runtime, so G-TADOC sizes every
+rule's requirement during the initialization phase and then carves all
+buffers out of one large pre-allocated pool.  This module reproduces
+that design: a single backing store with bump-pointer allocation,
+per-allocation bookkeeping, and explicit reset between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["PoolAllocation", "MemoryPool"]
+
+
+@dataclass(frozen=True)
+class PoolAllocation:
+    """A slice of the pool handed out to one owner (usually one rule)."""
+
+    owner: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class MemoryPool:
+    """Bump-pointer allocator over a single backing array.
+
+    Parameters
+    ----------
+    capacity:
+        Pool capacity in 8-byte words.
+    alignment:
+        Allocation alignment in words (defaults to 4, i.e. 32 bytes,
+        which keeps warp accesses coalesced).
+    """
+
+    WORD_BYTES = 8
+
+    def __init__(self, capacity: int, alignment: int = 4) -> None:
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        if alignment <= 0:
+            raise ValueError("alignment must be positive")
+        self.capacity = int(capacity)
+        self.alignment = int(alignment)
+        self.storage = np.zeros(self.capacity, dtype=np.int64)
+        self._cursor = 0
+        self._allocations: List[PoolAllocation] = []
+        self._by_owner: Dict[str, PoolAllocation] = {}
+
+    # -- allocation --------------------------------------------------------------------
+    def _aligned(self, value: int) -> int:
+        remainder = value % self.alignment
+        return value if remainder == 0 else value + (self.alignment - remainder)
+
+    def allocate(self, owner: str, size: int) -> PoolAllocation:
+        """Allocate ``size`` words for ``owner``; raises when exhausted."""
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        if owner in self._by_owner:
+            raise ValueError(f"owner {owner!r} already holds an allocation")
+        start = self._aligned(self._cursor)
+        end = start + size
+        if end > self.capacity:
+            raise MemoryError(
+                f"memory pool exhausted: need {end} words, capacity {self.capacity}"
+            )
+        allocation = PoolAllocation(owner=owner, offset=start, size=size)
+        self._cursor = end
+        self._allocations.append(allocation)
+        self._by_owner[owner] = allocation
+        return allocation
+
+    def allocate_many(self, sizes: Dict[str, int]) -> Dict[str, PoolAllocation]:
+        """Allocate several owners at once (initialization-phase bulk sizing)."""
+        return {owner: self.allocate(owner, size) for owner, size in sizes.items()}
+
+    # -- access --------------------------------------------------------------------------
+    def view(self, allocation: PoolAllocation) -> np.ndarray:
+        """A writable view of an allocation's words."""
+        return self.storage[allocation.offset : allocation.end]
+
+    def owner_view(self, owner: str) -> np.ndarray:
+        return self.view(self._by_owner[owner])
+
+    def allocation_of(self, owner: str) -> Optional[PoolAllocation]:
+        return self._by_owner.get(owner)
+
+    # -- bookkeeping ----------------------------------------------------------------------
+    @property
+    def used_words(self) -> int:
+        return self._cursor
+
+    @property
+    def free_words(self) -> int:
+        return self.capacity - self._cursor
+
+    @property
+    def allocations(self) -> List[PoolAllocation]:
+        return list(self._allocations)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor * self.WORD_BYTES
+
+    def reset(self) -> None:
+        """Release every allocation and zero the backing store."""
+        self.storage.fill(0)
+        self._cursor = 0
+        self._allocations.clear()
+        self._by_owner.clear()
+
+    def check_no_overlap(self) -> bool:
+        """Verify that no two allocations overlap (tested invariant)."""
+        ordered = sorted(self._allocations, key=lambda allocation: allocation.offset)
+        for previous, current in zip(ordered, ordered[1:]):
+            if previous.end > current.offset:
+                return False
+        return True

@@ -1,0 +1,50 @@
+"""Performance-modelling substrate.
+
+The paper's evaluation runs on three CUDA GPUs and a 10-node cluster
+(Table I).  Offline we have neither, so every engine in this library is
+*functionally executed* in Python while counting the abstract work it
+performs (scalar operations, memory traffic, atomics, warp-serialised
+work, network traffic).  This package turns those counts into modelled
+seconds using analytical cost models parameterised by the public
+hardware specifications of the Table I devices.
+
+Nothing here measures wall-clock time; see DESIGN.md section 2 for why
+this substitution preserves the paper's performance *shape*.
+"""
+
+from repro.perf.counters import CostCounter, KernelStats, GpuRunRecord, PhaseTiming
+from repro.perf.specs import CPUSpec, GPUSpec
+from repro.perf.platforms import (
+    CLUSTER_PLATFORM,
+    PASCAL,
+    PLATFORMS,
+    TURING,
+    VOLTA,
+    Platform,
+    get_platform,
+    list_platforms,
+)
+from repro.perf.cost_model import CpuCostModel, GpuCostModel, ClusterCostModel
+from repro.perf.extrapolation import extrapolate_counter, extrapolate_gpu_record
+
+__all__ = [
+    "CostCounter",
+    "KernelStats",
+    "GpuRunRecord",
+    "PhaseTiming",
+    "CPUSpec",
+    "GPUSpec",
+    "Platform",
+    "PASCAL",
+    "VOLTA",
+    "TURING",
+    "CLUSTER_PLATFORM",
+    "PLATFORMS",
+    "get_platform",
+    "list_platforms",
+    "CpuCostModel",
+    "GpuCostModel",
+    "ClusterCostModel",
+    "extrapolate_counter",
+    "extrapolate_gpu_record",
+]

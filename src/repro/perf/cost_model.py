@@ -1,0 +1,166 @@
+"""Analytical cost models: work counters -> modelled seconds.
+
+Three models exist, one per execution substrate:
+
+* :class:`CpuCostModel` — sequential or multi-threaded CPU execution,
+  used for the TADOC baselines (a simple roofline: the slower of the
+  compute rate and the memory system bounds the time).
+* :class:`GpuCostModel` — prices a :class:`~repro.perf.counters.GpuRunRecord`
+  kernel by kernel: warp-serial work over the device's warp issue rate,
+  memory traffic over sustained bandwidth, atomics over atomic
+  throughput (conflicts serialise), plus a fixed launch overhead per
+  kernel and optional PCIe transfer time.
+* :class:`ClusterCostModel` — coarse-grained distributed execution:
+  per-node CPU time for its partition plus a network shuffle term.
+
+All models are deliberately first-order; the goal is reproducing the
+paper's performance *shape* (who wins and by roughly what factor), not
+absolute microsecond accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.perf.counters import CostCounter, GpuRunRecord, KernelStats
+from repro.perf.specs import CPUSpec, GPUSpec
+
+__all__ = ["CpuCostModel", "GpuCostModel", "ClusterCostModel"]
+
+_BYTES_PER_GB = 1e9
+_HASH_OP_WEIGHT = 3.0  # a hash probe/update costs ~3 simple ALU ops
+
+
+@dataclass
+class CpuCostModel:
+    """Roofline-style cost model for CPU execution.
+
+    Besides the compute/bandwidth roofline, hash-table operations carry a
+    random-access latency term: TADOC's tables at paper scale are far
+    larger than the last-level cache, so every probe is effectively a
+    DRAM round trip that a single CPU thread cannot hide — the paper's
+    core argument for why a throughput-oriented GPU wins on this
+    workload.
+    """
+
+    spec: CPUSpec
+    threads: int = 1
+    #: Extra fixed cost per task invocation (allocation, setup), seconds.
+    task_overhead_s: float = 1e-4
+    #: Effective DRAM round-trip cost of one hash probe/update on tables
+    #: that exceed the last-level cache.
+    random_access_latency_s: float = 35e-9
+
+    def _effective_gops(self) -> float:
+        if self.threads <= 1:
+            return self.spec.single_thread_gops
+        usable = min(self.threads, self.spec.threads)
+        return self.spec.single_thread_gops * usable * self.spec.parallel_efficiency
+
+    def _effective_bandwidth(self) -> float:
+        if self.threads <= 1:
+            return (
+                self.spec.memory_bandwidth_gb_s
+                * self.spec.single_thread_bandwidth_fraction
+            )
+        return self.spec.memory_bandwidth_gb_s * 0.8
+
+    def _latency_concurrency(self) -> float:
+        """How many outstanding random accesses the configuration overlaps."""
+        if self.threads <= 1:
+            return 1.0
+        usable = min(self.threads, self.spec.threads)
+        return max(1.0, usable * self.spec.parallel_efficiency)
+
+    def time_seconds(self, counter: CostCounter) -> float:
+        """Model the execution time of the counted work."""
+        ops = counter.compute_ops + counter.branch_ops + _HASH_OP_WEIGHT * counter.hash_ops
+        compute_time = ops / (self._effective_gops() * 1e9)
+        memory_time = counter.memory_bytes / (self._effective_bandwidth() * _BYTES_PER_GB)
+        latency_time = (
+            counter.hash_ops * self.random_access_latency_s / self._latency_concurrency()
+        )
+        return max(compute_time, memory_time) + latency_time + self.task_overhead_s
+
+
+@dataclass
+class GpuCostModel:
+    """Cost model for simulated GPU kernel launches."""
+
+    spec: GPUSpec
+    #: Host-side loop overhead per kernel launch round-trip (cudaMemcpy of
+    #: the stop flag, Python-side control), seconds.
+    host_sync_overhead_s: float = 8e-6
+
+    # -- per-kernel pricing -----------------------------------------------------------
+    def kernel_time_seconds(self, stats: KernelStats) -> float:
+        """Model one kernel launch."""
+        issue_rate = self.spec.warp_issue_rate_gwarps * 1e9 * self.spec.achievable_efficiency
+        compute_time = stats.warp_serial_ops / issue_rate if issue_rate else 0.0
+        bandwidth = (
+            self.spec.memory_bandwidth_gb_s * _BYTES_PER_GB * self.spec.memory_efficiency
+        )
+        memory_time = stats.memory_bytes / bandwidth if bandwidth else 0.0
+        atomic_rate = self.spec.atomic_throughput_gops * 1e9
+        atomic_time = (
+            (stats.atomic_ops + 2.0 * stats.atomic_conflicts) / atomic_rate
+            if atomic_rate
+            else 0.0
+        )
+        busy_time = max(compute_time, memory_time, atomic_time)
+        return busy_time + self.spec.kernel_launch_overhead_s
+
+    # -- whole-run pricing --------------------------------------------------------------
+    def time_seconds(self, record: GpuRunRecord, host_model: Optional[CpuCostModel] = None) -> float:
+        """Model a whole phase: kernels + host control + PCIe transfers."""
+        kernel_time = sum(self.kernel_time_seconds(kernel) for kernel in record.kernels)
+        sync_time = self.host_sync_overhead_s * record.num_launches
+        pcie_time = record.pcie_bytes / (self.spec.pcie_bandwidth_gb_s * _BYTES_PER_GB)
+        host_time = 0.0
+        if host_model is not None:
+            host_time = host_model.time_seconds(record.host_counter) - host_model.task_overhead_s
+            host_time = max(host_time, 0.0)
+        return kernel_time + sync_time + pcie_time + host_time
+
+
+@dataclass
+class ClusterCostModel:
+    """Cost model for the coarse-grained distributed TADOC baseline."""
+
+    node_spec: CPUSpec
+    num_nodes: int = 10
+    threads_per_node: int = 12
+    network_bandwidth_gb_s: float = 1.25
+    network_latency_s: float = 200e-6
+    #: Framework (job scheduling, task dispatch) overhead per stage, seconds.
+    framework_overhead_s: float = 0.5
+
+    def node_model(self) -> CpuCostModel:
+        return CpuCostModel(self.node_spec, threads=self.threads_per_node)
+
+    def time_seconds(
+        self,
+        per_node_counters: Iterable[CostCounter],
+        shuffle_counter: Optional[CostCounter] = None,
+        num_stages: int = 2,
+    ) -> float:
+        """Model a distributed run.
+
+        ``per_node_counters`` holds one counter per node partition; the
+        slowest node bounds the compute stage (the classic straggler
+        effect).  ``shuffle_counter`` describes the merge stage's network
+        traffic.
+        """
+        node_model = self.node_model()
+        counters: List[CostCounter] = list(per_node_counters)
+        compute_time = max(
+            (node_model.time_seconds(counter) for counter in counters), default=0.0
+        )
+        network_time = 0.0
+        if shuffle_counter is not None:
+            network_time = shuffle_counter.network_bytes / (
+                self.network_bandwidth_gb_s * _BYTES_PER_GB
+            )
+            network_time += shuffle_counter.network_messages * self.network_latency_s
+        return compute_time + network_time + self.framework_overhead_s * num_stages

@@ -1,0 +1,60 @@
+"""Paper-scale extrapolation of measured work counters.
+
+The synthetic dataset analogues are two to three orders of magnitude
+smaller than the corpora in Table II (see DESIGN.md section 2).  Work
+counts measured on the analogues are therefore extrapolated to paper
+scale before pricing: every *data-proportional* field is multiplied by
+the ratio of the paper dataset's rule count to the analogue's rule
+count, while *structure-proportional* quantities (number of kernel
+launches = DAG depth, number of traversal iterations) are left as
+measured because they grow logarithmically with data size.
+
+This keeps fixed overheads (kernel launches, host synchronisation,
+framework overheads) honest while placing the data-dependent work at a
+realistic magnitude, which is what the paper's speedup shape depends
+on.
+"""
+
+from __future__ import annotations
+
+from repro.perf.counters import CostCounter, GpuRunRecord
+
+__all__ = ["extrapolate_counter", "extrapolate_gpu_record", "dataset_scale_factor"]
+
+
+def dataset_scale_factor(paper_rules: int, measured_rules: int) -> float:
+    """Factor by which measured work is scaled up to paper scale."""
+    if measured_rules <= 0:
+        raise ValueError("measured_rules must be positive")
+    return max(1.0, paper_rules / measured_rules)
+
+
+def extrapolate_counter(counter: CostCounter, factor: float) -> CostCounter:
+    """Scale the data-proportional fields of a CPU counter by ``factor``.
+
+    The number of network *messages* is structural (one shuffle message
+    per partition regardless of data volume), so it is left as measured;
+    only the bytes they carry scale.
+    """
+    if factor < 1.0:
+        raise ValueError("extrapolation factor must be >= 1.0")
+    scaled = counter.scaled(factor)
+    scaled.network_messages = counter.network_messages
+    return scaled
+
+
+def extrapolate_gpu_record(record: GpuRunRecord, factor: float) -> GpuRunRecord:
+    """Scale a GPU run record to paper scale.
+
+    Per-kernel data-dependent work scales by ``factor``; the *number* of
+    kernel launches is left as measured (DAG depth grows slowly with
+    data volume).
+    """
+    if factor < 1.0:
+        raise ValueError("extrapolation factor must be >= 1.0")
+    scaled = GpuRunRecord(
+        kernels=[kernel.scaled(factor) for kernel in record.kernels],
+        host_counter=record.host_counter.scaled(factor),
+        pcie_bytes=record.pcie_bytes * factor,
+    )
+    return scaled

@@ -1,0 +1,126 @@
+"""The evaluation platforms of Table I.
+
+Three GPU platforms (Pascal, Volta, Turing) each pair a GPU with a host
+CPU; the fourth platform is the 10-node Amazon EC2 Spark cluster used
+as the TADOC baseline for the largest dataset (C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.perf.specs import (
+    CPUSpec,
+    E5_2670,
+    E5_2676_V3,
+    GPUSpec,
+    GTX_1080,
+    I7_7700K,
+    I9_9900K,
+    RTX_2080_TI,
+    TESLA_V100,
+)
+
+__all__ = [
+    "Platform",
+    "PASCAL",
+    "VOLTA",
+    "TURING",
+    "CLUSTER_PLATFORM",
+    "PLATFORMS",
+    "get_platform",
+    "list_platforms",
+]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One evaluation platform from Table I."""
+
+    key: str
+    description: str
+    gpu: Optional[GPUSpec]
+    cpu: CPUSpec
+    os_name: str
+    compiler: str
+    #: Number of machines (1 for the GPU servers, 10 for the EC2 cluster).
+    num_nodes: int = 1
+    #: Inter-node network bandwidth for the cluster platform (GB/s).
+    network_bandwidth_gb_s: float = 1.25
+    #: Per-message network latency for the cluster platform (seconds).
+    network_latency_s: float = 200e-6
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    def summary_row(self) -> Dict[str, str]:
+        """Row used when printing the Table I reproduction."""
+        return {
+            "Platform": self.key,
+            "GPU": self.gpu.name if self.gpu else "NULL",
+            "GPU Memory": self.gpu.memory_type if self.gpu else "DDR3",
+            "CPU": self.cpu.name,
+            "OS": self.os_name,
+            "Compiler": self.compiler,
+            "Nodes": str(self.num_nodes),
+        }
+
+
+PASCAL = Platform(
+    key="Pascal",
+    description="GeForce GTX 1080 server",
+    gpu=GTX_1080,
+    cpu=I7_7700K,
+    os_name="Ubuntu 16.04.4",
+    compiler="CUDA 8",
+)
+
+VOLTA = Platform(
+    key="Volta",
+    description="Tesla V100 server",
+    gpu=TESLA_V100,
+    cpu=E5_2670,
+    os_name="Ubuntu 16.04.4",
+    compiler="CUDA 10.1",
+)
+
+TURING = Platform(
+    key="Turing",
+    description="GeForce RTX 2080 Ti server",
+    gpu=RTX_2080_TI,
+    cpu=I9_9900K,
+    os_name="Ubuntu 18.04.5",
+    compiler="CUDA 11.0",
+)
+
+CLUSTER_PLATFORM = Platform(
+    key="10-node cluster",
+    description="10-node Amazon EC2 Spark cluster",
+    gpu=None,
+    cpu=E5_2676_V3,
+    os_name="Ubuntu 16.04.1",
+    compiler="GCC 5.4.0",
+    num_nodes=10,
+)
+
+PLATFORMS: Dict[str, Platform] = {
+    platform.key: platform for platform in (PASCAL, VOLTA, TURING, CLUSTER_PLATFORM)
+}
+
+
+def list_platforms(gpu_only: bool = False) -> List[Platform]:
+    """Return platforms in Table I order, optionally only the GPU ones."""
+    platforms = [PASCAL, VOLTA, TURING, CLUSTER_PLATFORM]
+    if gpu_only:
+        platforms = [platform for platform in platforms if platform.has_gpu]
+    return platforms
+
+
+def get_platform(key: str) -> Platform:
+    """Look up a platform by its Table I key (case-insensitive)."""
+    for platform_key, platform in PLATFORMS.items():
+        if platform_key.lower() == key.lower():
+            return platform
+    raise KeyError(f"unknown platform {key!r}; expected one of {list(PLATFORMS)}")

@@ -1,0 +1,168 @@
+"""Hardware specifications for the Table I devices.
+
+All numbers are public data-sheet values for the devices the paper
+lists in Table I.  The cost models in :mod:`repro.perf.cost_model`
+derive throughputs from these specs; nothing else in the library
+hard-codes hardware numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "GTX_1080",
+    "TESLA_V100",
+    "RTX_2080_TI",
+    "I7_7700K",
+    "E5_2670",
+    "I9_9900K",
+    "E5_2676_V3",
+]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """An Nvidia GPU as seen by the analytical cost model."""
+
+    name: str
+    micro_architecture: str
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    memory_gb: float
+    memory_type: str
+    memory_bandwidth_gb_s: float
+    warp_size: int = 32
+    #: Sustained global-atomic throughput (operations per second).
+    atomic_throughput_gops: float = 4.0
+    #: Fixed cost of launching one kernel (host + driver + device), seconds.
+    kernel_launch_overhead_s: float = 5e-6
+    #: PCIe transfer bandwidth for host<->device copies.
+    pcie_bandwidth_gb_s: float = 12.0
+    #: Fraction of peak issue rate that irregular, data-dependent code
+    #: (pointer chasing over rules, hash probing) typically sustains.
+    achievable_efficiency: float = 0.22
+    #: Fraction of peak memory bandwidth sustained by scattered accesses.
+    memory_efficiency: float = 0.55
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def peak_gops(self) -> float:
+        """Peak scalar-operation throughput in Gop/s (one op per core per cycle)."""
+        return self.total_cores * self.clock_ghz
+
+    @property
+    def warp_issue_rate_gwarps(self) -> float:
+        """Warp-instructions per second (in G/s) across the whole device."""
+        return self.num_sms * (self.cores_per_sm / self.warp_size) * self.clock_ghz
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU as seen by the analytical cost model."""
+
+    name: str
+    cores: int
+    threads: int
+    clock_ghz: float
+    memory_bandwidth_gb_s: float
+    #: Effective scalar instructions per cycle for pointer-heavy analytics code.
+    effective_ipc: float = 1.4
+    #: Fraction of peak memory bandwidth sustained by a single thread.
+    single_thread_bandwidth_fraction: float = 0.45
+    #: Efficiency of multi-threaded scaling for the coarse-grained TADOC.
+    parallel_efficiency: float = 0.7
+
+    @property
+    def single_thread_gops(self) -> float:
+        """Sustained scalar throughput of one thread in Gop/s."""
+        return self.clock_ghz * self.effective_ipc
+
+    @property
+    def peak_gops(self) -> float:
+        """Whole-socket sustained scalar throughput in Gop/s."""
+        return self.cores * self.single_thread_gops
+
+
+# --------------------------------------------------------------------------------------
+# Table I GPUs
+# --------------------------------------------------------------------------------------
+
+GTX_1080 = GPUSpec(
+    name="GeForce GTX 1080",
+    micro_architecture="Pascal",
+    num_sms=20,
+    cores_per_sm=128,
+    clock_ghz=1.733,
+    memory_gb=8.0,
+    memory_type="GDDR5X",
+    memory_bandwidth_gb_s=320.0,
+    atomic_throughput_gops=4.0,
+)
+
+TESLA_V100 = GPUSpec(
+    name="Tesla V100",
+    micro_architecture="Volta",
+    num_sms=80,
+    cores_per_sm=64,
+    clock_ghz=1.530,
+    memory_gb=16.0,
+    memory_type="HBM2",
+    memory_bandwidth_gb_s=900.0,
+    atomic_throughput_gops=8.0,
+)
+
+RTX_2080_TI = GPUSpec(
+    name="GeForce RTX 2080 Ti",
+    micro_architecture="Turing",
+    num_sms=68,
+    cores_per_sm=64,
+    clock_ghz=1.545,
+    memory_gb=11.0,
+    memory_type="GDDR6",
+    memory_bandwidth_gb_s=616.0,
+    atomic_throughput_gops=6.0,
+)
+
+
+# --------------------------------------------------------------------------------------
+# Table I CPUs
+# --------------------------------------------------------------------------------------
+
+I7_7700K = CPUSpec(
+    name="Intel Core i7-7700K",
+    cores=4,
+    threads=8,
+    clock_ghz=4.2,
+    memory_bandwidth_gb_s=38.4,
+)
+
+E5_2670 = CPUSpec(
+    name="Intel Xeon E5-2670",
+    cores=8,
+    threads=16,
+    clock_ghz=2.6,
+    memory_bandwidth_gb_s=51.2,
+)
+
+I9_9900K = CPUSpec(
+    name="Intel Core i9-9900K",
+    cores=8,
+    threads=16,
+    clock_ghz=3.6,
+    memory_bandwidth_gb_s=41.6,
+)
+
+E5_2676_V3 = CPUSpec(
+    name="Intel Xeon E5-2676 v3",
+    cores=12,
+    threads=24,
+    clock_ghz=2.4,
+    memory_bandwidth_gb_s=68.0,
+)

@@ -1,0 +1,54 @@
+"""Shared unit-work constants.
+
+Both the CPU baselines and the G-TADOC GPU kernels charge their work in
+the same abstract units so that the modelled comparison between them is
+apples-to-apples: processing one grammar symbol, probing a hash table
+or visiting a DAG edge costs the same number of abstract operations on
+either side; only the *execution model* (sequential CPU, coarse-grained
+threads, massively parallel SIMT with atomics) differs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SYMBOL_VISIT_OPS",
+    "SYMBOL_VISIT_BYTES",
+    "HASH_UPDATE_OPS",
+    "HASH_UPDATE_BYTES",
+    "EDGE_VISIT_OPS",
+    "EDGE_VISIT_BYTES",
+    "WEIGHT_UPDATE_OPS",
+    "MASK_CHECK_OPS",
+    "TOKEN_SCAN_OPS",
+    "TOKEN_SCAN_BYTES",
+    "SORT_OPS_PER_KEY",
+    "RESULT_ENTRY_BYTES",
+]
+
+#: Reading and dispatching on one symbol of a rule body.
+SYMBOL_VISIT_OPS = 4.0
+SYMBOL_VISIT_BYTES = 8.0
+
+#: One hash-table probe-and-update (local or global word table).
+HASH_UPDATE_OPS = 10.0
+HASH_UPDATE_BYTES = 24.0
+
+#: Following one DAG edge (reading a (sub-rule, frequency) pair).
+EDGE_VISIT_OPS = 6.0
+EDGE_VISIT_BYTES = 16.0
+
+#: Updating a propagated weight (plain or atomic add).
+WEIGHT_UPDATE_OPS = 2.0
+
+#: Checking or setting a readiness mask.
+MASK_CHECK_OPS = 1.0
+
+#: Scanning one token of uncompressed text (tokenize + hash).
+TOKEN_SCAN_OPS = 12.0
+TOKEN_SCAN_BYTES = 12.0
+
+#: Comparison-sort cost per key per log-factor.
+SORT_OPS_PER_KEY = 4.0
+
+#: Size of one (key, value) result entry when shipped over a network.
+RESULT_ENTRY_BYTES = 12.0

@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite.
+
+Corpora and their compressed forms are expensive to build relative to a
+single assertion, so they are session-scoped; tests must not mutate
+them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.reference import UncompressedAnalytics
+from repro.compression.compressor import compress_corpus
+from repro.data.corpus import Corpus, Document
+from repro.data.generators import generate_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> Corpus:
+    """A small hand-written corpus with heavy phrase repetition."""
+    texts = {
+        "doc_a.txt": (
+            "the quick brown fox jumps over the lazy dog "
+            "the quick brown fox jumps over the lazy dog "
+            "grammar compression folds repeated phrases into rules"
+        ),
+        "doc_b.txt": (
+            "text analytics directly on compression avoids decompression "
+            "the quick brown fox jumps over the lazy dog once more"
+        ),
+        "doc_c.txt": (
+            "grammar compression folds repeated phrases into rules "
+            "text analytics directly on compression avoids decompression"
+        ),
+    }
+    return Corpus.from_texts(texts, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def single_file_corpus() -> Corpus:
+    """One file only — exercises the no-splitter path."""
+    text = "alpha beta gamma alpha beta gamma alpha beta delta epsilon alpha beta gamma"
+    return Corpus([Document("only.txt", text)], name="single")
+
+
+@pytest.fixture(scope="session")
+def many_files_corpus() -> Corpus:
+    """The dataset A analogue at a very small scale (many tiny files)."""
+    return generate_dataset("A", scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="session")
+def few_files_corpus() -> Corpus:
+    """The dataset B analogue at a very small scale (a few larger files)."""
+    return generate_dataset("B", scale=0.04, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_compressed(tiny_corpus):
+    return compress_corpus(tiny_corpus)
+
+
+@pytest.fixture(scope="session")
+def single_file_compressed(single_file_corpus):
+    return compress_corpus(single_file_corpus)
+
+
+@pytest.fixture(scope="session")
+def many_files_compressed(many_files_corpus):
+    return compress_corpus(many_files_corpus)
+
+
+@pytest.fixture(scope="session")
+def few_files_compressed(few_files_corpus):
+    return compress_corpus(few_files_corpus)
+
+
+@pytest.fixture(scope="session")
+def tiny_reference(tiny_corpus) -> UncompressedAnalytics:
+    return UncompressedAnalytics(tiny_corpus)
+
+
+@pytest.fixture(scope="session")
+def many_files_reference(many_files_corpus) -> UncompressedAnalytics:
+    return UncompressedAnalytics(many_files_corpus)
+
+
+@pytest.fixture(scope="session")
+def few_files_reference(few_files_corpus) -> UncompressedAnalytics:
+    return UncompressedAnalytics(few_files_corpus)

@@ -1,0 +1,151 @@
+"""Tests for the task definitions and the uncompressed reference implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.base import SEQUENCE_LENGTH_DEFAULT, Task, normalize_result, results_equal
+from repro.analytics.reference import UncompressedAnalytics
+from repro.data.corpus import Corpus
+
+
+@pytest.fixture(scope="module")
+def small_corpus() -> Corpus:
+    return Corpus.from_texts(
+        {
+            "x.txt": "a b c a b c a",
+            "y.txt": "b c d",
+            "z.txt": "a a a b",
+        },
+        name="small",
+    )
+
+
+@pytest.fixture(scope="module")
+def analytics(small_corpus) -> UncompressedAnalytics:
+    return UncompressedAnalytics(small_corpus)
+
+
+class TestTaskEnum:
+    def test_all_six_tasks(self):
+        assert len(Task.all()) == 6
+
+    def test_from_name_case_insensitive(self):
+        assert Task.from_name("Word_Count") is Task.WORD_COUNT
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError):
+            Task.from_name("frequency")
+
+    def test_sequence_sensitivity_flags(self):
+        assert Task.SEQUENCE_COUNT.is_sequence_sensitive
+        assert not Task.WORD_COUNT.is_sequence_sensitive
+
+    def test_file_sensitivity_flags(self):
+        assert Task.INVERTED_INDEX.is_file_sensitive
+        assert Task.TERM_VECTOR.is_file_sensitive
+        assert Task.RANKED_INVERTED_INDEX.is_file_sensitive
+        assert not Task.SORT.is_file_sensitive
+
+    def test_default_sequence_length(self):
+        assert SEQUENCE_LENGTH_DEFAULT == 3
+
+
+class TestWordCount:
+    def test_counts(self, analytics):
+        assert analytics.word_count() == {"a": 6, "b": 4, "c": 3, "d": 1}
+
+    def test_sort_orders_by_count_then_word(self, analytics):
+        assert analytics.sort() == [("a", 6), ("b", 4), ("c", 3), ("d", 1)]
+
+
+class TestInvertedIndex:
+    def test_file_lists(self, analytics):
+        index = analytics.inverted_index()
+        assert index["a"] == ["x.txt", "z.txt"]
+        assert index["d"] == ["y.txt"]
+        assert index["b"] == ["x.txt", "y.txt", "z.txt"]
+
+    def test_every_word_indexed(self, analytics, small_corpus):
+        assert set(analytics.inverted_index()) == set(small_corpus.vocabulary)
+
+
+class TestTermVector:
+    def test_per_file_counts(self, analytics):
+        vectors = analytics.term_vector()
+        assert vectors["x.txt"] == {"a": 3, "b": 2, "c": 2}
+        assert vectors["y.txt"] == {"b": 1, "c": 1, "d": 1}
+        assert vectors["z.txt"] == {"a": 3, "b": 1}
+
+    def test_ranked_inverted_index(self, analytics):
+        ranked = analytics.ranked_inverted_index()
+        assert ranked["a"] == [("x.txt", 3), ("z.txt", 3)]
+        assert ranked["b"] == [("x.txt", 2), ("y.txt", 1), ("z.txt", 1)]
+
+
+class TestSequenceCount:
+    def test_trigram_counts(self, analytics):
+        # x.txt = "a b c a b c a" -> abc, bca, cab, abc, bca
+        counts = analytics.sequence_count()
+        assert counts[("a", "b", "c")] == 2
+        assert counts[("b", "c", "a")] == 2
+        assert counts[("c", "a", "b")] == 1
+        assert counts[("a", "a", "a")] == 1
+        assert ("c", "d", "b") not in counts  # never crosses files
+
+    def test_sequences_do_not_cross_files(self, small_corpus):
+        counts = UncompressedAnalytics(small_corpus, sequence_length=2).sequence_count()
+        assert ("a", "b") in counts
+        assert ("d", "a") not in counts  # y.txt ends with d, z.txt starts with a
+
+    def test_sequence_length_one_equals_word_count(self, small_corpus):
+        analytics = UncompressedAnalytics(small_corpus, sequence_length=1)
+        singles = {key[0]: value for key, value in analytics.sequence_count().items()}
+        assert singles == analytics.word_count()
+
+    def test_sequence_longer_than_document(self):
+        corpus = Corpus.from_texts({"short.txt": "just two"})
+        counts = UncompressedAnalytics(corpus, sequence_length=5).sequence_count()
+        assert counts == {}
+
+    def test_invalid_length_rejected(self, small_corpus):
+        with pytest.raises(ValueError):
+            UncompressedAnalytics(small_corpus, sequence_length=0)
+
+
+class TestNormalization:
+    def test_run_dispatcher_matches_methods(self, analytics):
+        for task in Task.all():
+            assert analytics.run(task) == normalize_result(
+                task,
+                {
+                    Task.WORD_COUNT: analytics.word_count,
+                    Task.SORT: analytics.sort,
+                    Task.INVERTED_INDEX: analytics.inverted_index,
+                    Task.TERM_VECTOR: analytics.term_vector,
+                    Task.SEQUENCE_COUNT: analytics.sequence_count,
+                    Task.RANKED_INVERTED_INDEX: analytics.ranked_inverted_index,
+                }[task](),
+            )
+
+    def test_results_equal_ignores_file_order(self):
+        left = {"w": ["b.txt", "a.txt"]}
+        right = {"w": ["a.txt", "b.txt"]}
+        assert results_equal(Task.INVERTED_INDEX, left, right)
+
+    def test_results_equal_detects_difference(self):
+        assert not results_equal(Task.WORD_COUNT, {"a": 1}, {"a": 2})
+
+    def test_normalize_sort_is_stable_for_ties(self):
+        result = normalize_result(Task.SORT, {"b": 2, "a": 2, "c": 1})
+        assert result == [("a", 2), ("b", 2), ("c", 1)]
+
+    def test_normalize_ranked_sorts_pairs(self):
+        result = normalize_result(
+            Task.RANKED_INVERTED_INDEX, {"w": [("b.txt", 1), ("a.txt", 5)]}
+        )
+        assert result == {"w": [("a.txt", 5), ("b.txt", 1)]}
+
+    def test_normalize_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_result("not-a-task", {})

@@ -1,0 +1,219 @@
+"""Tests for the baseline engines (CPU TADOC, parallel, distributed, GPU uncompressed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.base import Task, results_equal
+from repro.baselines.cpu_tadoc import CpuTadoc
+from repro.baselines.distributed import DistributedTadoc
+from repro.baselines.gpu_uncompressed import GpuUncompressedAnalytics
+from repro.baselines.merge import merge_partial_results, result_entry_count
+from repro.baselines.parallel_tadoc import ParallelCpuTadoc
+from repro.baselines.partitioning import partition_corpus
+from repro.cluster.simulator import ClusterSimulator, ClusterSpec
+from repro.perf.counters import CostCounter
+
+
+@pytest.fixture(scope="module")
+def cpu_engine(few_files_compressed) -> CpuTadoc:
+    return CpuTadoc(few_files_compressed)
+
+
+class TestCpuTadoc:
+    @pytest.mark.parametrize("task", Task.all())
+    def test_results_match_reference(self, cpu_engine, few_files_reference, task):
+        run = cpu_engine.run(task)
+        assert results_equal(task, run.result, few_files_reference.run(task))
+
+    @pytest.mark.parametrize("task", Task.all())
+    def test_many_files_results(self, many_files_compressed, many_files_reference, task):
+        run = CpuTadoc(many_files_compressed).run(task)
+        assert results_equal(task, run.result, many_files_reference.run(task))
+
+    def test_phase_counters_populated(self, cpu_engine):
+        run = cpu_engine.run(Task.WORD_COUNT)
+        assert run.init_counter.total_ops > 0
+        assert run.traversal_counter.total_ops > 0
+
+    def test_sequence_tasks_cost_more_than_word_count(self, cpu_engine):
+        """The paper: sequence-sensitive tasks behave like uncompressed scans."""
+        word_count = cpu_engine.run(Task.WORD_COUNT).traversal_counter
+        sequence = cpu_engine.run(Task.SEQUENCE_COUNT).traversal_counter
+        ranked = cpu_engine.run(Task.RANKED_INVERTED_INDEX).traversal_counter
+        assert sequence.total_ops > word_count.total_ops
+        assert ranked.total_ops > word_count.total_ops
+
+    def test_init_counter_independent_of_task(self, cpu_engine):
+        first = cpu_engine.run(Task.WORD_COUNT).init_counter
+        second = cpu_engine.run(Task.TERM_VECTOR).init_counter
+        assert first.total_ops == second.total_ops
+
+    def test_string_task_accepted(self, cpu_engine, few_files_reference):
+        run = cpu_engine.run("sort")
+        assert results_equal(Task.SORT, run.result, few_files_reference.run(Task.SORT))
+
+    def test_run_all(self, tiny_compressed, tiny_reference):
+        runs = CpuTadoc(tiny_compressed).run_all()
+        assert set(runs) == set(Task.all())
+        for task, run in runs.items():
+            assert results_equal(task, run.result, tiny_reference.run(task))
+
+
+class TestPartitioning:
+    def test_partitions_cover_all_files(self, many_files_corpus):
+        partitions = partition_corpus(many_files_corpus, 4)
+        names = [name for partition in partitions for name in partition.file_names]
+        assert sorted(names) == sorted(many_files_corpus.file_names)
+
+    def test_no_more_partitions_than_files(self, tiny_corpus):
+        partitions = partition_corpus(tiny_corpus, 10)
+        assert len(partitions) == 3
+
+    def test_balanced_by_tokens(self, many_files_corpus):
+        partitions = partition_corpus(many_files_corpus, 4)
+        loads = [partition.num_tokens for partition in partitions]
+        assert max(loads) <= 2 * min(loads) + max(
+            doc.num_tokens for doc in many_files_corpus
+        )
+
+    def test_invalid_partition_count(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            partition_corpus(tiny_corpus, 0)
+
+
+class TestMerge:
+    def test_word_count_merge_adds(self):
+        counter = CostCounter()
+        merged = merge_partial_results(
+            Task.WORD_COUNT, [{"a": 1, "b": 2}, {"a": 3}], counter
+        )
+        assert merged == {"a": 4, "b": 2}
+        assert counter.hash_ops > 0
+
+    def test_term_vector_merge_concatenates_files(self):
+        merged = merge_partial_results(
+            Task.TERM_VECTOR,
+            [{"x.txt": {"a": 1}}, {"y.txt": {"b": 2}}],
+            CostCounter(),
+        )
+        assert merged == {"x.txt": {"a": 1}, "y.txt": {"b": 2}}
+
+    def test_inverted_index_merge_unions(self):
+        merged = merge_partial_results(
+            Task.INVERTED_INDEX,
+            [{"w": ["b.txt"]}, {"w": ["a.txt"]}],
+            CostCounter(),
+        )
+        assert merged == {"w": ["a.txt", "b.txt"]}
+
+    def test_ranked_merge_reranks(self):
+        merged = merge_partial_results(
+            Task.RANKED_INVERTED_INDEX,
+            [{"w": [("a.txt", 1)]}, {"w": [("b.txt", 5)]}],
+            CostCounter(),
+        )
+        assert merged == {"w": [("b.txt", 5), ("a.txt", 1)]}
+
+    def test_sequence_merge_adds(self):
+        merged = merge_partial_results(
+            Task.SEQUENCE_COUNT,
+            [{("a", "b", "c"): 1}, {("a", "b", "c"): 2}],
+            CostCounter(),
+        )
+        assert merged == {("a", "b", "c"): 3}
+
+    def test_result_entry_count_shapes(self):
+        assert result_entry_count(Task.WORD_COUNT, {"a": 1, "b": 1}) == 2
+        assert result_entry_count(Task.SORT, [("a", 1)]) == 1
+        assert result_entry_count(Task.TERM_VECTOR, {"f": {"a": 1, "b": 1}}) == 2
+        assert result_entry_count(Task.RANKED_INVERTED_INDEX, {"w": [("f", 1)]}) == 1
+
+
+class TestParallelTadoc:
+    @pytest.mark.parametrize("task", Task.all())
+    def test_results_match_reference(self, many_files_corpus, many_files_reference, task):
+        engine = ParallelCpuTadoc(many_files_corpus, num_threads=4)
+        run = engine.run(task)
+        assert results_equal(task, run.result, many_files_reference.run(task))
+
+    def test_partition_counters_reported(self, many_files_corpus):
+        engine = ParallelCpuTadoc(many_files_corpus, num_threads=4)
+        run = engine.run(Task.WORD_COUNT)
+        assert run.num_partitions >= 2
+        assert all(counter.total_ops > 0 for counter in run.partition_total_counters())
+
+    def test_invalid_thread_count(self, many_files_corpus):
+        with pytest.raises(ValueError):
+            ParallelCpuTadoc(many_files_corpus, num_threads=0)
+
+
+class TestDistributedTadoc:
+    @pytest.mark.parametrize("task", [Task.WORD_COUNT, Task.TERM_VECTOR, Task.SEQUENCE_COUNT])
+    def test_results_match_reference(self, many_files_corpus, many_files_reference, task):
+        engine = DistributedTadoc(many_files_corpus, cluster=ClusterSpec(num_nodes=4))
+        run = engine.run(task)
+        assert results_equal(task, run.result, many_files_reference.run(task))
+
+    def test_node_executions_cover_cluster(self, many_files_corpus):
+        engine = DistributedTadoc(many_files_corpus, cluster=ClusterSpec(num_nodes=4))
+        run = engine.run(Task.WORD_COUNT)
+        assert len(run.node_traversal_executions) == 4
+        assert run.shuffle_counter.network_bytes > 0
+
+    def test_per_node_totals_combine_phases(self, many_files_corpus):
+        engine = DistributedTadoc(many_files_corpus, cluster=ClusterSpec(num_nodes=2))
+        run = engine.run(Task.WORD_COUNT)
+        totals = run.per_node_counters()
+        init = run.per_node_init_counters()
+        traversal = run.per_node_traversal_counters()
+        for combined, init_counter, traversal_counter in zip(totals, init, traversal):
+            assert combined.total_ops == pytest.approx(
+                init_counter.total_ops + traversal_counter.total_ops
+            )
+
+
+class TestClusterSimulator:
+    def test_round_robin_assignment(self):
+        simulator = ClusterSimulator(ClusterSpec(num_nodes=3))
+        assignment = simulator.assign_partitions(7)
+        assert assignment[0] == [0, 3, 6]
+        assert assignment[1] == [1, 4]
+        assert assignment[2] == [2, 5]
+
+    def test_execute_accumulates_work_and_network(self):
+        simulator = ClusterSimulator(ClusterSpec(num_nodes=2))
+        counters = [CostCounter(compute_ops=10), CostCounter(compute_ops=20), CostCounter(compute_ops=30)]
+        executions = simulator.execute(counters, [5, 5, 5])
+        assert executions[0].counter.compute_ops == 40  # partitions 0 and 2
+        assert executions[1].counter.compute_ops == 20
+        assert executions[0].counter.network_messages == 2
+
+    def test_mismatched_inputs_rejected(self):
+        simulator = ClusterSimulator(ClusterSpec(num_nodes=2))
+        with pytest.raises(ValueError):
+            simulator.execute([CostCounter()], [1, 2])
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(ClusterSpec(num_nodes=0))
+
+
+class TestGpuUncompressed:
+    @pytest.mark.parametrize("task", Task.all())
+    def test_results_match_reference(self, few_files_corpus, few_files_reference, task):
+        run = GpuUncompressedAnalytics(few_files_corpus).run(task)
+        assert results_equal(task, run.result, few_files_reference.run(task))
+
+    def test_record_scales_with_tokens(self, few_files_corpus, tiny_corpus):
+        large = GpuUncompressedAnalytics(few_files_corpus).run(Task.WORD_COUNT).record
+        small = GpuUncompressedAnalytics(tiny_corpus).run(Task.WORD_COUNT).record
+        assert large.total_warp_serial_ops > small.total_warp_serial_ops
+
+    def test_pcie_charged_when_requested(self, tiny_corpus):
+        run = GpuUncompressedAnalytics(tiny_corpus, needs_pcie_transfer=True).run(Task.SORT)
+        assert run.record.pcie_bytes > 0
+
+    def test_sequence_kernel_used_for_sequence_count(self, tiny_corpus):
+        run = GpuUncompressedAnalytics(tiny_corpus).run(Task.SEQUENCE_COUNT)
+        assert any(kernel.name == "sequenceCountKernel" for kernel in run.record.kernels)

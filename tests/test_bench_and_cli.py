@@ -1,0 +1,175 @@
+"""Tests for the experiment harness, aggregation, table formatting and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.base import Task
+from repro.bench.aggregate import geometric_mean, summarize_rows
+from repro.bench.experiment import ExperimentConfig, ExperimentRunner
+from repro.bench.tables import format_table, save_report
+from repro.cli import build_parser, main
+from repro.perf.counters import PhaseTiming
+from repro.perf.platforms import CLUSTER_PLATFORM, PASCAL, VOLTA
+
+
+@pytest.fixture(scope="module")
+def small_runner() -> ExperimentRunner:
+    """A runner over very small analogues so harness tests stay fast."""
+    return ExperimentRunner(
+        ExperimentConfig(dataset_scale=0.04, cluster_datasets=("C",), pcie_datasets=("C",))
+    )
+
+
+class TestExperimentRunner:
+    def test_bundle_is_cached(self, small_runner):
+        assert small_runner.bundle("D") is small_runner.bundle("D")
+
+    def test_extrapolation_factor_above_one(self, small_runner):
+        assert small_runner.bundle("D").extrapolation_factor > 1.0
+
+    def test_gtadoc_and_cpu_results_agree(self, small_runner):
+        gtadoc = small_runner.gtadoc_run("D", Task.WORD_COUNT)
+        cpu = small_runner.cpu_tadoc_run("D", Task.WORD_COUNT)
+        assert gtadoc.result == cpu.result
+
+    def test_phase_timings_positive(self, small_runner):
+        timing = small_runner.gtadoc_times("D", Task.WORD_COUNT, PASCAL)
+        assert timing.initialization > 0
+        assert timing.traversal > 0
+
+    def test_gpu_platform_required_for_gtadoc_times(self, small_runner):
+        with pytest.raises(ValueError):
+            small_runner.gtadoc_times("D", Task.WORD_COUNT, CLUSTER_PLATFORM)
+
+    def test_speedup_row_shows_gtadoc_winning(self, small_runner):
+        row = small_runner.speedup_row("D", Task.WORD_COUNT, PASCAL)
+        assert row.speedup_total > 1.0
+
+    def test_sequence_tasks_speed_up_more_than_word_count(self, small_runner):
+        """The paper's key per-task ordering."""
+        word_count = small_runner.speedup_row("B", Task.WORD_COUNT, PASCAL).speedup_total
+        sequence = small_runner.speedup_row("B", Task.SEQUENCE_COUNT, PASCAL).speedup_total
+        assert sequence > word_count
+
+    def test_baseline_for_dataset_c_is_cluster(self, small_runner):
+        baseline_name, _times = small_runner.baseline_times("C", Task.WORD_COUNT, PASCAL)
+        assert "cluster" in baseline_name
+
+    def test_baseline_for_dataset_b_is_sequential(self, small_runner):
+        baseline_name, _times = small_runner.baseline_times("B", Task.WORD_COUNT, PASCAL)
+        assert "sequential" in baseline_name
+
+    def test_speedup_grid_dimensions(self, small_runner):
+        rows = small_runner.speedup_grid(datasets=["B", "D"], platforms=[PASCAL, VOLTA])
+        assert len(rows) == 2 * 6 * 2
+
+    def test_volta_not_slower_than_pascal(self, small_runner):
+        pascal = small_runner.gtadoc_times("B", Task.WORD_COUNT, PASCAL).total
+        volta = small_runner.gtadoc_times("B", Task.WORD_COUNT, VOLTA).total
+        assert volta <= pascal * 1.5
+
+    def test_gpu_uncompressed_times_positive(self, small_runner):
+        timing = small_runner.gpu_uncompressed_times("B", Task.SORT, VOLTA)
+        assert timing.total > 0
+
+
+class TestAggregation:
+    def test_geometric_mean_basics(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0, 5]) == pytest.approx(5.0)
+
+    def test_summarize_rows_keys(self, small_runner):
+        rows = small_runner.speedup_grid(datasets=["B", "D"], platforms=[PASCAL])
+        summary = summarize_rows(rows)
+        for key in (
+            "overall_speedup",
+            "single_node_speedup",
+            "sequence_count_speedup",
+            "initialization_speedup",
+            "traversal_speedup",
+        ):
+            assert summary[key] > 0
+
+    def test_time_savings_between_zero_and_one(self, small_runner):
+        rows = small_runner.speedup_grid(datasets=["D"], platforms=[PASCAL])
+        summary = summarize_rows(rows)
+        assert 0.0 <= summary["initialization_time_saving"] <= 1.0
+        assert 0.0 <= summary["traversal_time_saving"] <= 1.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len({len(line) for line in lines[3:]}) <= 2
+
+    def test_save_report_writes_file(self, tmp_path):
+        path = save_report("unit_test_report", "hello", directory=tmp_path)
+        assert path.read_text().strip() == "hello"
+
+
+class TestPhaseTimingHelpers:
+    def test_zero_time_gives_infinite_speedup(self):
+        fast = PhaseTiming(initialization=0.0, traversal=0.0)
+        slow = PhaseTiming(initialization=1.0, traversal=1.0)
+        speedups = fast.speedup_over(slow)
+        assert speedups["total"] == float("inf")
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["compress", "--dataset", "D", "--output", "x.json"])
+        assert args.command == "compress"
+
+    def test_compress_run_info_workflow(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        assert main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)]) == 0
+        assert compressed_path.exists()
+
+        assert main(["info", "--compressed", str(compressed_path)]) == 0
+        captured = capsys.readouterr()
+        assert "compression ratio" in captured.out
+
+        assert main(["run", "--compressed", str(compressed_path), "--task", "word_count"]) == 0
+        captured = capsys.readouterr()
+        assert "top results" in captured.out
+
+    def test_run_with_forced_traversal(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(
+            [
+                "run",
+                "--compressed",
+                str(compressed_path),
+                "--task",
+                "sequence_count",
+                "--traversal",
+                "top_down",
+            ]
+        ) == 0
+        assert "sequence_count" in capsys.readouterr().out
+
+    def test_compress_from_directory(self, tmp_path, capsys):
+        source = tmp_path / "texts"
+        source.mkdir()
+        (source / "a.txt").write_text("alpha beta alpha beta gamma")
+        (source / "b.txt").write_text("alpha beta gamma delta")
+        output = tmp_path / "dir.json"
+        assert main(["compress", "--input-dir", str(source), "--output", str(output)]) == 0
+        assert output.exists()
+
+    def test_bench_rejects_cluster_platform(self, capsys):
+        assert main(["bench", "--platform", "10-node cluster", "--datasets", "D"]) == 2
+
+    def test_bench_prints_speedups(self, capsys):
+        assert main(["bench", "--platform", "Pascal", "--datasets", "D", "--scale", "0.04"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "word_count" in out

@@ -1,0 +1,97 @@
+"""Tests for end-to-end TADOC compression and lossless reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.compressor import TadocCompressor, compress_corpus
+from repro.compression.grammar import is_rule_ref
+from repro.data.corpus import Corpus, Document
+
+
+class TestRoundTrip:
+    def test_tiny_corpus_roundtrip(self, tiny_corpus, tiny_compressed):
+        assert tiny_compressed.decompress() == tiny_corpus
+
+    def test_single_file_roundtrip(self, single_file_corpus, single_file_compressed):
+        assert single_file_compressed.decompress() == single_file_corpus
+
+    def test_many_files_roundtrip(self, many_files_corpus, many_files_compressed):
+        assert many_files_compressed.decompress() == many_files_corpus
+
+    def test_few_files_roundtrip(self, few_files_corpus, few_files_compressed):
+        assert few_files_compressed.decompress() == few_files_corpus
+
+    def test_expand_file_tokens_matches_document(self, tiny_corpus, tiny_compressed):
+        for index, document in enumerate(tiny_corpus):
+            assert tiny_compressed.expand_file_tokens(index) == document.tokens
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcdefgh"), min_size=0, max_size=60),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_roundtrip_random_corpora(self, token_lists):
+        corpus = Corpus(
+            [
+                Document.from_tokens(f"f{index}", tokens)
+                for index, tokens in enumerate(token_lists)
+            ],
+            name="random",
+        )
+        compressed = compress_corpus(corpus)
+        assert compressed.decompress() == corpus
+
+
+class TestFileBoundaries:
+    def test_splitter_count(self, tiny_compressed):
+        assert len(tiny_compressed.splitter_ids) == 2
+
+    def test_single_file_has_no_splitters(self, single_file_compressed):
+        assert single_file_compressed.splitter_ids == []
+
+    def test_splitters_stay_in_root(self, many_files_compressed):
+        """Unique splitters can never be folded into a sub-rule."""
+        grammar = many_files_compressed.grammar
+        for rule in grammar.rules[1:]:
+            for symbol in rule.symbols:
+                if not is_rule_ref(symbol):
+                    assert not many_files_compressed.is_splitter(symbol)
+
+    def test_segments_cover_all_files(self, many_files_compressed):
+        segments = many_files_compressed.root_file_segments
+        assert len(segments) == len(many_files_compressed.file_names)
+        for start, end in segments:
+            assert 0 <= start <= end
+
+    def test_segments_are_disjoint_and_ordered(self, tiny_compressed):
+        segments = tiny_compressed.root_file_segments
+        for (_, previous_end), (next_start, _) in zip(segments, segments[1:]):
+            assert next_start == previous_end + 1  # the splitter sits in between
+
+
+class TestStatistics:
+    def test_statistics_consistency(self, few_files_compressed, few_files_corpus):
+        stats = few_files_compressed.statistics()
+        assert stats.num_files == len(few_files_corpus)
+        assert stats.original_tokens == few_files_corpus.num_tokens
+        assert stats.vocabulary_size == few_files_corpus.vocabulary_size
+        assert stats.num_rules == len(few_files_compressed.grammar)
+        assert stats.compressed_symbols == few_files_compressed.grammar.total_symbols()
+
+    def test_redundant_corpus_compresses(self, few_files_compressed):
+        assert few_files_compressed.statistics().compression_ratio > 1.5
+
+    def test_compressor_class_equivalent_to_helper(self, tiny_corpus):
+        by_class = TadocCompressor().compress(tiny_corpus)
+        by_helper = compress_corpus(tiny_corpus)
+        assert by_class.grammar == by_helper.grammar
+        assert by_class.dictionary == by_helper.dictionary
+
+    def test_dictionary_covers_all_words(self, tiny_corpus, tiny_compressed):
+        for word in tiny_corpus.vocabulary:
+            assert word in tiny_compressed.dictionary

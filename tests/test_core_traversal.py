@@ -1,0 +1,212 @@
+"""Tests for the top-down/bottom-up traversal kernels and sequence support."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.compressor import compress_corpus
+from repro.core.layout import DeviceRuleLayout
+from repro.core.scheduler import FineGrainedScheduler
+from repro.core.sequence import (
+    build_sequence_buffers,
+    head_tail_upper_limit,
+    sequence_counts,
+)
+from repro.core.traversal import (
+    bottomup_per_file_counts,
+    bottomup_word_count,
+    compute_rule_weights_topdown,
+    topdown_per_file_counts,
+    topdown_word_count,
+)
+from repro.data.corpus import Corpus, Document
+from repro.gpusim.device import GPUDevice
+from repro.gpusim.memory_pool import MemoryPool
+
+
+def make_context(compressed):
+    layout = DeviceRuleLayout.from_compressed(compressed)
+    return layout, FineGrainedScheduler(layout), GPUDevice()
+
+
+def expected_word_id_counts(compressed):
+    counts = Counter()
+    for index in range(len(compressed.file_names)):
+        start, end = compressed.root_file_segments[index]
+        for token in compressed.expand_file_tokens(index):
+            counts[compressed.dictionary.lookup(token)] += 1
+    return dict(counts)
+
+
+class TestRuleWeights:
+    def test_weights_match_dag(self, few_files_compressed):
+        layout, scheduler, device = make_context(few_files_compressed)
+        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        assert weights == list(few_files_compressed.dag.weights)
+
+    def test_weights_match_dag_many_files(self, many_files_compressed):
+        layout, scheduler, device = make_context(many_files_compressed)
+        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        assert weights == list(many_files_compressed.dag.weights)
+
+    def test_kernels_recorded(self, tiny_compressed):
+        layout, scheduler, device = make_context(tiny_compressed)
+        compute_rule_weights_topdown(layout, scheduler, device)
+        names = {kernel.name for kernel in device.record.kernels}
+        assert "initTopDownMaskKernel" in names
+        assert "topDownKernel" in names
+
+
+class TestWordCountTraversals:
+    def test_topdown_matches_expected(self, tiny_compressed):
+        layout, scheduler, device = make_context(tiny_compressed)
+        counts = topdown_word_count(layout, scheduler, device)
+        assert counts == expected_word_id_counts(tiny_compressed)
+
+    def test_bottomup_matches_expected(self, tiny_compressed):
+        layout, scheduler, device = make_context(tiny_compressed)
+        counts = bottomup_word_count(layout, scheduler, device)
+        assert counts == expected_word_id_counts(tiny_compressed)
+
+    def test_both_directions_agree(self, few_files_compressed):
+        layout, scheduler, device = make_context(few_files_compressed)
+        top_down = topdown_word_count(layout, scheduler, device)
+        bottom_up = bottomup_word_count(layout, scheduler, GPUDevice())
+        assert top_down == bottom_up
+
+    def test_bottomup_memory_pool_allocation(self, few_files_compressed):
+        layout, scheduler, device = make_context(few_files_compressed)
+        pool = MemoryPool(capacity=8 * layout.estimated_local_table_entries() + 4096)
+        bottomup_word_count(layout, scheduler, device, memory_pool=pool)
+        assert pool.used_words > 0
+        assert pool.check_no_overlap()
+
+    def test_single_file_corpus(self, single_file_compressed):
+        layout, scheduler, device = make_context(single_file_compressed)
+        counts = topdown_word_count(layout, scheduler, device)
+        assert counts == expected_word_id_counts(single_file_compressed)
+
+
+class TestPerFileTraversals:
+    def _expected_per_file(self, compressed):
+        expected = []
+        for index in range(len(compressed.file_names)):
+            counts = Counter(
+                compressed.dictionary.lookup(token)
+                for token in compressed.expand_file_tokens(index)
+            )
+            expected.append(dict(counts))
+        return expected
+
+    def test_topdown_per_file(self, tiny_compressed):
+        layout, scheduler, device = make_context(tiny_compressed)
+        per_file = topdown_per_file_counts(layout, scheduler, device)
+        assert per_file == self._expected_per_file(tiny_compressed)
+
+    def test_bottomup_per_file(self, tiny_compressed):
+        layout, scheduler, device = make_context(tiny_compressed)
+        per_file = bottomup_per_file_counts(layout, scheduler, device)
+        assert per_file == self._expected_per_file(tiny_compressed)
+
+    def test_directions_agree_on_many_files(self, many_files_compressed):
+        layout, scheduler, device = make_context(many_files_compressed)
+        top_down = topdown_per_file_counts(layout, scheduler, device)
+        bottom_up = bottomup_per_file_counts(layout, scheduler, GPUDevice())
+        assert top_down == bottom_up
+
+
+class TestSequenceSupport:
+    def test_equation_1_upper_limit(self):
+        # wordSize + (l-1) * subRuleSize - (l-1)
+        assert head_tail_upper_limit(rule_length=10, num_subrules=4, sequence_length=3) == 10 + 2 * 4 - 2
+
+    def test_head_and_tail_match_expansions(self, few_files_compressed):
+        layout, scheduler, device = make_context(few_files_compressed)
+        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
+        grammar = few_files_compressed.grammar
+        for rule_id in range(1, layout.num_rules):
+            expansion = grammar.expand_rule(rule_id)
+            assert buffers.heads[rule_id] == expansion[: min(2, len(expansion))]
+            assert buffers.tails[rule_id] == expansion[-min(2, len(expansion)) :]
+
+    def test_short_expansions_materialised(self, few_files_compressed):
+        layout, scheduler, device = make_context(few_files_compressed)
+        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
+        grammar = few_files_compressed.grammar
+        for rule_id in range(1, layout.num_rules):
+            expansion = grammar.expand_rule(rule_id)
+            if len(expansion) <= 4:
+                assert buffers.short_expansions[rule_id] == expansion
+            else:
+                assert buffers.short_expansions[rule_id] is None
+
+    def test_buffer_rounds_bounded_by_depth(self, few_files_compressed):
+        layout, scheduler, device = make_context(few_files_compressed)
+        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
+        assert buffers.rounds <= few_files_compressed.dag.depth + 1
+
+    def test_memory_pool_sized_by_equation_1(self, tiny_compressed):
+        layout, scheduler, device = make_context(tiny_compressed)
+        pool = MemoryPool(capacity=64 * layout.total_symbols + 4096)
+        build_sequence_buffers(layout, scheduler, device, sequence_length=3, memory_pool=pool)
+        assert pool.used_words > 0
+
+    def _reference_ngrams(self, compressed, length):
+        counts = Counter()
+        for index in range(len(compressed.file_names)):
+            tokens = compressed.expand_file_tokens(index)
+            ids = [compressed.dictionary.lookup(token) for token in tokens]
+            for start in range(len(ids) - length + 1):
+                counts[tuple(ids[start : start + length])] += 1
+        return dict(counts)
+
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5])
+    def test_sequence_counts_match_reference(self, tiny_compressed, length):
+        layout, scheduler, device = make_context(tiny_compressed)
+        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=length)
+        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        counts = sequence_counts(layout, scheduler, device, buffers, weights, length)
+        assert counts == self._reference_ngrams(tiny_compressed, length)
+
+    @pytest.mark.parametrize("length", [2, 3])
+    def test_sequence_counts_on_generated_corpus(self, few_files_compressed, length):
+        layout, scheduler, device = make_context(few_files_compressed)
+        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=length)
+        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        counts = sequence_counts(layout, scheduler, device, buffers, weights, length)
+        assert counts == self._reference_ngrams(few_files_compressed, length)
+
+    def test_mismatched_length_rejected(self, tiny_compressed):
+        layout, scheduler, device = make_context(tiny_compressed)
+        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
+        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        with pytest.raises(ValueError):
+            sequence_counts(layout, scheduler, device, buffers, weights, 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcd"), min_size=0, max_size=40),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_sequence_counts_property(self, token_lists):
+        corpus = Corpus(
+            [Document.from_tokens(f"f{i}", tokens) for i, tokens in enumerate(token_lists)],
+            name="prop",
+        )
+        compressed = compress_corpus(corpus)
+        layout, scheduler, device = make_context(compressed)
+        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
+        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        counts = sequence_counts(layout, scheduler, device, buffers, weights, 3)
+        expected = Counter()
+        for tokens in token_lists:
+            ids = [compressed.dictionary.lookup(token.lower()) for token in tokens]
+            for start in range(len(ids) - 2):
+                expected[tuple(ids[start : start + 3])] += 1
+        assert counts == dict(expected)

@@ -1,0 +1,128 @@
+"""Tests for the corpus/document model, tokenizer and directory loaders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.corpus import Corpus, Document, tokenize
+from repro.data.loaders import load_corpus_dir, save_corpus_dir
+
+
+class TestTokenize:
+    def test_splits_on_whitespace(self):
+        assert tokenize("alpha beta  gamma") == ["alpha", "beta", "gamma"]
+
+    def test_lowercases(self):
+        assert tokenize("Alpha BETA") == ["alpha", "beta"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_newlines_and_tabs(self):
+        assert tokenize("a\nb\tc") == ["a", "b", "c"]
+
+    def test_punctuation_stays_attached(self):
+        assert tokenize("hello, world!") == ["hello,", "world!"]
+
+    @given(st.lists(st.text(alphabet="abcxyz", min_size=1, max_size=6), max_size=20))
+    def test_roundtrip_of_space_joined_tokens(self, tokens):
+        assert tokenize(" ".join(tokens)) == [token.lower() for token in tokens]
+
+
+class TestDocument:
+    def test_tokens_cached(self):
+        document = Document("d", "a b c")
+        assert document.tokens is document.tokens
+
+    def test_num_tokens(self):
+        assert Document("d", "a b c d").num_tokens == 4
+
+    def test_size_bytes_utf8(self):
+        assert Document("d", "abcd").size_bytes == 4
+
+    def test_from_tokens_builds_text(self):
+        document = Document.from_tokens("d", ["x", "y", "z"])
+        assert document.text == "x y z"
+        assert document.tokens == ["x", "y", "z"]
+
+    def test_from_tokens_accepts_any_sequence(self):
+        document = Document.from_tokens("d", ("a", "b"))
+        assert document.tokens == ["a", "b"]
+
+
+class TestCorpus:
+    def test_len_and_iteration(self, tiny_corpus):
+        assert len(tiny_corpus) == 3
+        assert [doc.name for doc in tiny_corpus] == tiny_corpus.file_names
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Corpus([Document("same", "a"), Document("same", "b")])
+
+    def test_getitem(self, tiny_corpus):
+        assert tiny_corpus[0].name == "doc_a.txt"
+
+    def test_num_tokens_is_sum(self, tiny_corpus):
+        assert tiny_corpus.num_tokens == sum(doc.num_tokens for doc in tiny_corpus)
+
+    def test_vocabulary_counts(self):
+        corpus = Corpus.from_texts({"a": "x y x", "b": "x z"})
+        assert corpus.vocabulary == {"x": 3, "y": 1, "z": 1}
+
+    def test_vocabulary_size(self):
+        corpus = Corpus.from_texts({"a": "x y x", "b": "x z"})
+        assert corpus.vocabulary_size == 3
+
+    def test_document_by_name(self, tiny_corpus):
+        assert tiny_corpus.document_by_name("doc_b.txt").name == "doc_b.txt"
+
+    def test_document_by_name_missing(self, tiny_corpus):
+        with pytest.raises(KeyError):
+            tiny_corpus.document_by_name("nope.txt")
+
+    def test_token_streams_preserves_order(self, tiny_corpus):
+        streams = tiny_corpus.token_streams()
+        assert list(streams) == tiny_corpus.file_names
+
+    def test_equality_by_name_and_tokens(self):
+        left = Corpus.from_texts({"a": "x y"})
+        right = Corpus.from_token_streams({"a": ["x", "y"]})
+        assert left == right
+
+    def test_inequality_different_tokens(self):
+        left = Corpus.from_texts({"a": "x y"})
+        right = Corpus.from_texts({"a": "x z"})
+        assert left != right
+
+    def test_from_texts_order_preserved(self):
+        corpus = Corpus.from_texts({"z": "a", "a": "b"})
+        assert corpus.file_names == ["z", "a"]
+
+
+class TestLoaders:
+    def test_save_and_load_roundtrip(self, tiny_corpus, tmp_path):
+        directory = save_corpus_dir(tiny_corpus, tmp_path / "corpus")
+        loaded = load_corpus_dir(directory, name="tiny")
+        assert loaded == tiny_corpus
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus_dir(tmp_path / "absent")
+
+    def test_manifest_preserves_order(self, tmp_path):
+        corpus = Corpus.from_texts({"zz": "one", "aa": "two"})
+        directory = save_corpus_dir(corpus, tmp_path / "ordered")
+        loaded = load_corpus_dir(directory)
+        assert loaded.file_names == ["zz", "aa"]
+
+    def test_load_without_manifest_sorts_names(self, tmp_path):
+        (tmp_path / "b.txt").write_text("bee")
+        (tmp_path / "a.txt").write_text("ay")
+        loaded = load_corpus_dir(tmp_path)
+        assert loaded.file_names == ["a", "b"]
+
+    def test_txt_suffix_added_when_missing(self, tmp_path):
+        corpus = Corpus.from_texts({"plain": "words here"})
+        directory = save_corpus_dir(corpus, tmp_path / "suffix")
+        assert (directory / "plain.txt").exists()

@@ -1,0 +1,146 @@
+"""Tests for the GPU execution-model simulator (device, context, atomics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.context import ThreadContext
+from repro.gpusim.device import GPUDevice
+from repro.perf.counters import GpuRunRecord
+from repro.perf.specs import GTX_1080
+
+
+class TestThreadContext:
+    def test_charge_accumulates(self):
+        ctx = ThreadContext(0, {})
+        ctx.charge(ops=2.0, memory_bytes=8.0)
+        ctx.charge(ops=3.0, shared_bytes=4.0)
+        assert ctx.ops == 5.0
+        assert ctx.memory_bytes == 8.0
+        assert ctx.shared_bytes == 4.0
+
+    def test_atomic_add_updates_and_returns_old(self):
+        tracker = {}
+        ctx = ThreadContext(0, tracker)
+        values = [10, 20]
+        old = ctx.atomic_add(values, 1, 5)
+        assert old == 20
+        assert values[1] == 25
+        assert ctx.atomic_ops == 1.0
+
+    def test_atomic_conflict_tracking(self):
+        tracker = {}
+        values = [0]
+        for tid in range(4):
+            ThreadContext(tid, tracker).atomic_add(values, 0, 1)
+        assert values[0] == 4
+        assert list(tracker.values()) == [4]
+
+    def test_atomic_max(self):
+        ctx = ThreadContext(0, {})
+        values = [5]
+        ctx.atomic_max(values, 0, 3)
+        assert values[0] == 5
+        ctx.atomic_max(values, 0, 9)
+        assert values[0] == 9
+
+    def test_atomic_cas(self):
+        ctx = ThreadContext(0, {})
+        values = [0]
+        swapped, old = ctx.atomic_cas(values, 0, 0, 1)
+        assert swapped and old == 0 and values[0] == 1
+        swapped, old = ctx.atomic_cas(values, 0, 0, 2)
+        assert not swapped and old == 1 and values[0] == 1
+
+
+class TestKernelLaunch:
+    def test_launch_requires_threads(self):
+        device = GPUDevice()
+        with pytest.raises(ValueError):
+            device.launch("noop", lambda tid, ctx: None, 0)
+
+    def test_every_thread_executes(self):
+        device = GPUDevice()
+        seen = []
+        device.launch("collect", lambda tid, ctx: seen.append(tid), 70)
+        assert seen == list(range(70))
+
+    def test_warp_count(self):
+        device = GPUDevice()
+        launch = device.launch("noop", lambda tid, ctx: None, 70)
+        assert launch.stats.num_warps == 3
+        assert launch.stats.num_threads == 70
+
+    def test_warp_serial_ops_is_max_per_warp(self):
+        device = GPUDevice()
+
+        def kernel(tid, ctx):
+            # One heavy thread per warp dominates its warp cost.
+            ctx.charge(ops=100.0 if tid % 32 == 0 else 1.0)
+
+        launch = device.launch("divergent", kernel, 64)
+        assert launch.stats.warp_serial_ops == 200.0
+        assert launch.stats.total_thread_ops == 100.0 * 2 + 62.0
+
+    def test_divergence_ratio_greater_for_imbalanced_warps(self):
+        device = GPUDevice()
+
+        def balanced(tid, ctx):
+            ctx.charge(ops=10.0)
+
+        def imbalanced(tid, ctx):
+            ctx.charge(ops=100.0 if tid == 0 else 1.0)
+
+        balanced_stats = device.launch("balanced", balanced, 32).stats
+        imbalanced_stats = device.launch("imbalanced", imbalanced, 32).stats
+        assert balanced_stats.divergence_ratio == pytest.approx(1.0)
+        assert imbalanced_stats.divergence_ratio > 10.0
+
+    def test_partial_last_warp_counted(self):
+        device = GPUDevice()
+        launch = device.launch("partial", lambda tid, ctx: ctx.charge(ops=1.0), 33)
+        assert launch.stats.warp_serial_ops == 2.0
+
+    def test_atomic_conflicts_recorded_per_launch(self):
+        device = GPUDevice()
+        values = [0]
+
+        def kernel(tid, ctx):
+            ctx.atomic_add(values, 0, 1)
+
+        launch = device.launch("atomics", kernel, 16)
+        assert launch.stats.atomic_ops == 16.0
+        assert launch.stats.atomic_conflicts == 15.0
+
+    def test_memory_bytes_per_thread_charged(self):
+        device = GPUDevice()
+        launch = device.launch("loads", lambda tid, ctx: None, 10, memory_bytes_per_thread=8.0)
+        assert launch.stats.memory_bytes == 80.0
+
+    def test_record_accumulates_launches(self):
+        record = GpuRunRecord()
+        device = GPUDevice(record=record)
+        device.launch("k1", lambda tid, ctx: None, 8)
+        device.launch("k2", lambda tid, ctx: None, 8)
+        assert record.num_launches == 2
+        assert [kernel.name for kernel in record.kernels] == ["k1", "k2"]
+
+    def test_set_record_switches_phase(self):
+        first = GpuRunRecord()
+        second = GpuRunRecord()
+        device = GPUDevice(record=first)
+        device.launch("init", lambda tid, ctx: None, 4)
+        device.set_record(second)
+        device.launch("traversal", lambda tid, ctx: None, 4)
+        assert first.num_launches == 1
+        assert second.num_launches == 1
+
+    def test_pcie_transfers_charged_to_record(self):
+        device = GPUDevice()
+        device.transfer_to_device(1000)
+        device.transfer_to_host(500)
+        assert device.record.pcie_bytes == 1500
+
+    def test_warp_size_follows_spec(self):
+        device = GPUDevice(spec=GTX_1080)
+        assert device.warp_size == 32

@@ -1,0 +1,115 @@
+"""Tests for the thread-safe device hash table (paper Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.context import ThreadContext
+from repro.gpusim.hashtable import DeviceHashTable
+
+
+class TestInsertAdd:
+    def test_insert_and_lookup(self):
+        table = DeviceHashTable(num_buckets=8, capacity=16)
+        table.insert_add(126, 1)
+        assert table.lookup(126) == 1
+
+    def test_missing_key_lookup(self):
+        table = DeviceHashTable(num_buckets=8, capacity=16)
+        assert table.lookup(99) is None
+
+    def test_existing_key_accumulates(self):
+        table = DeviceHashTable(num_buckets=8, capacity=16)
+        table.insert_add(5, 2)
+        table.insert_add(5, 3)
+        assert table.lookup(5) == 5
+        assert len(table) == 1
+
+    def test_chaining_on_bucket_collision(self):
+        # One bucket forces every key into the same chain (Figure 5(d)).
+        table = DeviceHashTable(num_buckets=1, capacity=8)
+        for key in (126, 163, 78):
+            table.insert_add(key, 1)
+        assert table.to_dict() == {126: 1, 163: 1, 78: 1}
+        assert len(table) == 3
+
+    def test_capacity_exhaustion(self):
+        table = DeviceHashTable(num_buckets=4, capacity=2)
+        table.insert_add(1, 1)
+        table.insert_add(2, 1)
+        with pytest.raises(MemoryError):
+            table.insert_add(3, 1)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceHashTable(num_buckets=0, capacity=4)
+        with pytest.raises(ValueError):
+            DeviceHashTable(num_buckets=4, capacity=0)
+
+    def test_items_iterates_all_pairs(self):
+        table = DeviceHashTable.sized_for(10)
+        for key in range(10):
+            table.insert_add(key, key * 2)
+        assert dict(table.items()) == {key: key * 2 for key in range(10)}
+
+    def test_sized_for_has_headroom(self):
+        table = DeviceHashTable.sized_for(100)
+        for key in range(100):
+            table.insert_add(key, 1)
+        assert len(table) == 100
+
+    def test_private_table_without_locks(self):
+        table = DeviceHashTable(num_buckets=4, capacity=8, use_locks=False)
+        table.insert_add(1, 1)
+        table.insert_add(1, 1)
+        assert table.lookup(1) == 2
+        assert int(table.locks.sum()) == 0
+
+
+class TestWorkAccounting:
+    def test_context_charged_for_probes_and_atomics(self):
+        table = DeviceHashTable(num_buckets=4, capacity=8)
+        ctx = ThreadContext(0, {})
+        table.insert_add(7, 1, ctx)
+        assert ctx.ops > 0
+        assert ctx.atomic_ops >= 1  # the lock CAS
+
+    def test_update_of_existing_key_uses_atomic_add(self):
+        table = DeviceHashTable(num_buckets=4, capacity=8)
+        table.insert_add(7, 1)
+        ctx = ThreadContext(1, {})
+        table.insert_add(7, 1, ctx)
+        assert ctx.atomic_ops >= 1
+        assert table.lookup(7) == 2
+
+    def test_locks_released_after_insert(self):
+        table = DeviceHashTable(num_buckets=2, capacity=8)
+        for key in range(6):
+            table.insert_add(key, 1, ThreadContext(key, {}))
+        assert int(table.locks.sum()) == 0
+
+
+class TestAgainstDictModel:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=60), st.integers(min_value=1, max_value=9)),
+            max_size=200,
+        )
+    )
+    def test_matches_python_dict(self, operations):
+        table = DeviceHashTable.sized_for(80)
+        model = {}
+        for key, value in operations:
+            table.insert_add(key, value)
+            model[key] = model.get(key, 0) + value
+        assert table.to_dict() == model
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.permutations(list(range(30))))
+    def test_insertion_order_irrelevant(self, keys):
+        table = DeviceHashTable.sized_for(40)
+        for key in keys:
+            table.insert_add(key, key + 1)
+        assert table.to_dict() == {key: key + 1 for key in range(30)}

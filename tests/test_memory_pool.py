@@ -1,0 +1,111 @@
+"""Tests for G-TADOC's self-managed GPU memory pool."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.memory_pool import MemoryPool
+
+
+class TestAllocation:
+    def test_basic_allocation(self):
+        pool = MemoryPool(capacity=128)
+        allocation = pool.allocate("a", 10)
+        assert allocation.offset == 0
+        assert allocation.size == 10
+
+    def test_alignment_respected(self):
+        pool = MemoryPool(capacity=128, alignment=4)
+        pool.allocate("a", 3)
+        second = pool.allocate("b", 4)
+        assert second.offset % 4 == 0
+        assert second.offset >= 3
+
+    def test_exhaustion_raises(self):
+        pool = MemoryPool(capacity=16)
+        pool.allocate("a", 12)
+        with pytest.raises(MemoryError):
+            pool.allocate("b", 8)
+
+    def test_duplicate_owner_rejected(self):
+        pool = MemoryPool(capacity=64)
+        pool.allocate("a", 4)
+        with pytest.raises(ValueError):
+            pool.allocate("a", 4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(capacity=64).allocate("a", -1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(capacity=0)
+
+    def test_allocate_many(self):
+        pool = MemoryPool(capacity=256)
+        allocations = pool.allocate_many({"a": 8, "b": 16, "c": 4})
+        assert set(allocations) == {"a", "b", "c"}
+        assert pool.check_no_overlap()
+
+    def test_zero_size_allocation_allowed(self):
+        pool = MemoryPool(capacity=64)
+        allocation = pool.allocate("empty", 0)
+        assert allocation.size == 0
+
+
+class TestViews:
+    def test_view_is_writable_and_isolated(self):
+        pool = MemoryPool(capacity=64)
+        a = pool.allocate("a", 8)
+        b = pool.allocate("b", 8)
+        pool.view(a)[:] = 7
+        assert int(pool.view(b).sum()) == 0
+        assert int(pool.view(a).sum()) == 56
+
+    def test_owner_view(self):
+        pool = MemoryPool(capacity=64)
+        pool.allocate("mine", 4)
+        pool.owner_view("mine")[0] = 42
+        assert int(pool.owner_view("mine")[0]) == 42
+
+    def test_allocation_of_missing_owner(self):
+        pool = MemoryPool(capacity=64)
+        assert pool.allocation_of("nobody") is None
+
+
+class TestBookkeeping:
+    def test_used_and_free(self):
+        pool = MemoryPool(capacity=100, alignment=1)
+        pool.allocate("a", 30)
+        assert pool.used_words == 30
+        assert pool.free_words == 70
+        assert pool.used_bytes == 30 * MemoryPool.WORD_BYTES
+
+    def test_reset_clears_everything(self):
+        pool = MemoryPool(capacity=64)
+        pool.allocate("a", 8)
+        pool.owner_view("a")[:] = 3
+        pool.reset()
+        assert pool.used_words == 0
+        assert pool.allocations == []
+        assert int(pool.storage.sum()) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=40))
+    def test_no_overlap_property(self, sizes):
+        pool = MemoryPool(capacity=sum(sizes) * 2 + 8 * len(sizes) + 16)
+        for index, size in enumerate(sizes):
+            pool.allocate(f"owner{index}", size)
+        assert pool.check_no_overlap()
+        assert pool.used_words <= pool.capacity
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=30), min_size=2, max_size=20))
+    def test_views_never_alias(self, sizes):
+        pool = MemoryPool(capacity=sum(sizes) * 2 + 8 * len(sizes) + 16)
+        allocations = [pool.allocate(f"o{i}", size) for i, size in enumerate(sizes)]
+        for index, allocation in enumerate(allocations):
+            pool.view(allocation)[:] = index + 1
+        for index, allocation in enumerate(allocations):
+            assert set(pool.view(allocation).tolist()) == {index + 1}

@@ -1,0 +1,224 @@
+"""Tests for counters, device specs, platforms, cost models and extrapolation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.cost_model import ClusterCostModel, CpuCostModel, GpuCostModel
+from repro.perf.counters import CostCounter, GpuRunRecord, KernelStats, PhaseTiming
+from repro.perf.extrapolation import (
+    dataset_scale_factor,
+    extrapolate_counter,
+    extrapolate_gpu_record,
+)
+from repro.perf.platforms import CLUSTER_PLATFORM, PASCAL, TURING, VOLTA, get_platform, list_platforms
+from repro.perf.specs import E5_2676_V3, GTX_1080, I7_7700K, RTX_2080_TI, TESLA_V100
+
+
+class TestCounters:
+    def test_charge_and_merge(self):
+        counter = CostCounter()
+        counter.charge(compute_ops=5, memory_bytes=10, hash_ops=2)
+        other = CostCounter(compute_ops=1)
+        counter.merge(other)
+        assert counter.compute_ops == 6
+        assert counter.total_ops == 6 + 2
+
+    def test_scaled(self):
+        counter = CostCounter(compute_ops=3, memory_bytes=4, network_messages=2)
+        scaled = counter.scaled(10)
+        assert scaled.compute_ops == 30
+        assert scaled.network_messages == 20
+        assert counter.compute_ops == 3  # original untouched
+
+    def test_add_operator(self):
+        total = CostCounter(compute_ops=1) + CostCounter(compute_ops=2)
+        assert total.compute_ops == 3
+
+    def test_kernel_stats_scaled_keeps_name(self):
+        stats = KernelStats(name="k", num_threads=10, num_warps=1, warp_serial_ops=5)
+        scaled = stats.scaled(3)
+        assert scaled.name == "k"
+        assert scaled.warp_serial_ops == 15
+
+    def test_gpu_record_aggregates(self):
+        record = GpuRunRecord()
+        record.add_kernel(KernelStats(name="a", warp_serial_ops=5, atomic_conflicts=2))
+        record.add_kernel(KernelStats(name="b", warp_serial_ops=7, atomic_conflicts=1))
+        assert record.num_launches == 2
+        assert record.total_warp_serial_ops == 12
+        assert record.total_atomic_conflicts == 3
+
+    def test_phase_timing_speedup(self):
+        ours = PhaseTiming(initialization=1.0, traversal=2.0)
+        baseline = PhaseTiming(initialization=10.0, traversal=40.0)
+        speedups = ours.speedup_over(baseline)
+        assert speedups["initialization"] == 10.0
+        assert speedups["traversal"] == 20.0
+        assert speedups["total"] == pytest.approx(50.0 / 3.0)
+
+
+class TestSpecs:
+    def test_warp_issue_rate(self):
+        assert GTX_1080.warp_issue_rate_gwarps == pytest.approx(20 * 4 * 1.733)
+
+    def test_peak_gops(self):
+        assert GTX_1080.peak_gops == pytest.approx(2560 * 1.733)
+
+    def test_pascal_compute_ratio_near_paper(self):
+        """The paper quotes ~185x GPU/CPU peak ratio on the Pascal platform."""
+        ratio = GTX_1080.peak_gops / I7_7700K.peak_gops
+        assert 100 < ratio < 300
+
+    def test_pascal_bandwidth_ratio_near_paper(self):
+        """The paper quotes ~8.3x memory bandwidth ratio on the Pascal platform."""
+        ratio = GTX_1080.memory_bandwidth_gb_s / I7_7700K.memory_bandwidth_gb_s
+        assert 6 < ratio < 11
+
+    def test_volta_has_most_bandwidth(self):
+        assert TESLA_V100.memory_bandwidth_gb_s > RTX_2080_TI.memory_bandwidth_gb_s
+        assert RTX_2080_TI.memory_bandwidth_gb_s > GTX_1080.memory_bandwidth_gb_s
+
+
+class TestPlatforms:
+    def test_table1_platform_keys(self):
+        assert [platform.key for platform in list_platforms()] == [
+            "Pascal",
+            "Volta",
+            "Turing",
+            "10-node cluster",
+        ]
+
+    def test_gpu_only_filter(self):
+        assert all(platform.has_gpu for platform in list_platforms(gpu_only=True))
+        assert len(list_platforms(gpu_only=True)) == 3
+
+    def test_cluster_platform_shape(self):
+        assert CLUSTER_PLATFORM.num_nodes == 10
+        assert CLUSTER_PLATFORM.gpu is None
+        assert CLUSTER_PLATFORM.cpu == E5_2676_V3
+
+    def test_get_platform_case_insensitive(self):
+        assert get_platform("pascal") is PASCAL
+        assert get_platform("VOLTA") is VOLTA
+
+    def test_get_platform_unknown(self):
+        with pytest.raises(KeyError):
+            get_platform("Ampere")
+
+    def test_summary_row_matches_table1(self):
+        row = PASCAL.summary_row()
+        assert row["GPU"] == "GeForce GTX 1080"
+        assert row["Compiler"] == "CUDA 8"
+        assert TURING.summary_row()["Compiler"] == "CUDA 11.0"
+
+
+class TestCpuCostModel:
+    def test_more_work_never_cheaper(self):
+        model = CpuCostModel(I7_7700K)
+        small = CostCounter(compute_ops=1e6, memory_bytes=1e6, hash_ops=1e4)
+        large = CostCounter(compute_ops=2e6, memory_bytes=2e6, hash_ops=2e4)
+        assert model.time_seconds(large) >= model.time_seconds(small)
+
+    def test_hash_latency_dominates_pointer_chasing(self):
+        model = CpuCostModel(I7_7700K)
+        compute_bound = CostCounter(compute_ops=1e6)
+        latency_bound = CostCounter(hash_ops=1e6)
+        assert model.time_seconds(latency_bound) > model.time_seconds(compute_bound)
+
+    def test_multithreading_helps(self):
+        counter = CostCounter(compute_ops=1e9, memory_bytes=1e8, hash_ops=1e6)
+        single = CpuCostModel(E5_2676_V3, threads=1).time_seconds(counter)
+        multi = CpuCostModel(E5_2676_V3, threads=12).time_seconds(counter)
+        assert multi < single
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0, max_value=1e9), st.floats(min_value=0, max_value=1e9))
+    def test_monotone_in_ops(self, ops_a, ops_b):
+        model = CpuCostModel(I7_7700K)
+        low, high = sorted([ops_a, ops_b])
+        assert model.time_seconds(CostCounter(compute_ops=high)) >= model.time_seconds(
+            CostCounter(compute_ops=low)
+        )
+
+
+class TestGpuCostModel:
+    def test_launch_overhead_floor(self):
+        model = GpuCostModel(GTX_1080)
+        empty = KernelStats(name="noop", num_threads=1, num_warps=1)
+        assert model.kernel_time_seconds(empty) >= GTX_1080.kernel_launch_overhead_s
+
+    def test_atomic_conflicts_cost_extra(self):
+        model = GpuCostModel(GTX_1080)
+        base = KernelStats(name="k", warp_serial_ops=10, atomic_ops=1e7)
+        conflicted = KernelStats(name="k", warp_serial_ops=10, atomic_ops=1e7, atomic_conflicts=1e7)
+        assert model.kernel_time_seconds(conflicted) > model.kernel_time_seconds(base)
+
+    def test_faster_gpu_is_faster(self):
+        stats = KernelStats(name="k", warp_serial_ops=1e9, memory_bytes=1e9)
+        record = GpuRunRecord(kernels=[stats])
+        pascal = GpuCostModel(GTX_1080).time_seconds(record)
+        volta = GpuCostModel(TESLA_V100).time_seconds(record)
+        assert volta < pascal
+
+    def test_pcie_bytes_add_time(self):
+        model = GpuCostModel(GTX_1080)
+        without = GpuRunRecord(kernels=[KernelStats(name="k")])
+        with_pcie = GpuRunRecord(kernels=[KernelStats(name="k")], pcie_bytes=1e9)
+        assert model.time_seconds(with_pcie) > model.time_seconds(without)
+
+    def test_host_model_included(self):
+        model = GpuCostModel(GTX_1080)
+        record = GpuRunRecord(kernels=[KernelStats(name="k")])
+        record.host_counter.charge(compute_ops=1e9)
+        host_model = CpuCostModel(I7_7700K)
+        assert model.time_seconds(record, host_model) > model.time_seconds(record)
+
+
+class TestClusterCostModel:
+    def test_straggler_bounds_compute(self):
+        model = ClusterCostModel(node_spec=E5_2676_V3)
+        fast = CostCounter(compute_ops=1e6)
+        slow = CostCounter(compute_ops=1e10)
+        time_balanced = model.time_seconds([fast, fast])
+        time_straggler = model.time_seconds([fast, slow])
+        assert time_straggler > time_balanced
+
+    def test_shuffle_adds_network_time(self):
+        model = ClusterCostModel(node_spec=E5_2676_V3)
+        nodes = [CostCounter(compute_ops=1e6)]
+        shuffle = CostCounter(network_bytes=1e9, network_messages=10)
+        assert model.time_seconds(nodes, shuffle) > model.time_seconds(nodes)
+
+    def test_framework_overhead_scales_with_stages(self):
+        model = ClusterCostModel(node_spec=E5_2676_V3)
+        nodes = [CostCounter()]
+        assert model.time_seconds(nodes, num_stages=3) > model.time_seconds(nodes, num_stages=1)
+
+
+class TestExtrapolation:
+    def test_scale_factor(self):
+        assert dataset_scale_factor(1000, 10) == 100.0
+        assert dataset_scale_factor(5, 10) == 1.0
+
+    def test_scale_factor_requires_positive_measurement(self):
+        with pytest.raises(ValueError):
+            dataset_scale_factor(100, 0)
+
+    def test_counter_extrapolation_keeps_messages(self):
+        counter = CostCounter(compute_ops=10, network_bytes=5, network_messages=3)
+        scaled = extrapolate_counter(counter, 100)
+        assert scaled.compute_ops == 1000
+        assert scaled.network_bytes == 500
+        assert scaled.network_messages == 3
+
+    def test_counter_extrapolation_rejects_shrinking(self):
+        with pytest.raises(ValueError):
+            extrapolate_counter(CostCounter(), 0.5)
+
+    def test_gpu_record_extrapolation_keeps_launch_count(self):
+        record = GpuRunRecord(kernels=[KernelStats(name="k", warp_serial_ops=2)] * 3)
+        scaled = extrapolate_gpu_record(record, 50)
+        assert scaled.num_launches == 3
+        assert scaled.kernels[0].warp_serial_ops == 100

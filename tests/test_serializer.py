@@ -1,0 +1,65 @@
+"""Tests for the compressed-corpus on-disk format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.compression.serializer import load_compressed, save_compressed, to_flat_numbering
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_grammar(self, tiny_compressed, tmp_path):
+        path = save_compressed(tiny_compressed, tmp_path / "tiny.json")
+        loaded = load_compressed(path)
+        assert loaded.grammar == tiny_compressed.grammar
+        assert loaded.dictionary == tiny_compressed.dictionary
+        assert loaded.file_names == tiny_compressed.file_names
+        assert loaded.splitter_ids == tiny_compressed.splitter_ids
+
+    def test_roundtrip_preserves_decompression(self, tiny_corpus, tiny_compressed, tmp_path):
+        path = save_compressed(tiny_compressed, tmp_path / "tiny.json")
+        assert load_compressed(path).decompress() == tiny_corpus
+
+    def test_roundtrip_single_file(self, single_file_compressed, tmp_path):
+        path = save_compressed(single_file_compressed, tmp_path / "single.json")
+        loaded = load_compressed(path)
+        assert loaded.statistics().num_files == 1
+
+    def test_parent_directories_created(self, tiny_compressed, tmp_path):
+        path = save_compressed(tiny_compressed, tmp_path / "nested" / "dir" / "data.json")
+        assert path.exists()
+
+    def test_unsupported_version_rejected(self, tiny_compressed, tmp_path):
+        path = save_compressed(tiny_compressed, tmp_path / "tiny.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_compressed(path)
+
+    def test_original_sizes_preserved(self, tiny_compressed, tmp_path):
+        path = save_compressed(tiny_compressed, tmp_path / "tiny.json")
+        loaded = load_compressed(path)
+        assert loaded.original_tokens == tiny_compressed.original_tokens
+        assert loaded.original_size_bytes == tiny_compressed.original_size_bytes
+
+
+class TestFlatNumbering:
+    def test_rule_ids_offset_by_symbol_count(self, tiny_compressed):
+        flat = to_flat_numbering(tiny_compressed)
+        offset = tiny_compressed.dictionary.num_symbols
+        assert flat["rule_id_offset"] == offset
+        for body in flat["rules"]:
+            for symbol in body:
+                assert symbol >= 0
+
+    def test_flat_rule_count_matches(self, tiny_compressed):
+        flat = to_flat_numbering(tiny_compressed)
+        assert len(flat["rules"]) == len(tiny_compressed.grammar)
+
+    def test_flat_bodies_have_same_lengths(self, tiny_compressed):
+        flat = to_flat_numbering(tiny_compressed)
+        for body, rule in zip(flat["rules"], tiny_compressed.grammar):
+            assert len(body) == len(rule)
