@@ -1,0 +1,78 @@
+"""Batch amortization — initialization charged once across the task suite.
+
+The paper's Figure 3 splits a run into an initialization phase and a
+graph-traversal phase, and TADOC's whole premise is that compressed
+data structures are built once and reused across many analytics
+queries.  ``GTadoc.run_batch`` applies that to the serving path: one
+batch over the six CompressDirect tasks pays data-structure
+preparation, the light-weight scans, local-table construction, rule
+weights and head/tail buffers a single time, while each task only adds
+its marginal traversal kernels.
+
+This benchmark records, for every Table II dataset analogue, the total
+simulated kernel launches and compute ops of batched vs. per-task
+execution, plus the init-phase share, and asserts that batching strictly
+reduces both while producing bit-identical per-task results.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiment import ExperimentRunner
+from repro.bench.tables import format_table, save_report
+from repro.data.generators import list_datasets
+
+
+def _build_report(runner: ExperimentRunner) -> str:
+    rows = []
+    for dataset in list_datasets():
+        stats = runner.batch_amortization(dataset)
+        assert stats.results_match, f"batched results diverged on dataset {dataset}"
+        assert stats.batch_launches < stats.sequential_launches, (
+            f"batching must reduce kernel launches on dataset {dataset}"
+        )
+        assert stats.batch_ops < stats.sequential_ops, (
+            f"batching must reduce simulated compute ops on dataset {dataset}"
+        )
+        assert stats.batch_init_launches < stats.sequential_init_launches, (
+            f"batching must run the init phase once on dataset {dataset}"
+        )
+        rows.append(
+            [
+                dataset,
+                f"{stats.sequential_launches:6d}",
+                f"{stats.batch_launches:6d}",
+                f"{stats.launch_reduction * 100:5.1f}%",
+                f"{stats.sequential_ops:12.0f}",
+                f"{stats.batch_ops:12.0f}",
+                f"{stats.ops_reduction * 100:5.1f}%",
+                f"{stats.sequential_init_launches:4d}",
+                f"{stats.batch_init_launches:4d}",
+            ]
+        )
+    table = format_table(
+        [
+            "dataset",
+            "seq launches",
+            "batch launches",
+            "launch cut",
+            "seq ops",
+            "batch ops",
+            "ops cut",
+            "seq init",
+            "batch init",
+        ],
+        rows,
+        title="Batch amortization: one run_batch vs per-task runs (all six tasks)",
+    )
+    summary = (
+        "Per-task results are bit-identical to fresh single-task runs; the "
+        "Figure-3 initialization phase runs once per batch instead of once "
+        "per task."
+    )
+    return table + "\n\n" + summary
+
+
+def test_batch_amortization(benchmark, runner) -> None:
+    report = benchmark.pedantic(_build_report, args=(runner,), rounds=1, iterations=1)
+    save_report("batch_amortization", report)
+    print("\n" + report)

@@ -47,14 +47,12 @@ def main() -> None:
         show_top_sequences(outcome.result, length)
 
     # Peek at the head/tail machinery for a few rules.
-    from repro.core import FineGrainedScheduler, build_sequence_buffers
+    from repro.core import build_sequence_buffers
     from repro.core.layout import DeviceRuleLayout
     from repro.gpusim import GPUDevice
 
     layout = DeviceRuleLayout.from_compressed(compressed)
-    buffers = build_sequence_buffers(
-        layout, FineGrainedScheduler(layout), GPUDevice(), sequence_length=3
-    )
+    buffers = build_sequence_buffers(layout, GPUDevice(), sequence_length=3)
     dictionary = compressed.dictionary
     print("\nhead/tail buffers of the first few rules (sequence length 3):")
     for rule_id in range(1, min(6, layout.num_rules)):

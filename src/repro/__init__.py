@@ -28,7 +28,14 @@ Quick start::
 
 from repro.analytics import Task, UncompressedAnalytics, results_equal
 from repro.compression import CompressedCorpus, TadocCompressor, compress_corpus
-from repro.core import GTadoc, GTadocConfig, GTadocRunResult, TraversalStrategy
+from repro.core import (
+    DeviceSession,
+    GTadoc,
+    GTadocBatchResult,
+    GTadocConfig,
+    GTadocRunResult,
+    TraversalStrategy,
+)
 from repro.data import Corpus, Document, generate_dataset
 
 __version__ = "1.0.0"
@@ -44,6 +51,8 @@ __all__ = [
     "GTadoc",
     "GTadocConfig",
     "GTadocRunResult",
+    "GTadocBatchResult",
+    "DeviceSession",
     "TraversalStrategy",
     "Corpus",
     "Document",

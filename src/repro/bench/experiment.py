@@ -17,7 +17,7 @@ from repro.baselines.cpu_tadoc import CpuTadoc, CpuTadocRunResult
 from repro.baselines.distributed import DistributedTadoc, DistributedRunResult
 from repro.baselines.gpu_uncompressed import GpuUncompressedAnalytics, GpuUncompressedRunResult
 from repro.compression.compressor import CompressedCorpus, compress_corpus
-from repro.core.engine import GTadoc, GTadocConfig, GTadocRunResult
+from repro.core.engine import GTadoc, GTadocBatchResult, GTadocConfig, GTadocRunResult
 from repro.core.strategy import TraversalStrategy
 from repro.data.corpus import Corpus
 from repro.data.generators import DATASET_SPECS, DatasetSpec, generate_dataset
@@ -30,7 +30,13 @@ from repro.perf.extrapolation import (
 )
 from repro.perf.platforms import CLUSTER_PLATFORM, Platform, list_platforms
 
-__all__ = ["ExperimentConfig", "DatasetBundle", "SpeedupRow", "ExperimentRunner"]
+__all__ = [
+    "ExperimentConfig",
+    "DatasetBundle",
+    "SpeedupRow",
+    "BatchAmortization",
+    "ExperimentRunner",
+]
 
 
 @dataclass
@@ -95,6 +101,42 @@ class SpeedupRow:
         return self.tadoc.traversal / self.gtadoc.traversal
 
 
+@dataclass
+class BatchAmortization:
+    """Batched vs. per-task execution of one dataset's full task suite.
+
+    ``sequential_*`` totals are summed over fresh single-task runs;
+    ``batch_*`` totals come from one :meth:`GTadoc.run_batch` over the
+    same tasks (shared init + shared state + per-task marginals).
+    """
+
+    dataset: str
+    tasks: Tuple[Task, ...]
+    sequential_launches: int
+    batch_launches: int
+    sequential_ops: float
+    batch_ops: float
+    sequential_init_launches: int
+    batch_init_launches: int
+    sequential_init_ops: float
+    batch_init_ops: float
+    results_match: bool
+
+    @property
+    def launch_reduction(self) -> float:
+        """Fraction of kernel launches removed by batching."""
+        if self.sequential_launches <= 0:
+            return 0.0
+        return 1.0 - self.batch_launches / self.sequential_launches
+
+    @property
+    def ops_reduction(self) -> float:
+        """Fraction of simulated compute ops removed by batching."""
+        if self.sequential_ops <= 0:
+            return 0.0
+        return 1.0 - self.batch_ops / self.sequential_ops
+
+
 class ExperimentRunner:
     """Prepare datasets, run engines once, price them per platform."""
 
@@ -102,6 +144,9 @@ class ExperimentRunner:
         self.config = config or ExperimentConfig()
         self._bundles: Dict[str, DatasetBundle] = {}
         self._gtadoc_runs: Dict[Tuple[str, Task, Optional[TraversalStrategy]], GTadocRunResult] = {}
+        self._gtadoc_batches: Dict[
+            Tuple[str, Tuple[Task, ...], Optional[TraversalStrategy]], GTadocBatchResult
+        ] = {}
         self._cpu_runs: Dict[Tuple[str, Task], CpuTadocRunResult] = {}
         self._distributed_runs: Dict[Tuple[str, Task], DistributedRunResult] = {}
         self._gpu_uncompressed_runs: Dict[Tuple[str, Task], GpuUncompressedRunResult] = {}
@@ -130,22 +175,85 @@ class ExperimentRunner:
         return self._bundles[key]
 
     # -- engine runs (functional, cached) --------------------------------------------------------
+    def gtadoc_engine(self, key: str) -> GTadoc:
+        """The (cached) G-TADOC engine for dataset ``key``."""
+        if key not in self._engines:
+            bundle = self.bundle(key)
+            self._engines[key] = GTadoc(
+                bundle.compressed,
+                config=GTadocConfig(
+                    sequence_length=self.config.sequence_length,
+                    needs_pcie_transfer=key in self.config.pcie_datasets,
+                ),
+            )
+        return self._engines[key]
+
     def gtadoc_run(
         self, key: str, task: Task, traversal: Optional[TraversalStrategy] = None
     ) -> GTadocRunResult:
         cache_key = (key, task, traversal)
         if cache_key not in self._gtadoc_runs:
-            bundle = self.bundle(key)
-            if key not in self._engines:
-                self._engines[key] = GTadoc(
-                    bundle.compressed,
-                    config=GTadocConfig(
-                        sequence_length=self.config.sequence_length,
-                        needs_pcie_transfer=key in self.config.pcie_datasets,
-                    ),
-                )
-            self._gtadoc_runs[cache_key] = self._engines[key].run(task, traversal=traversal)
+            self._gtadoc_runs[cache_key] = self.gtadoc_engine(key).run(task, traversal=traversal)
         return self._gtadoc_runs[cache_key]
+
+    def gtadoc_batch_run(
+        self,
+        key: str,
+        tasks: Optional[Tuple[Task, ...]] = None,
+        traversal: Optional[TraversalStrategy] = None,
+    ) -> GTadocBatchResult:
+        """One amortized batch over ``tasks`` (cached, isolated session).
+
+        The batch runs on a fresh session so the recorded shared work is
+        exactly one batch's worth, regardless of what ran before.
+        """
+        tasks = tuple(Task.all() if tasks is None else tasks)
+        cache_key = (key, tasks, traversal)
+        if cache_key not in self._gtadoc_batches:
+            engine = self.gtadoc_engine(key)
+            self._gtadoc_batches[cache_key] = engine.run_batch(
+                tasks, traversal=traversal, session=engine.session.fresh()
+            )
+        return self._gtadoc_batches[cache_key]
+
+    def batch_amortization(
+        self, key: str, tasks: Optional[Tuple[Task, ...]] = None
+    ) -> BatchAmortization:
+        """Compare one batched execution with per-task runs on dataset ``key``."""
+        tasks = tuple(Task.all() if tasks is None else tasks)
+        singles = [self.gtadoc_run(key, task) for task in tasks]
+        batch = self.gtadoc_batch_run(key, tasks)
+
+        sequential_launches = sum(run.total_kernel_launches for run in singles)
+        sequential_ops = sum(
+            run.init_record.total_ops + run.traversal_record.total_ops for run in singles
+        )
+        sequential_init_launches = sum(run.init_record.num_launches for run in singles)
+        sequential_init_ops = sum(run.init_record.total_ops for run in singles)
+
+        batch_launches = batch.total_kernel_launches
+        batch_ops = (
+            batch.init_record.total_ops
+            + batch.shared_record.total_ops
+            + sum(
+                result.init_record.total_ops + result.traversal_record.total_ops
+                for result in batch.values()
+            )
+        )
+        results_match = all(batch[task].result == self.gtadoc_run(key, task).result for task in tasks)
+        return BatchAmortization(
+            dataset=key,
+            tasks=tasks,
+            sequential_launches=sequential_launches,
+            batch_launches=batch_launches,
+            sequential_ops=sequential_ops,
+            batch_ops=batch_ops,
+            sequential_init_launches=sequential_init_launches,
+            batch_init_launches=batch.init_record.num_launches,
+            sequential_init_ops=sequential_init_ops,
+            batch_init_ops=batch.init_record.total_ops,
+            results_match=results_match,
+        )
 
     def cpu_tadoc_run(self, key: str, task: Task) -> CpuTadocRunResult:
         cache_key = (key, task)

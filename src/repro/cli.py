@@ -6,8 +6,10 @@ Four sub-commands cover the CompressDirect-style workflow:
     Compress a directory of text files (or a generated dataset
     analogue) into the TADOC format.
 ``gtadoc run``
-    Run one of the six analytics tasks on a compressed corpus with the
-    G-TADOC engine and print the top results.
+    Run one or more of the six analytics tasks on a compressed corpus
+    with the G-TADOC engine and print the top results.  Passing several
+    tasks (or ``--task all``) runs them as one batch that charges the
+    initialization phase once.
 ``gtadoc info``
     Print Table II style statistics of a compressed corpus.
 ``gtadoc bench``
@@ -50,9 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--scale", type=float, default=0.25, help="dataset analogue scale")
     compress.add_argument("--output", required=True, help="output .json path")
 
-    run = subparsers.add_parser("run", help="run an analytics task on compressed data")
+    run = subparsers.add_parser("run", help="run analytics task(s) on compressed data")
     run.add_argument("--compressed", required=True, help="path written by 'gtadoc compress'")
-    run.add_argument("--task", required=True, choices=[task.value for task in Task])
+    run.add_argument(
+        "--task",
+        required=True,
+        help=(
+            "task name, a comma-separated list, or 'all'; multiple tasks run "
+            "as one batch that pays initialization once "
+            f"(tasks: {', '.join(task.value for task in Task)})"
+        ),
+    )
     run.add_argument("--traversal", choices=["top_down", "bottom_up"], default=None)
     run.add_argument("--top", type=int, default=10, help="number of result entries to print")
 
@@ -101,22 +111,69 @@ def _format_result_preview(task: Task, result, top: int) -> List[str]:
     return lines
 
 
+def _parse_tasks(raw: str) -> List[Task]:
+    """Parse ``--task``: one name, a comma-separated list, or ``all``.
+
+    Duplicates collapse to one entry (keeping first-seen order), so a
+    repeated single task still takes the single-run path.
+    """
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    if not names:
+        raise ValueError("no task given")
+    wants_all = False
+    tasks: List[Task] = []
+    for name in names:
+        if name.lower() == "all":
+            wants_all = True
+        else:
+            tasks.append(Task.from_name(name))
+    if wants_all:
+        return Task.all()
+    return list(dict.fromkeys(tasks))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        tasks = _parse_tasks(args.task)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     compressed = load_compressed(args.compressed)
-    task = Task.from_name(args.task)
     traversal = None
     if args.traversal:
         from repro.core.strategy import TraversalStrategy
 
         traversal = TraversalStrategy(args.traversal)
     engine = GTadoc(compressed, config=GTadocConfig())
-    outcome = engine.run(task, traversal=traversal)
-    print(f"task: {task.value}   traversal: {outcome.strategy.value}")
-    print(f"kernel launches: {outcome.total_kernel_launches}")
-    print(f"memory pool: {outcome.memory_pool_bytes} bytes")
-    print("top results:")
-    for line in _format_result_preview(task, outcome.result, args.top):
-        print(f"  {line}")
+
+    if len(tasks) == 1:
+        task = tasks[0]
+        outcome = engine.run(task, traversal=traversal)
+        print(f"task: {task.value}   traversal: {outcome.strategy.value}")
+        print(f"kernel launches: {outcome.total_kernel_launches}")
+        print(f"memory pool: {outcome.memory_pool_bytes} bytes")
+        print("top results:")
+        for line in _format_result_preview(task, outcome.result, args.top):
+            print(f"  {line}")
+        return 0
+
+    batch = engine.run_batch(tasks, traversal=traversal)
+    print(f"batch: {len(batch)} tasks, initialization charged once")
+    print(
+        f"shared kernel launches: {batch.shared_kernel_launches} "
+        f"(init {batch.init_record.num_launches}, "
+        f"shared state {batch.shared_record.num_launches})"
+    )
+    print(f"total kernel launches: {batch.total_kernel_launches}")
+    print(f"memory pool: {batch.memory_pool_bytes} bytes")
+    for task, outcome in batch.items():
+        print(
+            f"\ntask: {task.value}   traversal: {outcome.strategy.value}   "
+            f"marginal launches: {outcome.total_kernel_launches}"
+        )
+        print("top results:")
+        for line in _format_result_preview(task, outcome.result, args.top):
+            print(f"  {line}")
     return 0
 
 

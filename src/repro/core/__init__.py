@@ -13,12 +13,18 @@ The sub-modules map onto the paper's sections:
   (Figures 6-8),
 * :mod:`repro.core.strategy` — the adaptive traversal-strategy selector,
 * :mod:`repro.core.tuning` — greedy parameter selection,
+* :mod:`repro.core.session` — the long-lived :class:`DeviceSession`
+  caching shared device state across queries,
+* :mod:`repro.core.plans` — the declarative task-plan registry
+  (required session state + marginal traversal program per task),
 * :mod:`repro.core.engine` — the :class:`GTadoc` facade tying it all
-  together.
+  together (single runs, amortized batches).
 """
 
-from repro.core.engine import GTadoc, GTadocConfig, GTadocRunResult
+from repro.core.engine import GTadoc, GTadocBatchResult, GTadocConfig, GTadocRunResult
 from repro.core.layout import DeviceRuleLayout
+from repro.core.plans import PLAN_REGISTRY, TaskPlan, plan_for
+from repro.core.session import DeviceSession, StateKey, sequence_buffers_key
 from repro.core.scheduler import (
     FineGrainedScheduler,
     ThreadAssignment,
@@ -32,6 +38,13 @@ __all__ = [
     "GTadoc",
     "GTadocConfig",
     "GTadocRunResult",
+    "GTadocBatchResult",
+    "DeviceSession",
+    "StateKey",
+    "sequence_buffers_key",
+    "TaskPlan",
+    "PLAN_REGISTRY",
+    "plan_for",
     "DeviceRuleLayout",
     "FineGrainedScheduler",
     "ThreadAssignment",

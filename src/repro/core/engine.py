@@ -1,4 +1,4 @@
-"""The G-TADOC engine: phases, task programs, result assembly.
+"""The G-TADOC engine: session state, task plans, result assembly.
 
 :class:`GTadoc` is the library's main entry point (the equivalent of
 the CompressDirect GPU interfaces in section V of the paper).  A run
@@ -13,69 +13,50 @@ has the two phases of Figure 3:
   the adaptive strategy selector, followed by result reduction/merging
   into global thread-safe tables.
 
-The engine records each phase's kernels in a separate
-:class:`~repro.perf.counters.GpuRunRecord`, so the same functional run
-can be priced on any of the Table I GPUs afterwards.
+The engine is layered: a :class:`~repro.core.session.DeviceSession`
+owns the long-lived cached device state, the
+:mod:`~repro.core.plans` registry declares what each task needs and how
+its marginal traversal runs, and the engine orchestrates the two.
+
+* :meth:`GTadoc.run` executes one task on a *fresh* session — the full
+  per-query cost, recorded per phase, exactly as the paper measures a
+  single run.
+* :meth:`GTadoc.run_batch` executes many tasks against the engine's
+  persistent session: initialization and shared-state construction are
+  charged once at batch level, and each task's record reflects only its
+  marginal traversal work.  :meth:`GTadoc.run_all` is a batch over all
+  six CompressDirect tasks.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.analytics.base import Task, TaskResult, normalize_result
-from repro.analytics.derive import (
-    decode_per_file_counts,
-    decode_sequence_counts,
-    decode_word_counts,
-    per_file_counts_to_inverted_index,
-    per_file_counts_to_ranked_inverted_index,
-    per_file_counts_to_term_vector,
-    word_count_to_sort,
-)
 from repro.compression.compressor import CompressedCorpus
 from repro.core.layout import DeviceRuleLayout
-from repro.core.scheduler import DEFAULT_OVERSIZE_THRESHOLD, FineGrainedScheduler
-from repro.core.sequence import build_sequence_buffers, sequence_counts
+from repro.core.plans import TaskPlan, plan_for
+from repro.core.session import BASE_INIT, DeviceSession, GTadocConfig
 from repro.core.strategy import StrategyDecision, TraversalStrategy, TraversalStrategySelector
-from repro.core.traversal import (
-    bottomup_per_file_counts,
-    bottomup_word_count,
-    build_local_tables_bottomup,
-    compute_rule_weights_topdown,
-    prepare_bottomup,
-    topdown_per_file_counts,
-    topdown_word_count,
-)
 from repro.gpusim.device import GPUDevice
-from repro.gpusim.memory_pool import MemoryPool
-from repro.perf import workcosts as wc
 from repro.perf.counters import GpuRunRecord
 
-__all__ = ["GTadocConfig", "GTadocRunResult", "GTadoc"]
-
-
-@dataclass
-class GTadocConfig:
-    """Tunable parameters of the engine (paper §IV-B "Parameter selection")."""
-
-    #: Sequence length for sequence-sensitive tasks.
-    sequence_length: int = 3
-    #: A rule gets a thread group once it exceeds this multiple of the
-    #: average elements-per-thread (paper default: 16).
-    oversize_threshold: float = DEFAULT_OVERSIZE_THRESHOLD
-    #: Upper bound on a rule's thread-group size.
-    max_group_size: int = 256
-    #: Manage per-rule buffers through the self-maintained memory pool.
-    use_memory_pool: bool = True
-    #: Charge PCIe transfers of the compressed data (large datasets that do
-    #: not fit in GPU memory; see §VI-A "Methodology").
-    needs_pcie_transfer: bool = False
+__all__ = ["GTadocConfig", "GTadocRunResult", "GTadocBatchResult", "GTadoc"]
 
 
 @dataclass
 class GTadocRunResult:
-    """Everything one :meth:`GTadoc.run` call produces."""
+    """Everything one :meth:`GTadoc.run` call produces.
+
+    For results coming out of :meth:`GTadoc.run_batch`, every field is
+    marginal: ``init_record`` holds only the task's own initialization
+    work (usually none — shared initialization is charged once on the
+    batch), ``traversal_record`` only its marginal traversal kernels,
+    and ``memory_pool_bytes`` only the pool growth the task caused
+    (cumulative pool usage lives on the batch result).
+    """
 
     task: Task
     result: TaskResult
@@ -91,191 +72,194 @@ class GTadocRunResult:
         return self.init_record.num_launches + self.traversal_record.num_launches
 
 
+@dataclass
+class GTadocBatchResult(Mapping):
+    """Outcome of :meth:`GTadoc.run_batch`: per-task results + shared records.
+
+    Behaves as a mapping from :class:`Task` to :class:`GTadocRunResult`,
+    so existing ``run_all`` callers keep working.  ``init_record`` holds
+    the Figure-3 initialization work charged once for the whole batch;
+    ``shared_record`` the shared traversal-state construction (local
+    tables, rule/file weights) likewise charged once.
+    """
+
+    results: Dict[Task, GTadocRunResult]
+    init_record: GpuRunRecord
+    shared_record: GpuRunRecord
+    memory_pool_bytes: int
+
+    # -- mapping interface ----------------------------------------------------------------
+    def __getitem__(self, task: Union[Task, str]) -> GTadocRunResult:
+        if isinstance(task, str):
+            try:
+                task = Task.from_name(task)
+            except ValueError:
+                raise KeyError(task) from None
+        return self.results[task]
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # -- aggregates -----------------------------------------------------------------------
+    @property
+    def tasks(self) -> List[Task]:
+        return list(self.results)
+
+    @property
+    def total_kernel_launches(self) -> int:
+        """Batch-level launches: shared init + shared state + per-task marginals."""
+        return (
+            self.init_record.num_launches
+            + self.shared_record.num_launches
+            + sum(result.total_kernel_launches for result in self.results.values())
+        )
+
+    @property
+    def shared_kernel_launches(self) -> int:
+        return self.init_record.num_launches + self.shared_record.num_launches
+
+
 class GTadoc:
     """GPU-based text analytics directly on TADOC-compressed data."""
 
     def __init__(self, compressed: CompressedCorpus, config: Optional[GTadocConfig] = None) -> None:
         self.compressed = compressed
-        self.config = config or GTadocConfig()
-        self._layout: Optional[DeviceRuleLayout] = None
+        self._session = DeviceSession(compressed, config or GTadocConfig())
 
     # -- shared pieces -----------------------------------------------------------------
     @property
+    def session(self) -> DeviceSession:
+        """The engine's persistent device session (batch/serving state)."""
+        return self._session
+
+    @property
+    def config(self) -> GTadocConfig:
+        return self._session.config
+
+    @config.setter
+    def config(self, config: GTadocConfig) -> None:
+        self._session.configure(config)
+
+    def configure(self, config: GTadocConfig) -> None:
+        """Adopt a new config, invalidating cached session state if it changed."""
+        self._session.configure(config)
+
+    @property
     def layout(self) -> DeviceRuleLayout:
         """The device layout (built once and reused across runs)."""
-        if self._layout is None:
-            self._layout = DeviceRuleLayout.from_compressed(self.compressed)
-        return self._layout
-
-    def _make_scheduler(self) -> FineGrainedScheduler:
-        return FineGrainedScheduler(
-            self.layout,
-            oversize_threshold=self.config.oversize_threshold,
-            max_group_size=self.config.max_group_size,
-        )
-
-    def _make_memory_pool(self) -> Optional[MemoryPool]:
-        if not self.config.use_memory_pool:
-            return None
-        layout = self.layout
-        sequence_slack = layout.num_rules * (4 * self.config.sequence_length + 8)
-        capacity = 4 * layout.estimated_local_table_entries() + sequence_slack + 4096
-        return MemoryPool(capacity=capacity)
-
-    def _run_init_common(self, device: GPUDevice) -> None:
-        """Initialization work every task shares (Figure 3, left box)."""
-        layout = self.layout
-        if self.config.needs_pcie_transfer:
-            device.transfer_to_device(layout.device_footprint_bytes())
-        # Host-side control: preparing launch configurations and the result
-        # buffers is proportional to the number of rules, not to the data.
-        device.record.host_counter.charge(
-            compute_ops=4.0 * layout.num_rules, memory_bytes=8.0 * layout.num_rules
-        )
-
-        def prep_kernel(tid: int, ctx) -> None:
-            rule_id = tid
-            if rule_id >= layout.num_rules:
-                return
-            # Each thread formats its rule's adjacency and local word table
-            # into the device layout (the "data structure preparation" +
-            # "light-weight scanning" box of Figure 3).
-            length = layout.rule_lengths[rule_id]
-            ctx.charge(
-                ops=wc.SYMBOL_VISIT_OPS * length + wc.MASK_CHECK_OPS,
-                memory_bytes=wc.SYMBOL_VISIT_BYTES * length,
-            )
-
-        device.launch("dataStructurePrepKernel", prep_kernel, max(1, layout.num_rules))
+        return self._session.layout
 
     # -- public API -----------------------------------------------------------------------
-    def run(self, task: Task, traversal: Optional[TraversalStrategy] = None) -> GTadocRunResult:
-        """Execute ``task`` and return its result plus per-phase work records."""
-        if isinstance(task, str):
-            task = Task.from_name(task)
-        layout = self.layout
-        scheduler = self._make_scheduler()
-        memory_pool = self._make_memory_pool()
-        init_record = GpuRunRecord()
+    def run(self, task: Union[Task, str], traversal: Optional[TraversalStrategy] = None) -> GTadocRunResult:
+        """Execute ``task`` and return its result plus per-phase work records.
+
+        Runs on a fresh session, so every call pays the full Figure-3
+        initialization — the per-query cost the paper's figures measure.
+        Use :meth:`run_batch` to amortize initialization across tasks.
+        """
+        session = self._session.fresh()
+        task, result, strategy, decision, marginal = self._execute_task(session, task, traversal)
+        init_record, shared_record = session.drain_new_records()
         traversal_record = GpuRunRecord()
-        device = GPUDevice(record=init_record)
-
-        self._run_init_common(device)
-
-        decision: Optional[StrategyDecision] = None
-        if traversal is None:
-            decision = TraversalStrategySelector(layout).select(task)
-            strategy = decision.strategy
-        else:
-            strategy = traversal
-
-        if task is Task.SEQUENCE_COUNT:
-            result = self._run_sequence_count(
-                scheduler, device, memory_pool, init_record, traversal_record
-            )
-            strategy = TraversalStrategy.TOP_DOWN
-        elif task in (Task.WORD_COUNT, Task.SORT):
-            result = self._run_corpus_counts(
-                task, strategy, scheduler, device, memory_pool, init_record, traversal_record
-            )
-        else:
-            result = self._run_file_counts(
-                task, strategy, scheduler, device, memory_pool, init_record, traversal_record
-            )
-
+        traversal_record.merge(shared_record)
+        traversal_record.merge(marginal)
         return GTadocRunResult(
             task=task,
-            result=normalize_result(task, result),
+            result=result,
             strategy=strategy,
             strategy_decision=decision,
             init_record=init_record,
             traversal_record=traversal_record,
-            memory_pool_bytes=memory_pool.used_bytes if memory_pool is not None else 0,
-            scheduler_summary=scheduler.summary(),
+            memory_pool_bytes=session.memory_pool_bytes,
+            scheduler_summary=session.scheduler.summary(),
         )
 
-    def run_all(self, traversal: Optional[TraversalStrategy] = None) -> Dict[Task, GTadocRunResult]:
-        """Run every task (evaluation order) and return the per-task results."""
-        return {task: self.run(task, traversal=traversal) for task in Task.all()}
-
-    # -- task programs -------------------------------------------------------------------------
-    def _run_corpus_counts(
+    def run_batch(
         self,
-        task: Task,
-        strategy: TraversalStrategy,
-        scheduler: FineGrainedScheduler,
-        device: GPUDevice,
-        memory_pool: Optional[MemoryPool],
-        init_record: GpuRunRecord,
-        traversal_record: GpuRunRecord,
-    ) -> TaskResult:
-        layout = self.layout
-        if strategy is TraversalStrategy.TOP_DOWN:
-            device.set_record(traversal_record)
-            counts = topdown_word_count(layout, scheduler, device)
+        tasks: Optional[Iterable[Union[Task, str]]] = None,
+        traversal: Optional[TraversalStrategy] = None,
+        session: Optional[DeviceSession] = None,
+    ) -> GTadocBatchResult:
+        """Execute several tasks against one shared session.
+
+        Initialization and shared-state construction are performed (and
+        recorded) once — on the batch's ``init_record``/``shared_record`` —
+        while every task's :class:`GTadocRunResult` carries only its
+        marginal traversal kernels.  Results are bit-identical to fresh
+        single-task :meth:`run` calls.
+
+        By default the engine's persistent session is used, so repeated
+        batches on the same engine amortize even further (a second batch
+        charges no initialization at all).  Pass an explicit ``session``
+        (e.g. ``engine.session.fresh()``) to measure one batch in
+        isolation.
+        """
+        requested_tasks = Task.all() if tasks is None else tasks
+        task_list = [Task.from_name(t) if isinstance(t, str) else t for t in requested_tasks]
+        # Duplicates collapse to one execution (results are keyed by task),
+        # keeping the batch's work records consistent with what ran.
+        task_list = list(dict.fromkeys(task_list))
+        session = session if session is not None else self._session
+        results: Dict[Task, GTadocRunResult] = {}
+        for requested in task_list:
+            pool_before = session.memory_pool_bytes
+            task, result, strategy, decision, marginal = self._execute_task(
+                session, requested, traversal
+            )
+            results[task] = GTadocRunResult(
+                task=task,
+                result=result,
+                strategy=strategy,
+                strategy_decision=decision,
+                init_record=GpuRunRecord(),
+                traversal_record=marginal,
+                memory_pool_bytes=session.memory_pool_bytes - pool_before,
+                scheduler_summary=session.scheduler.summary(),
+            )
+        init_record, shared_record = session.drain_new_records()
+        return GTadocBatchResult(
+            results=results,
+            init_record=init_record,
+            shared_record=shared_record,
+            memory_pool_bytes=session.memory_pool_bytes,
+        )
+
+    def run_all(self, traversal: Optional[TraversalStrategy] = None) -> GTadocBatchResult:
+        """Run every task (evaluation order) as one batch.
+
+        The Figure-3 initialization phase and all shared traversal state
+        are charged exactly once for the whole batch.
+        """
+        return self.run_batch(Task.all(), traversal=traversal)
+
+    # -- plan execution ------------------------------------------------------------------------
+    def _execute_task(
+        self,
+        session: DeviceSession,
+        task: Union[Task, str],
+        traversal: Optional[TraversalStrategy],
+    ) -> Tuple[Task, TaskResult, TraversalStrategy, Optional[StrategyDecision], GpuRunRecord]:
+        """Ensure required state on ``session``, then run the marginal program."""
+        if isinstance(task, str):
+            task = Task.from_name(task)
+        plan: TaskPlan = plan_for(task)
+
+        decision: Optional[StrategyDecision] = None
+        if traversal is None:
+            decision = TraversalStrategySelector(session.layout).select(task)
+            strategy = decision.strategy
         else:
-            bounds = prepare_bottomup(layout, device, memory_pool)
-            device.set_record(traversal_record)
-            local_tables, _bounds = build_local_tables_bottomup(
-                layout, scheduler, device, memory_pool=None, bounds=bounds
-            )
-            counts = bottomup_word_count(
-                layout, scheduler, device, local_tables=local_tables
-            )
-        word_counts = decode_word_counts(counts, self.compressed.dictionary)
-        if task is Task.SORT:
-            return word_count_to_sort(word_counts)
-        return word_counts
+            strategy = traversal
+        if plan.fixed_strategy is not None:
+            strategy = plan.fixed_strategy
 
-    def _run_file_counts(
-        self,
-        task: Task,
-        strategy: TraversalStrategy,
-        scheduler: FineGrainedScheduler,
-        device: GPUDevice,
-        memory_pool: Optional[MemoryPool],
-        init_record: GpuRunRecord,
-        traversal_record: GpuRunRecord,
-    ) -> TaskResult:
-        layout = self.layout
-        if strategy is TraversalStrategy.TOP_DOWN:
-            device.set_record(traversal_record)
-            per_file = topdown_per_file_counts(layout, scheduler, device)
-        else:
-            bounds = prepare_bottomup(layout, device, memory_pool)
-            device.set_record(traversal_record)
-            local_tables, _bounds = build_local_tables_bottomup(
-                layout, scheduler, device, memory_pool=None, bounds=bounds
-            )
-            per_file = bottomup_per_file_counts(
-                layout, scheduler, device, local_tables=local_tables
-            )
-        term_vector = decode_per_file_counts(
-            per_file, self.compressed.file_names, self.compressed.dictionary
-        )
-        if task is Task.TERM_VECTOR:
-            return per_file_counts_to_term_vector(term_vector)
-        if task is Task.INVERTED_INDEX:
-            return per_file_counts_to_inverted_index(term_vector)
-        if task is Task.RANKED_INVERTED_INDEX:
-            return per_file_counts_to_ranked_inverted_index(term_vector)
-        raise ValueError(f"unexpected file-sensitive task: {task!r}")
+        session.ensure(BASE_INIT)
+        session.ensure(*plan.required_state(strategy, session.config))
 
-    def _run_sequence_count(
-        self,
-        scheduler: FineGrainedScheduler,
-        device: GPUDevice,
-        memory_pool: Optional[MemoryPool],
-        init_record: GpuRunRecord,
-        traversal_record: GpuRunRecord,
-    ) -> TaskResult:
-        layout = self.layout
-        buffers = build_sequence_buffers(
-            layout, scheduler, device, self.config.sequence_length, memory_pool=memory_pool
-        )
-        device.set_record(traversal_record)
-        weights = compute_rule_weights_topdown(layout, scheduler, device)
-        counts = sequence_counts(
-            layout, scheduler, device, buffers, weights, self.config.sequence_length
-        )
-        return decode_sequence_counts(counts, self.compressed.dictionary)
+        marginal = GpuRunRecord()
+        device = GPUDevice(record=marginal)
+        raw = plan.traverse(session, device, strategy)
+        return task, normalize_result(task, raw), strategy, decision, marginal

@@ -1,0 +1,207 @@
+"""Declarative task plans: required session state + traversal program.
+
+The seed engine dispatched tasks through an ``if/elif`` ladder and
+threaded unused parameters into every task program.  This module replaces
+that with a registry: each :class:`~repro.analytics.base.Task` maps to a
+:class:`TaskPlan` that declares
+
+* which :class:`~repro.core.session.DeviceSession` state the traversal
+  needs for a given strategy (``requires``), and
+* the *marginal* traversal program (``traverse``) that consumes the
+  session state and launches only the task-specific kernels.
+
+The engine ensures the required state on the session (charging its
+construction once per session), then runs the plan's traversal on a
+per-task device/record.  Adding a new analytics task means registering a
+plan here — no engine changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analytics.base import Task, TaskResult
+from repro.analytics.derive import (
+    decode_per_file_counts,
+    decode_sequence_counts,
+    decode_word_counts,
+    per_file_counts_to_inverted_index,
+    per_file_counts_to_ranked_inverted_index,
+    per_file_counts_to_term_vector,
+    word_count_to_sort,
+)
+from repro.core.session import (
+    BOTTOMUP_BOUNDS,
+    FILE_WEIGHTS,
+    LOCAL_TABLES,
+    RULE_WEIGHTS,
+    DeviceSession,
+    GTadocConfig,
+    StateKey,
+    sequence_buffers_key,
+)
+from repro.core.strategy import TraversalStrategy
+from repro.core.traversal import (
+    bottomup_per_file_counts,
+    bottomup_word_count,
+    topdown_per_file_counts,
+    topdown_word_count,
+)
+from repro.core.sequence import sequence_counts
+from repro.gpusim.device import GPUDevice
+
+__all__ = ["TaskPlan", "PLAN_REGISTRY", "plan_for"]
+
+RequiresFn = Callable[[TraversalStrategy, GTadocConfig], Tuple[StateKey, ...]]
+TraverseFn = Callable[[DeviceSession, GPUDevice, TraversalStrategy], TaskResult]
+
+
+@dataclass(frozen=True)
+class TaskPlan:
+    """One task's declarative execution plan."""
+
+    task: Task
+    #: Session state the traversal consumes under a given strategy/config.
+    requires: RequiresFn
+    #: Marginal traversal program: session state in, raw task result out.
+    traverse: TraverseFn
+    #: Strategy this task always uses, overriding selector and caller
+    #: (sequence count has its own head/tail pipeline).
+    fixed_strategy: Optional[TraversalStrategy] = None
+
+    def required_state(
+        self, strategy: TraversalStrategy, config: GTadocConfig
+    ) -> Tuple[StateKey, ...]:
+        return self.requires(strategy, config)
+
+
+# ----------------------------------------------------------------------------------------
+# Corpus-wide counts (word count, sort)
+# ----------------------------------------------------------------------------------------
+
+def _corpus_requires(strategy: TraversalStrategy, config: GTadocConfig) -> Tuple[StateKey, ...]:
+    if strategy is TraversalStrategy.TOP_DOWN:
+        return (RULE_WEIGHTS,)
+    return (BOTTOMUP_BOUNDS, LOCAL_TABLES)
+
+
+def _make_corpus_traverse(task: Task) -> TraverseFn:
+    def traverse(
+        session: DeviceSession, device: GPUDevice, strategy: TraversalStrategy
+    ) -> TaskResult:
+        layout = session.layout
+        if strategy is TraversalStrategy.TOP_DOWN:
+            counts = topdown_word_count(
+                layout, session.scheduler, device, weights=session.state(RULE_WEIGHTS)
+            )
+        else:
+            counts = bottomup_word_count(
+                layout, device, local_tables=session.state(LOCAL_TABLES)
+            )
+        word_counts = decode_word_counts(counts, session.compressed.dictionary)
+        if task is Task.SORT:
+            return word_count_to_sort(word_counts)
+        return word_counts
+
+    return traverse
+
+
+# ----------------------------------------------------------------------------------------
+# File-sensitive counts (inverted index, term vector, ranked inverted index)
+# ----------------------------------------------------------------------------------------
+
+def _file_requires(strategy: TraversalStrategy, config: GTadocConfig) -> Tuple[StateKey, ...]:
+    if strategy is TraversalStrategy.TOP_DOWN:
+        return (FILE_WEIGHTS,)
+    return (BOTTOMUP_BOUNDS, LOCAL_TABLES)
+
+
+def _make_file_traverse(task: Task) -> TraverseFn:
+    def traverse(
+        session: DeviceSession, device: GPUDevice, strategy: TraversalStrategy
+    ) -> TaskResult:
+        layout = session.layout
+        if strategy is TraversalStrategy.TOP_DOWN:
+            per_file = topdown_per_file_counts(
+                layout, session.scheduler, device, file_weights=session.state(FILE_WEIGHTS)
+            )
+        else:
+            per_file = bottomup_per_file_counts(
+                layout, device, local_tables=session.state(LOCAL_TABLES)
+            )
+        term_vector = decode_per_file_counts(
+            per_file, session.compressed.file_names, session.compressed.dictionary
+        )
+        if task is Task.TERM_VECTOR:
+            return per_file_counts_to_term_vector(term_vector)
+        if task is Task.INVERTED_INDEX:
+            return per_file_counts_to_inverted_index(term_vector)
+        return per_file_counts_to_ranked_inverted_index(term_vector)
+
+    return traverse
+
+
+# ----------------------------------------------------------------------------------------
+# Sequence count
+# ----------------------------------------------------------------------------------------
+
+def _sequence_requires(strategy: TraversalStrategy, config: GTadocConfig) -> Tuple[StateKey, ...]:
+    return (sequence_buffers_key(config.sequence_length), RULE_WEIGHTS)
+
+
+def _sequence_traverse(
+    session: DeviceSession, device: GPUDevice, strategy: TraversalStrategy
+) -> TaskResult:
+    length = session.config.sequence_length
+    buffers = session.state(sequence_buffers_key(length))
+    weights = session.state(RULE_WEIGHTS)
+    counts = sequence_counts(
+        session.layout, session.scheduler, device, buffers, weights, length
+    )
+    return decode_sequence_counts(counts, session.compressed.dictionary)
+
+
+PLAN_REGISTRY: Dict[Task, TaskPlan] = {
+    Task.WORD_COUNT: TaskPlan(
+        task=Task.WORD_COUNT,
+        requires=_corpus_requires,
+        traverse=_make_corpus_traverse(Task.WORD_COUNT),
+    ),
+    Task.SORT: TaskPlan(
+        task=Task.SORT,
+        requires=_corpus_requires,
+        traverse=_make_corpus_traverse(Task.SORT),
+    ),
+    Task.INVERTED_INDEX: TaskPlan(
+        task=Task.INVERTED_INDEX,
+        requires=_file_requires,
+        traverse=_make_file_traverse(Task.INVERTED_INDEX),
+    ),
+    Task.TERM_VECTOR: TaskPlan(
+        task=Task.TERM_VECTOR,
+        requires=_file_requires,
+        traverse=_make_file_traverse(Task.TERM_VECTOR),
+    ),
+    Task.SEQUENCE_COUNT: TaskPlan(
+        task=Task.SEQUENCE_COUNT,
+        requires=_sequence_requires,
+        traverse=_sequence_traverse,
+        fixed_strategy=TraversalStrategy.TOP_DOWN,
+    ),
+    Task.RANKED_INVERTED_INDEX: TaskPlan(
+        task=Task.RANKED_INVERTED_INDEX,
+        requires=_file_requires,
+        traverse=_make_file_traverse(Task.RANKED_INVERTED_INDEX),
+    ),
+}
+
+
+def plan_for(task: Task) -> TaskPlan:
+    """The registered plan for ``task`` (raises on unknown tasks)."""
+    if isinstance(task, str):
+        task = Task.from_name(task)
+    try:
+        return PLAN_REGISTRY[task]
+    except KeyError:
+        raise KeyError(f"no task plan registered for {task!r}") from None

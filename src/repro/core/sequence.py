@@ -130,7 +130,6 @@ def _gather_suffix(
 
 def build_sequence_buffers(
     layout: DeviceRuleLayout,
-    scheduler: FineGrainedScheduler,
     device: GPUDevice,
     sequence_length: int,
     memory_pool: Optional[MemoryPool] = None,
@@ -152,11 +151,16 @@ def build_sequence_buffers(
     tails[0] = []
 
     if memory_pool is not None:
+        # Owners are length-qualified and allocation is idempotent so a
+        # session can keep buffers for several sequence lengths in one pool.
         for rule_id in range(1, num_rules):
+            owner = f"headTail[l={sequence_length}][{rule_id}]"
+            if memory_pool.allocation_of(owner) is not None:
+                continue
             upper = head_tail_upper_limit(
                 layout.rule_lengths[rule_id], len(layout.subrules[rule_id]), sequence_length
             )
-            memory_pool.allocate(f"headTail[{rule_id}]", max(1, 2 * limit + max(0, upper)))
+            memory_pool.allocate(owner, max(1, 2 * limit + max(0, upper)))
 
     rounds = 0
     while not all(ready):

@@ -31,11 +31,13 @@ from repro.perf import workcosts as wc
 
 __all__ = [
     "compute_rule_weights_topdown",
+    "compute_file_weights_topdown",
     "topdown_word_count",
     "bottomup_word_count",
     "topdown_per_file_counts",
     "bottomup_per_file_counts",
     "prepare_bottomup",
+    "allocate_local_tables",
     "build_local_tables_bottomup",
 ]
 
@@ -44,9 +46,7 @@ __all__ = [
 # Top-down traversal (Algorithm 1)
 # ----------------------------------------------------------------------------------------
 
-def compute_rule_weights_topdown(
-    layout: DeviceRuleLayout, scheduler: FineGrainedScheduler, device: GPUDevice
-) -> List[int]:
+def compute_rule_weights_topdown(layout: DeviceRuleLayout, device: GPUDevice) -> List[int]:
     """Propagate rule occurrence weights from the root (Algorithm 1, lines 1-7).
 
     Returns ``weights[r]`` = number of times rule ``r`` occurs in the
@@ -112,7 +112,7 @@ def topdown_word_count(
 ) -> Dict[int, int]:
     """Corpus-wide word counts via the top-down traversal (Algorithm 1)."""
     if weights is None:
-        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        weights = compute_rule_weights_topdown(layout, device)
     table = DeviceHashTable.sized_for(layout.vocabulary_size)
 
     rule_ids = list(range(layout.num_rules))
@@ -134,18 +134,17 @@ def topdown_word_count(
     return table.to_dict()
 
 
-def topdown_per_file_counts(
-    layout: DeviceRuleLayout,
-    scheduler: FineGrainedScheduler,
-    device: GPUDevice,
+def compute_file_weights_topdown(
+    layout: DeviceRuleLayout, device: GPUDevice
 ) -> List[Dict[int, int]]:
-    """Per-file word counts via top-down propagation of file weights.
+    """Propagate per-file occurrence weights from the root.
 
     Instead of a scalar occurrence weight, every rule carries a small
     table ``{file index: occurrences within that file}`` — this is the
     "file information" the paper describes transmitting from the root,
     and is exactly why the top-down strategy becomes expensive when the
-    corpus has very many files (section VI-C).
+    corpus has very many files (section VI-C).  The tables only depend
+    on the DAG, so they are shared by every file-sensitive task.
     """
     num_rules = layout.num_rules
     file_weights: List[Dict[int, int]] = [dict() for _ in range(num_rules)]
@@ -199,6 +198,23 @@ def topdown_per_file_counts(
             device.launch("topDownFileKernel", topdown_kernel, max(1, num_rules - 1))
         else:
             break
+    return file_weights
+
+
+def topdown_per_file_counts(
+    layout: DeviceRuleLayout,
+    scheduler: FineGrainedScheduler,
+    device: GPUDevice,
+    file_weights: Optional[List[Dict[int, int]]] = None,
+) -> List[Dict[int, int]]:
+    """Per-file word counts via top-down propagation of file weights.
+
+    When ``file_weights`` is supplied (e.g. cached by a session), only
+    the reduce kernels run; otherwise the propagation pass runs first.
+    """
+    num_rules = layout.num_rules
+    if file_weights is None:
+        file_weights = compute_file_weights_topdown(layout, device)
 
     per_file_counts: List[Dict[int, int]] = [dict() for _ in range(layout.num_files)]
     rule_ids = list(range(1, num_rules)) if num_rules > 1 else []
@@ -295,6 +311,19 @@ def _bottomup_bound_pass(
     return bounds
 
 
+def allocate_local_tables(memory_pool: MemoryPool, bounds: Sequence[int]) -> None:
+    """Reserve every rule's local table in the pool (idempotent).
+
+    Rules whose table is already resident (a session reusing its pool
+    across tasks) are skipped, so bounds passes and table builds can both
+    ensure the allocation without double-allocating an owner.
+    """
+    for rule_id, bound in enumerate(bounds):
+        owner = f"locTbl[{rule_id}]"
+        if memory_pool.allocation_of(owner) is None:
+            memory_pool.allocate(owner, 2 * max(1, bound))
+
+
 def prepare_bottomup(
     layout: DeviceRuleLayout,
     device: GPUDevice,
@@ -320,14 +349,12 @@ def prepare_bottomup(
     bounds = _bottomup_bound_pass(layout, device)
 
     if memory_pool is not None:
-        for rule_id, bound in enumerate(bounds):
-            memory_pool.allocate(f"locTbl[{rule_id}]", 2 * max(1, bound))
+        allocate_local_tables(memory_pool, bounds)
     return bounds
 
 
 def build_local_tables_bottomup(
     layout: DeviceRuleLayout,
-    scheduler: FineGrainedScheduler,
     device: GPUDevice,
     memory_pool: Optional[MemoryPool] = None,
     bounds: Optional[List[int]] = None,
@@ -337,11 +364,16 @@ def build_local_tables_bottomup(
     Returns ``(local_tables, bounds)`` where ``local_tables[r]`` maps
     word id to the number of occurrences in one expansion of rule ``r``.
     When ``bounds`` is not supplied, the initialization-phase half
-    (:func:`prepare_bottomup`) is run first.
+    (:func:`prepare_bottomup`) is run first.  When both a pool and
+    precomputed ``bounds`` are supplied, the per-rule tables are still
+    guaranteed pool residency (the allocations the bound pass made are
+    reused, missing ones are added).
     """
     num_rules = layout.num_rules
     if bounds is None:
         bounds = prepare_bottomup(layout, device, memory_pool)
+    elif memory_pool is not None:
+        allocate_local_tables(memory_pool, bounds)
 
     local_tables: List[Dict[int, int]] = [dict() for _ in range(num_rules)]
     cur_out_edges = [0] * num_rules
@@ -396,16 +428,13 @@ def build_local_tables_bottomup(
 
 def bottomup_word_count(
     layout: DeviceRuleLayout,
-    scheduler: FineGrainedScheduler,
     device: GPUDevice,
     memory_pool: Optional[MemoryPool] = None,
     local_tables: Optional[List[Dict[int, int]]] = None,
 ) -> Dict[int, int]:
     """Corpus-wide word counts via the bottom-up traversal (Algorithm 2)."""
     if local_tables is None:
-        local_tables, _bounds = build_local_tables_bottomup(
-            layout, scheduler, device, memory_pool
-        )
+        local_tables, _bounds = build_local_tables_bottomup(layout, device, memory_pool)
     table = DeviceHashTable.sized_for(layout.vocabulary_size)
 
     # Level-2 nodes: the root's direct children, with their root frequencies.
@@ -437,7 +466,6 @@ def bottomup_word_count(
 
 def bottomup_per_file_counts(
     layout: DeviceRuleLayout,
-    scheduler: FineGrainedScheduler,
     device: GPUDevice,
     memory_pool: Optional[MemoryPool] = None,
     local_tables: Optional[List[Dict[int, int]]] = None,
@@ -450,9 +478,7 @@ def bottomup_per_file_counts(
     scaled by their in-file occurrence counts.
     """
     if local_tables is None:
-        local_tables, _bounds = build_local_tables_bottomup(
-            layout, scheduler, device, memory_pool
-        )
+        local_tables, _bounds = build_local_tables_bottomup(layout, device, memory_pool)
     per_file_counts: List[Dict[int, int]] = [dict() for _ in range(layout.num_files)]
 
     def reduce_kernel(tid: int, ctx) -> None:

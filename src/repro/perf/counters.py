@@ -150,6 +150,14 @@ class GpuRunRecord:
         return len(self.kernels)
 
     @property
+    def total_ops(self) -> float:
+        """All simulated scalar ops: kernel thread ops plus host control."""
+        return (
+            sum(kernel.total_thread_ops for kernel in self.kernels)
+            + self.host_counter.total_ops
+        )
+
+    @property
     def total_atomic_conflicts(self) -> float:
         return sum(kernel.atomic_conflicts for kernel in self.kernels)
 

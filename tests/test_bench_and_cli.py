@@ -73,6 +73,18 @@ class TestExperimentRunner:
         timing = small_runner.gpu_uncompressed_times("B", Task.SORT, VOLTA)
         assert timing.total > 0
 
+    def test_batch_amortization_reduces_work(self, small_runner):
+        stats = small_runner.batch_amortization("D")
+        assert stats.results_match
+        assert stats.batch_launches < stats.sequential_launches
+        assert stats.batch_ops < stats.sequential_ops
+        assert stats.batch_init_launches < stats.sequential_init_launches
+        assert 0.0 < stats.launch_reduction < 1.0
+        assert 0.0 < stats.ops_reduction < 1.0
+
+    def test_batch_run_cached(self, small_runner):
+        assert small_runner.gtadoc_batch_run("D") is small_runner.gtadoc_batch_run("D")
+
 
 class TestAggregation:
     def test_geometric_mean_basics(self):
@@ -164,6 +176,33 @@ class TestCli:
         output = tmp_path / "dir.json"
         assert main(["compress", "--input-dir", str(source), "--output", str(output)]) == 0
         assert output.exists()
+
+    def test_run_all_tasks_as_batch(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(["run", "--compressed", str(compressed_path), "--task", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "initialization charged once" in out
+        for task in Task:
+            assert task.value in out
+
+    def test_run_task_list_as_batch(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(
+            ["run", "--compressed", str(compressed_path), "--task", "word_count,sort"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "word_count" in out and "sort" in out
+        assert "marginal launches" in out
+
+    def test_run_rejects_unknown_task(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(["run", "--compressed", str(compressed_path), "--task", "bogus"]) == 2
 
     def test_bench_rejects_cluster_platform(self, capsys):
         assert main(["bench", "--platform", "10-node cluster", "--datasets", "D"]) == 2

@@ -44,17 +44,17 @@ def expected_word_id_counts(compressed):
 class TestRuleWeights:
     def test_weights_match_dag(self, few_files_compressed):
         layout, scheduler, device = make_context(few_files_compressed)
-        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        weights = compute_rule_weights_topdown(layout, device)
         assert weights == list(few_files_compressed.dag.weights)
 
     def test_weights_match_dag_many_files(self, many_files_compressed):
         layout, scheduler, device = make_context(many_files_compressed)
-        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        weights = compute_rule_weights_topdown(layout, device)
         assert weights == list(many_files_compressed.dag.weights)
 
     def test_kernels_recorded(self, tiny_compressed):
         layout, scheduler, device = make_context(tiny_compressed)
-        compute_rule_weights_topdown(layout, scheduler, device)
+        compute_rule_weights_topdown(layout, device)
         names = {kernel.name for kernel in device.record.kernels}
         assert "initTopDownMaskKernel" in names
         assert "topDownKernel" in names
@@ -68,19 +68,19 @@ class TestWordCountTraversals:
 
     def test_bottomup_matches_expected(self, tiny_compressed):
         layout, scheduler, device = make_context(tiny_compressed)
-        counts = bottomup_word_count(layout, scheduler, device)
+        counts = bottomup_word_count(layout, device)
         assert counts == expected_word_id_counts(tiny_compressed)
 
     def test_both_directions_agree(self, few_files_compressed):
         layout, scheduler, device = make_context(few_files_compressed)
         top_down = topdown_word_count(layout, scheduler, device)
-        bottom_up = bottomup_word_count(layout, scheduler, GPUDevice())
+        bottom_up = bottomup_word_count(layout, GPUDevice())
         assert top_down == bottom_up
 
     def test_bottomup_memory_pool_allocation(self, few_files_compressed):
         layout, scheduler, device = make_context(few_files_compressed)
         pool = MemoryPool(capacity=8 * layout.estimated_local_table_entries() + 4096)
-        bottomup_word_count(layout, scheduler, device, memory_pool=pool)
+        bottomup_word_count(layout, device, memory_pool=pool)
         assert pool.used_words > 0
         assert pool.check_no_overlap()
 
@@ -108,13 +108,13 @@ class TestPerFileTraversals:
 
     def test_bottomup_per_file(self, tiny_compressed):
         layout, scheduler, device = make_context(tiny_compressed)
-        per_file = bottomup_per_file_counts(layout, scheduler, device)
+        per_file = bottomup_per_file_counts(layout, device)
         assert per_file == self._expected_per_file(tiny_compressed)
 
     def test_directions_agree_on_many_files(self, many_files_compressed):
         layout, scheduler, device = make_context(many_files_compressed)
         top_down = topdown_per_file_counts(layout, scheduler, device)
-        bottom_up = bottomup_per_file_counts(layout, scheduler, GPUDevice())
+        bottom_up = bottomup_per_file_counts(layout, GPUDevice())
         assert top_down == bottom_up
 
 
@@ -125,7 +125,7 @@ class TestSequenceSupport:
 
     def test_head_and_tail_match_expansions(self, few_files_compressed):
         layout, scheduler, device = make_context(few_files_compressed)
-        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
+        buffers = build_sequence_buffers(layout, device, sequence_length=3)
         grammar = few_files_compressed.grammar
         for rule_id in range(1, layout.num_rules):
             expansion = grammar.expand_rule(rule_id)
@@ -134,7 +134,7 @@ class TestSequenceSupport:
 
     def test_short_expansions_materialised(self, few_files_compressed):
         layout, scheduler, device = make_context(few_files_compressed)
-        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
+        buffers = build_sequence_buffers(layout, device, sequence_length=3)
         grammar = few_files_compressed.grammar
         for rule_id in range(1, layout.num_rules):
             expansion = grammar.expand_rule(rule_id)
@@ -145,13 +145,13 @@ class TestSequenceSupport:
 
     def test_buffer_rounds_bounded_by_depth(self, few_files_compressed):
         layout, scheduler, device = make_context(few_files_compressed)
-        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
+        buffers = build_sequence_buffers(layout, device, sequence_length=3)
         assert buffers.rounds <= few_files_compressed.dag.depth + 1
 
     def test_memory_pool_sized_by_equation_1(self, tiny_compressed):
         layout, scheduler, device = make_context(tiny_compressed)
         pool = MemoryPool(capacity=64 * layout.total_symbols + 4096)
-        build_sequence_buffers(layout, scheduler, device, sequence_length=3, memory_pool=pool)
+        build_sequence_buffers(layout, device, sequence_length=3, memory_pool=pool)
         assert pool.used_words > 0
 
     def _reference_ngrams(self, compressed, length):
@@ -166,23 +166,23 @@ class TestSequenceSupport:
     @pytest.mark.parametrize("length", [1, 2, 3, 4, 5])
     def test_sequence_counts_match_reference(self, tiny_compressed, length):
         layout, scheduler, device = make_context(tiny_compressed)
-        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=length)
-        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        buffers = build_sequence_buffers(layout, device, sequence_length=length)
+        weights = compute_rule_weights_topdown(layout, device)
         counts = sequence_counts(layout, scheduler, device, buffers, weights, length)
         assert counts == self._reference_ngrams(tiny_compressed, length)
 
     @pytest.mark.parametrize("length", [2, 3])
     def test_sequence_counts_on_generated_corpus(self, few_files_compressed, length):
         layout, scheduler, device = make_context(few_files_compressed)
-        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=length)
-        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        buffers = build_sequence_buffers(layout, device, sequence_length=length)
+        weights = compute_rule_weights_topdown(layout, device)
         counts = sequence_counts(layout, scheduler, device, buffers, weights, length)
         assert counts == self._reference_ngrams(few_files_compressed, length)
 
     def test_mismatched_length_rejected(self, tiny_compressed):
         layout, scheduler, device = make_context(tiny_compressed)
-        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
-        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        buffers = build_sequence_buffers(layout, device, sequence_length=3)
+        weights = compute_rule_weights_topdown(layout, device)
         with pytest.raises(ValueError):
             sequence_counts(layout, scheduler, device, buffers, weights, 2)
 
@@ -201,8 +201,8 @@ class TestSequenceSupport:
         )
         compressed = compress_corpus(corpus)
         layout, scheduler, device = make_context(compressed)
-        buffers = build_sequence_buffers(layout, scheduler, device, sequence_length=3)
-        weights = compute_rule_weights_topdown(layout, scheduler, device)
+        buffers = build_sequence_buffers(layout, device, sequence_length=3)
+        weights = compute_rule_weights_topdown(layout, device)
         counts = sequence_counts(layout, scheduler, device, buffers, weights, 3)
         expected = Counter()
         for tokens in token_lists:
