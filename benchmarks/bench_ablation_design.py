@@ -29,7 +29,7 @@ ABLATION_DATASET = "B"
 
 def _scheduling_ablation(runner: ExperimentRunner) -> list:
     run = runner.gtadoc_run(ABLATION_DATASET, Task.WORD_COUNT)
-    layout = runner._engines[ABLATION_DATASET].layout
+    layout = runner.gtadoc_engine(ABLATION_DATASET).layout
     factor = runner.bundle(ABLATION_DATASET).extrapolation_factor
     gpu_model = GpuCostModel(VOLTA.gpu)
     host_model = CpuCostModel(VOLTA.cpu)
@@ -55,7 +55,7 @@ def _memory_pool_ablation(runner: ExperimentRunner) -> list:
     from repro.core.strategy import TraversalStrategy
 
     run = runner.gtadoc_run(ABLATION_DATASET, Task.WORD_COUNT, TraversalStrategy.BOTTOM_UP)
-    layout = runner._engines[ABLATION_DATASET].layout
+    layout = runner.gtadoc_engine(ABLATION_DATASET).layout
     pool_bytes = max(1, run.memory_pool_bytes)
     naive_bytes = layout.num_rules * layout.vocabulary_size * 16
     return [

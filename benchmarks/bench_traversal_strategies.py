@@ -37,7 +37,7 @@ def _build_report(runner: ExperimentRunner) -> str:
         bottom_up = _forced_time(runner, key, TraversalStrategy.BOTTOM_UP)
         bundle = runner.bundle(key)
         runner.gtadoc_run(key, Task.TERM_VECTOR)  # ensure the engine (and layout) exists
-        selector = TraversalStrategySelector(runner._engines[key].layout)
+        selector = TraversalStrategySelector(runner.gtadoc_engine(key).layout)
         decision = selector.select(Task.TERM_VECTOR)
         best = "top_down" if top_down <= bottom_up else "bottom_up"
         rows.append(

@@ -1,10 +1,16 @@
 """Compare G-TADOC against the TADOC baselines across the Table I platforms.
 
-This example drives the same experiment harness the benchmarks use, on
-a reduced grid (datasets B and D, all three GPU generations), and prints
-a compact Figure 9 style report: modelled baseline time, modelled
-G-TADOC time and the speedup, plus the per-phase breakdown of Figure 10
-and the §VI-E comparison against GPU analytics on uncompressed data.
+This example drives the same experiment harness the benchmarks use —
+which itself opens every engine through the unified backend registry
+(:func:`repro.api.open_backend`) — on a reduced grid (datasets B and D,
+all three GPU generations), and prints a compact Figure 9 style report:
+modelled baseline time, modelled G-TADOC time and the speedup, plus the
+per-phase breakdown of Figure 10 and the §VI-E comparison against GPU
+analytics on uncompressed data.
+
+It closes by issuing one :class:`repro.api.Query` against every
+registered backend directly, verifying that all six engines answer the
+same question identically through the one protocol.
 
 Run with::
 
@@ -13,7 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analytics.base import Task
+from repro import Query, Task, available_backends, open_backend, results_equal
 from repro.bench.aggregate import geometric_mean
 from repro.bench.experiment import ExperimentConfig, ExperimentRunner
 from repro.perf.platforms import VOLTA, list_platforms
@@ -56,6 +62,24 @@ def main() -> None:
             uncompressed = runner.gpu_uncompressed_times(dataset, task, VOLTA).total
             ratios.append(uncompressed / gtadoc)
     print(f"  geometric-mean advantage: x{geometric_mean(ratios):.2f} (paper: about 2x)")
+
+    # One query, every engine: the unified API's cross-backend guarantee.
+    print("\nUnified query API: Query(word_count, top_k=5) on every backend (dataset D):")
+    compressed = runner.bundle("D").compressed
+    query = Query(task=Task.WORD_COUNT, top_k=5)
+    reference = open_backend("reference", compressed).run(query)
+    for name in available_backends():
+        backend = open_backend(name, compressed)
+        outcome = backend.run(query)
+        agrees = results_equal(query.task, outcome.result, reference.result)
+        caps = backend.capabilities()
+        print(
+            f"  {name:18s} device={caps.device:7s} "
+            f"compressed_domain={str(caps.compressed_domain):5s} "
+            f"launches={outcome.kernel_launches:3d} ops={outcome.ops:10.0f} "
+            f"agrees_with_reference={agrees}"
+        )
+        assert agrees, f"backend {name} disagrees with the reference"
 
 
 if __name__ == "__main__":

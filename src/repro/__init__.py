@@ -27,6 +27,14 @@ Quick start::
 """
 
 from repro.analytics import Task, UncompressedAnalytics, results_equal
+from repro.api import (
+    AnalyticsBackend,
+    Query,
+    RunOutcome,
+    available_backends,
+    open_backend,
+    register_backend,
+)
 from repro.compression import CompressedCorpus, TadocCompressor, compress_corpus
 from repro.core import (
     DeviceSession,
@@ -38,10 +46,16 @@ from repro.core import (
 )
 from repro.data import Corpus, Document, generate_dataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "Query",
+    "RunOutcome",
+    "AnalyticsBackend",
+    "open_backend",
+    "register_backend",
+    "available_backends",
     "Task",
     "UncompressedAnalytics",
     "results_equal",

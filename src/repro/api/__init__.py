@@ -1,0 +1,58 @@
+"""Unified query API: one ``Query``, one protocol, every engine.
+
+This package is the library's front door (the CompressDirect-style
+uniform surface of paper §V):
+
+* :class:`Query` — task + per-query parameters (sequence length, top-k,
+  file subset, term filter, traversal override),
+* :class:`RunOutcome` — canonical result + normalized per-phase perf
+  breakdown, comparable across GPU-record and CPU-counter engines,
+* :class:`AnalyticsBackend` — the protocol every engine adapter
+  satisfies (``run``, ``run_batch``, ``capabilities``),
+* :func:`open_backend` — the named registry over the six engines
+  (``gtadoc``, ``cpu``, ``parallel``, ``distributed``,
+  ``gpu_uncompressed``, ``reference``).
+
+Quick start::
+
+    from repro import Corpus, compress_corpus
+    from repro.api import Query, open_backend
+
+    compressed = compress_corpus(Corpus.from_texts({"a.txt": "..."}))
+    backend = open_backend("gtadoc", compressed)
+    outcome = backend.run(Query(task="word_count", top_k=10))
+    print(outcome.result, outcome.perf.kernel_launches)
+"""
+
+from repro.api.backend import AnalyticsBackend, BackendCapabilities
+from repro.api.backends import (
+    CpuTadocBackend,
+    DistributedTadocBackend,
+    GpuUncompressedBackend,
+    GTadocBackend,
+    ParallelTadocBackend,
+    ReferenceBackend,
+)
+from repro.api.outcome import PhasePerf, RunOutcome, RunPerf
+from repro.api.query import Query, as_query, shape_result
+from repro.api.registry import available_backends, open_backend, register_backend
+
+__all__ = [
+    "Query",
+    "as_query",
+    "shape_result",
+    "RunOutcome",
+    "RunPerf",
+    "PhasePerf",
+    "AnalyticsBackend",
+    "BackendCapabilities",
+    "open_backend",
+    "register_backend",
+    "available_backends",
+    "GTadocBackend",
+    "CpuTadocBackend",
+    "ParallelTadocBackend",
+    "DistributedTadocBackend",
+    "GpuUncompressedBackend",
+    "ReferenceBackend",
+]

@@ -1,0 +1,69 @@
+"""The :class:`AnalyticsBackend` protocol every engine adapter satisfies.
+
+The protocol is the library's single query surface: ``run`` executes
+one :class:`~repro.api.query.Query`, ``run_batch`` executes several
+against shared state (backends that amortize initialization charge it
+once across the batch), and ``capabilities`` describes what the engine
+can do natively so callers can route queries without engine-specific
+branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Protocol, Tuple, runtime_checkable
+
+from repro.analytics.base import Task
+from repro.api.outcome import RunOutcome
+from repro.api.query import Query
+
+__all__ = ["BackendCapabilities", "AnalyticsBackend"]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What one backend supports, for capability-based routing."""
+
+    #: Registry name (``open_backend(name, ...)``).
+    name: str
+    #: One-line human description.
+    description: str
+    #: Execution substrate: ``"gpu"``, ``"cpu"`` or ``"cluster"``.
+    device: str
+    #: True when the engine operates on the compressed form directly.
+    compressed_domain: bool
+    #: Per-query ``sequence_length`` honoured without rebuilding the backend.
+    native_sequence_length: bool = True
+    #: File-subset filters executed inside the traversal (marginal work),
+    #: as opposed to adapter-level sub-corpus construction.
+    native_file_filter: bool = False
+    #: ``run_batch`` charges initialization/shared state once per batch.
+    amortizes_batches: bool = False
+    #: The engine honours :attr:`Query.traversal`.
+    supports_traversal_choice: bool = False
+    #: Tasks the backend can answer.
+    tasks: Tuple[Task, ...] = tuple(Task.all())
+
+
+@runtime_checkable
+class AnalyticsBackend(Protocol):
+    """Uniform query interface over every analytics engine."""
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol declaration
+        """The backend's registry name."""
+        ...
+
+    def run(self, query: Query) -> RunOutcome:  # pragma: no cover - protocol declaration
+        """Execute one query and return its outcome."""
+        ...
+
+    def run_batch(
+        self, queries: Iterable[Query]
+    ) -> List[RunOutcome]:  # pragma: no cover - protocol declaration
+        """Execute several queries against shared backend state."""
+        ...
+
+    def capabilities(self) -> BackendCapabilities:  # pragma: no cover - protocol declaration
+        """Describe what this backend supports."""
+        ...

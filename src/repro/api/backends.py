@@ -1,0 +1,464 @@
+"""Adapters that put every engine behind the :class:`AnalyticsBackend` protocol.
+
+Six backends ship with the library, mirroring the engines the paper
+evaluates:
+
+``gtadoc``
+    The G-TADOC engine (simulated GPU, compressed domain).  Queries run
+    against the engine's persistent device session, so a backend serves
+    many queries while charging initialization and shared traversal
+    state once; per-query ``sequence_length`` and file subsets are pushed
+    into the traversal programs (marginal work only).
+``cpu``
+    Sequential CPU TADOC (compressed domain), the paper's baseline [2].
+``parallel``
+    Coarse-grained multi-threaded TADOC [4] (file partitions).
+``distributed``
+    TADOC on the simulated 10-node cluster (dataset C's baseline).
+``gpu_uncompressed``
+    GPU analytics on the raw token stream (paper §VI-E).
+``reference``
+    The uncompressed ground-truth implementation (no perf model).
+
+Backends accept either a :class:`~repro.data.corpus.Corpus` or a
+:class:`~repro.compression.compressor.CompressedCorpus` and derive the
+form they need (compressing, or losslessly decompressing, once).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analytics.base import Task
+from repro.analytics.reference import UncompressedAnalytics
+from repro.api.backend import AnalyticsBackend, BackendCapabilities
+from repro.api.outcome import (
+    PhasePerf,
+    RunOutcome,
+    RunPerf,
+    perf_from_counters,
+    perf_from_records,
+)
+from repro.api.query import Query, as_query, shape_result
+from repro.baselines.cpu_tadoc import CpuTadoc
+from repro.baselines.distributed import DistributedTadoc
+from repro.baselines.gpu_uncompressed import GpuUncompressedAnalytics
+from repro.baselines.parallel_tadoc import ParallelCpuTadoc
+from repro.cluster.simulator import ClusterSpec
+from repro.compression.compressor import CompressedCorpus, compress_corpus
+from repro.core.engine import GTadoc, GTadocConfig
+from repro.data.corpus import Corpus
+
+__all__ = [
+    "CorpusSource",
+    "GTadocBackend",
+    "CpuTadocBackend",
+    "ParallelTadocBackend",
+    "DistributedTadocBackend",
+    "GpuUncompressedBackend",
+    "ReferenceBackend",
+]
+
+#: What callers may hand to ``open_backend``: raw or compressed.
+CorpusSource = Union[Corpus, CompressedCorpus]
+
+
+def _as_compressed(source: CorpusSource) -> CompressedCorpus:
+    if isinstance(source, CompressedCorpus):
+        return source
+    if isinstance(source, Corpus):
+        return compress_corpus(source)
+    raise TypeError(f"expected a Corpus or CompressedCorpus, got {type(source).__name__}")
+
+
+def _as_corpus(source: CorpusSource) -> Corpus:
+    if isinstance(source, Corpus):
+        return source
+    if isinstance(source, CompressedCorpus):
+        # TADOC compression is lossless; reconstruct the token streams.
+        return source.decompress()
+    raise TypeError(f"expected a Corpus or CompressedCorpus, got {type(source).__name__}")
+
+
+def _resolve_file_names(
+    available: List[str], requested: Optional[Tuple[str, ...]]
+) -> Optional[Tuple[str, ...]]:
+    """Validate a file filter against the corpus, keeping corpus order."""
+    if requested is None:
+        return None
+    known = set(available)
+    missing = [name for name in requested if name not in known]
+    if missing:
+        raise ValueError(
+            f"unknown file(s) in query filter: {missing}; corpus has {sorted(known)}"
+        )
+    wanted = set(requested)
+    return tuple(name for name in available if name in wanted)
+
+
+def _file_indices_for(
+    available: List[str], requested: Optional[Tuple[str, ...]]
+) -> Optional[Tuple[int, ...]]:
+    """Resolve a query's file filter into corpus-order file indices."""
+    names = _resolve_file_names(available, requested)
+    if names is None:
+        return None
+    index_of = {name: index for index, name in enumerate(available)}
+    return tuple(index_of[name] for name in names)
+
+
+def _sub_corpus(corpus: Corpus, names: Tuple[str, ...]) -> Corpus:
+    wanted = set(names)
+    return Corpus(
+        [document for document in corpus if document.name in wanted],
+        name=f"{corpus.name}:subset",
+    )
+
+
+class _BackendBase:
+    """Shared plumbing: query coercion, batch fallback, result shaping."""
+
+    name: str = ""
+
+    def run(self, query: Query) -> RunOutcome:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def run_batch(self, queries: Iterable[Union[Query, Task, str]]) -> List[RunOutcome]:
+        """Run queries in order against this backend's shared state."""
+        return [self.run(query) for query in queries]
+
+    def _outcome(
+        self,
+        query: Query,
+        result,
+        perf: RunPerf,
+        raw=None,
+        details: Optional[Dict] = None,
+    ) -> RunOutcome:
+        return RunOutcome(
+            query=query,
+            backend=self.name,
+            task=query.task,
+            result=shape_result(query, result),
+            perf=perf,
+            raw=raw,
+            details=details or {},
+        )
+
+
+# ----------------------------------------------------------------------------------------
+# G-TADOC (the paper's system)
+# ----------------------------------------------------------------------------------------
+
+class GTadocBackend(_BackendBase):
+    """G-TADOC behind the query protocol (persistent serving session).
+
+    With ``amortize=True`` (the default) queries share the engine's
+    device session: whichever query first needs a piece of shared state
+    pays for its construction (reported in its ``initialization`` perf),
+    and every later query charges only marginal traversal kernels — the
+    serving path.  ``amortize=False`` gives each query a fresh session,
+    reproducing the full per-query cost the paper's figures measure.
+    """
+
+    name = "gtadoc"
+
+    def __init__(
+        self,
+        source: CorpusSource,
+        config: Optional[GTadocConfig] = None,
+        amortize: bool = True,
+    ) -> None:
+        self.compressed = _as_compressed(source)
+        self.engine = GTadoc(self.compressed, config=config)
+        self.amortize = amortize
+
+    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
+        query = as_query(query)
+        indices = _file_indices_for(self.compressed.file_names, query.files)
+        if self.amortize:
+            batch = self.engine.run_batch(
+                [query.task],
+                traversal=query.traversal,
+                sequence_length=query.sequence_length,
+                file_indices=indices,
+            )
+            run = batch[query.task]
+            init = perf_from_records(batch.init_record, batch.shared_record)
+            traversal = perf_from_records(run.traversal_record)
+            pool_bytes = batch.memory_pool_bytes
+        else:
+            run = self.engine.run(
+                query.task,
+                traversal=query.traversal,
+                sequence_length=query.sequence_length,
+                file_indices=indices,
+            )
+            init = perf_from_records(run.init_record)
+            traversal = perf_from_records(run.traversal_record)
+            pool_bytes = run.memory_pool_bytes
+        return self._outcome(
+            query,
+            run.result,
+            RunPerf(initialization=init, traversal=traversal),
+            raw=run,
+            details={
+                "strategy": run.strategy.value,
+                "memory_pool_bytes": pool_bytes,
+            },
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="G-TADOC: GPU analytics directly on TADOC-compressed data",
+            device="gpu",
+            compressed_domain=True,
+            native_sequence_length=True,
+            native_file_filter=True,
+            amortizes_batches=self.amortize,
+            supports_traversal_choice=True,
+        )
+
+
+# ----------------------------------------------------------------------------------------
+# Sequential CPU TADOC
+# ----------------------------------------------------------------------------------------
+
+class CpuTadocBackend(_BackendBase):
+    """Sequential TADOC (compressed domain) behind the query protocol."""
+
+    name = "cpu"
+
+    def __init__(self, source: CorpusSource, sequence_length: Optional[int] = None) -> None:
+        self.compressed = _as_compressed(source)
+        kwargs = {} if sequence_length is None else {"sequence_length": sequence_length}
+        self.engine = CpuTadoc(self.compressed, **kwargs)
+
+    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
+        query = as_query(query)
+        indices = _file_indices_for(self.compressed.file_names, query.files)
+        run = self.engine.run(
+            query.task, sequence_length=query.sequence_length, file_indices=indices
+        )
+        perf = RunPerf(
+            initialization=perf_from_counters(run.init_counter),
+            traversal=perf_from_counters(run.traversal_counter),
+        )
+        return self._outcome(query, run.result, perf, raw=run)
+
+    def capabilities(self) -> BackendCapabilities:
+        # File filters are honoured in-engine, but only the expansion-based
+        # tasks (sequence count, ranked inverted index) truly skip work for
+        # excluded files — the propagation-based tasks still pay the full
+        # weight pass — so the filter is not advertised as marginal.
+        return BackendCapabilities(
+            name=self.name,
+            description="Sequential CPU TADOC (paper baseline [2])",
+            device="cpu",
+            compressed_domain=True,
+            native_file_filter=False,
+        )
+
+
+# ----------------------------------------------------------------------------------------
+# Raw-corpus engines (parallel, distributed, GPU-uncompressed, reference)
+# ----------------------------------------------------------------------------------------
+
+class _RawCorpusBackend(_BackendBase):
+    """Base for engines that consume the raw corpus.
+
+    File filters are served by building (and caching) the engine on the
+    requested sub-corpus — the raw-text equivalent of restricting the
+    traversal, since these engines scan their input in full.
+    """
+
+    def __init__(self, source: CorpusSource) -> None:
+        self.corpus = _as_corpus(source)
+        self._engines: Dict[Tuple[str, ...], object] = {}
+
+    def _make_engine(self, corpus: Corpus):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _engine_for(self, query: Query):
+        names = _resolve_file_names(self.corpus.file_names, query.files)
+        key = names if names is not None else tuple(self.corpus.file_names)
+        if key not in self._engines:
+            corpus = self.corpus if names is None else _sub_corpus(self.corpus, key)
+            self._engines[key] = self._make_engine(corpus)
+        return self._engines[key]
+
+
+class ParallelTadocBackend(_RawCorpusBackend):
+    """Coarse-grained parallel CPU TADOC behind the query protocol."""
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        source: CorpusSource,
+        num_threads: int = 8,
+        sequence_length: Optional[int] = None,
+    ) -> None:
+        super().__init__(source)
+        self.num_threads = num_threads
+        self.sequence_length = sequence_length
+
+    def _make_engine(self, corpus: Corpus) -> ParallelCpuTadoc:
+        kwargs = {} if self.sequence_length is None else {"sequence_length": self.sequence_length}
+        return ParallelCpuTadoc(corpus, num_threads=self.num_threads, **kwargs)
+
+    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
+        query = as_query(query)
+        engine = self._engine_for(query)
+        run = engine.run(query.task, sequence_length=query.sequence_length)
+        perf = RunPerf(
+            initialization=perf_from_counters(*run.partition_init_counters),
+            traversal=perf_from_counters(*run.partition_traversal_counters, run.merge_counter),
+        )
+        return self._outcome(
+            query, run.result, perf, raw=run, details={"partitions": run.num_partitions}
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="Coarse-grained multi-threaded TADOC (paper baseline [4])",
+            device="cpu",
+            compressed_domain=True,
+        )
+
+
+class DistributedTadocBackend(_RawCorpusBackend):
+    """Distributed TADOC on the simulated cluster behind the query protocol."""
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        source: CorpusSource,
+        cluster: Optional[ClusterSpec] = None,
+        partitions_per_node: int = 2,
+        sequence_length: Optional[int] = None,
+    ) -> None:
+        super().__init__(source)
+        self.cluster = cluster
+        self.partitions_per_node = partitions_per_node
+        self.sequence_length = sequence_length
+
+    def _make_engine(self, corpus: Corpus) -> DistributedTadoc:
+        kwargs = {} if self.sequence_length is None else {"sequence_length": self.sequence_length}
+        return DistributedTadoc(
+            corpus,
+            cluster=self.cluster,
+            partitions_per_node=self.partitions_per_node,
+            **kwargs,
+        )
+
+    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
+        query = as_query(query)
+        engine = self._engine_for(query)
+        run = engine.run(query.task, sequence_length=query.sequence_length)
+        perf = RunPerf(
+            initialization=perf_from_counters(*run.per_node_init_counters()),
+            traversal=perf_from_counters(
+                *run.per_node_traversal_counters(), run.shuffle_counter, run.merge_counter
+            ),
+        )
+        return self._outcome(
+            query,
+            run.result,
+            perf,
+            raw=run,
+            details={"nodes": len(run.node_init_executions)},
+        )
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="TADOC across the simulated 10-node cluster (dataset C baseline)",
+            device="cluster",
+            compressed_domain=True,
+        )
+
+
+class GpuUncompressedBackend(_RawCorpusBackend):
+    """GPU analytics on the raw token stream (paper §VI-E comparator)."""
+
+    name = "gpu_uncompressed"
+
+    def __init__(
+        self,
+        source: CorpusSource,
+        sequence_length: Optional[int] = None,
+        needs_pcie_transfer: bool = False,
+    ) -> None:
+        super().__init__(source)
+        self.sequence_length = sequence_length
+        self.needs_pcie_transfer = needs_pcie_transfer
+        self._analytics: Dict[Tuple[Tuple[str, ...], int], GpuUncompressedAnalytics] = {}
+
+    def _make_engine(self, corpus: Corpus) -> Corpus:
+        # The per-query analytics object is built in ``_analytics_for``
+        # (it is parameterised by sequence length as well as the corpus).
+        return corpus
+
+    def _analytics_for(self, query: Query) -> GpuUncompressedAnalytics:
+        corpus = self._engine_for(query)
+        length_kwargs = {}
+        length = (
+            query.sequence_length if query.sequence_length is not None else self.sequence_length
+        )
+        if length is not None:
+            length_kwargs["sequence_length"] = length
+        key = (tuple(corpus.file_names), length if length is not None else -1)
+        if key not in self._analytics:
+            self._analytics[key] = GpuUncompressedAnalytics(
+                corpus, needs_pcie_transfer=self.needs_pcie_transfer, **length_kwargs
+            )
+        return self._analytics[key]
+
+    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
+        query = as_query(query)
+        run = self._analytics_for(query).run(query.task)
+        perf = RunPerf(traversal=perf_from_records(run.record))
+        return self._outcome(query, run.result, perf, raw=run)
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="GPU analytics on uncompressed tokens (paper §VI-E)",
+            device="gpu",
+            compressed_domain=False,
+        )
+
+
+class ReferenceBackend(_RawCorpusBackend):
+    """The uncompressed ground-truth implementation (no perf model)."""
+
+    name = "reference"
+
+    def __init__(self, source: CorpusSource, sequence_length: Optional[int] = None) -> None:
+        super().__init__(source)
+        self.sequence_length = sequence_length
+
+    def _make_engine(self, corpus: Corpus) -> Corpus:
+        return corpus
+
+    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
+        query = as_query(query)
+        corpus = self._engine_for(query)
+        length = (
+            query.sequence_length if query.sequence_length is not None else self.sequence_length
+        )
+        kwargs = {} if length is None else {"sequence_length": length}
+        result = UncompressedAnalytics(corpus, **kwargs).run(query.task)
+        return self._outcome(query, result, RunPerf(), raw=result)
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="Uncompressed reference implementation (ground truth)",
+            device="cpu",
+            compressed_domain=False,
+        )

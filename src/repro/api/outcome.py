@@ -1,0 +1,114 @@
+"""The :class:`RunOutcome` of a query plus its normalized perf breakdown.
+
+Engines count work in two different currencies —
+:class:`~repro.perf.counters.GpuRunRecord` (per-kernel launches) for the
+GPU engines and :class:`~repro.perf.counters.CostCounter` (flat scalar
+counters) for the CPU/cluster engines.  :class:`PhasePerf` is the common
+denominator: kernel launches (zero for CPU engines), total scalar ops
+and memory traffic, reported per TADOC phase (initialization and
+traversal).  Backend-specific objects stay reachable through
+:attr:`RunOutcome.raw` and :attr:`RunOutcome.details`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.analytics.base import Task, TaskResult
+from repro.api.query import Query
+from repro.perf.counters import CostCounter, GpuRunRecord
+
+__all__ = ["PhasePerf", "RunPerf", "RunOutcome", "perf_from_records", "perf_from_counters"]
+
+
+@dataclass(frozen=True)
+class PhasePerf:
+    """Work one phase performed, in engine-independent units."""
+
+    kernel_launches: int = 0
+    ops: float = 0.0
+    memory_bytes: float = 0.0
+    #: Host <-> device transfer bytes (datasets that do not fit in GPU
+    #: memory); zero on CPU engines.
+    pcie_bytes: float = 0.0
+
+    def __add__(self, other: "PhasePerf") -> "PhasePerf":
+        return PhasePerf(
+            kernel_launches=self.kernel_launches + other.kernel_launches,
+            ops=self.ops + other.ops,
+            memory_bytes=self.memory_bytes + other.memory_bytes,
+            pcie_bytes=self.pcie_bytes + other.pcie_bytes,
+        )
+
+
+def perf_from_records(*records: GpuRunRecord) -> PhasePerf:
+    """Fold GPU run records into one :class:`PhasePerf`."""
+    launches = sum(record.num_launches for record in records)
+    ops = sum(record.total_ops for record in records)
+    memory = sum(
+        sum(kernel.memory_bytes for kernel in record.kernels)
+        + record.host_counter.memory_bytes
+        for record in records
+    )
+    pcie = sum(record.pcie_bytes for record in records)
+    return PhasePerf(kernel_launches=launches, ops=ops, memory_bytes=memory, pcie_bytes=pcie)
+
+
+def perf_from_counters(*counters: CostCounter) -> PhasePerf:
+    """Fold flat CPU cost counters into one :class:`PhasePerf`."""
+    return PhasePerf(
+        kernel_launches=0,
+        ops=sum(counter.total_ops for counter in counters),
+        memory_bytes=sum(counter.memory_bytes for counter in counters),
+    )
+
+
+@dataclass(frozen=True)
+class RunPerf:
+    """Per-phase work of one query, comparable across all backends."""
+
+    initialization: PhasePerf = field(default_factory=PhasePerf)
+    traversal: PhasePerf = field(default_factory=PhasePerf)
+
+    @property
+    def total(self) -> PhasePerf:
+        return self.initialization + self.traversal
+
+    @property
+    def kernel_launches(self) -> int:
+        return self.total.kernel_launches
+
+    @property
+    def ops(self) -> float:
+        return self.total.ops
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Everything one :meth:`AnalyticsBackend.run` call produces.
+
+    ``result`` is the canonical, query-shaped task result; ``perf`` the
+    normalized phase breakdown.  ``raw`` keeps the engine-specific run
+    object (e.g. :class:`~repro.core.engine.GTadocRunResult`) for
+    callers that need engine internals, and ``details`` carries small
+    engine extras (chosen traversal strategy, memory-pool bytes, ...).
+    """
+
+    query: Query
+    backend: str
+    task: Task
+    result: TaskResult
+    perf: RunPerf = field(default_factory=RunPerf)
+    raw: Any = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def kernel_launches(self) -> int:
+        """Total kernel launches this query caused (0 on CPU backends)."""
+        return self.perf.kernel_launches
+
+    @property
+    def ops(self) -> float:
+        """Total modelled scalar operations this query caused."""
+        return self.perf.ops

@@ -1,0 +1,170 @@
+"""The :class:`Query` value object: one analytics request, any engine.
+
+A query names the task plus every per-request knob the paper's
+CompressDirect interface exposes — the sequence length of
+sequence-sensitive tasks, a top-k cut for ranked outputs, an optional
+file-subset restriction and an optional term filter — so the same
+object can be handed to any registered
+:class:`~repro.api.backend.AnalyticsBackend`.  Engines receive the
+knobs they can execute natively (G-TADOC pushes the sequence length and
+the file subset into its traversal programs); the result-shaping knobs
+(``top_k``, ``terms``) are applied uniformly here so every backend
+returns comparable results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.analytics.base import Task, TaskResult, normalize_result
+from repro.core.strategy import TraversalStrategy
+
+__all__ = ["Query", "as_query", "shape_result"]
+
+
+def _normalize_names(value: Optional[Iterable[str]], label: str) -> Optional[Tuple[str, ...]]:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = (value,)
+    names = tuple(dict.fromkeys(value))
+    if not names:
+        raise ValueError(f"{label} filter must name at least one entry")
+    return names
+
+
+@dataclass(frozen=True)
+class Query:
+    """One analytics request against any backend.
+
+    Parameters
+    ----------
+    task:
+        The analytics task (a :class:`~repro.analytics.base.Task` or its
+        string name).
+    sequence_length:
+        Word-window length for sequence-sensitive tasks; ``None`` uses
+        the backend's configured default.
+    top_k:
+        Keep only the ``top_k`` highest-count entries of ranked outputs
+        (sort, word/sequence counts, per-word file rankings).
+    files:
+        Restrict the query to these files (by name).  Backends that
+        support native filtering do only the marginal work for the
+        subset.
+    terms:
+        Restrict the result to these words (sequence counts keep
+        n-grams made entirely of the given terms).
+    traversal:
+        Force a DAG traversal direction on backends that expose one
+        (the G-TADOC engine); others ignore it.
+    extras:
+        Room for future knobs; backends may interpret or ignore them.
+    """
+
+    task: Task
+    sequence_length: Optional[int] = None
+    top_k: Optional[int] = None
+    files: Optional[Tuple[str, ...]] = None
+    terms: Optional[Tuple[str, ...]] = None
+    traversal: Optional[TraversalStrategy] = None
+    #: Room for future knobs; excluded from hashing so a Query stays a
+    #: usable cache/set key (it still participates in equality).
+    extras: Mapping[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        task = self.task
+        if isinstance(task, str):
+            object.__setattr__(self, "task", Task.from_name(task))
+        if self.sequence_length is not None and self.sequence_length < 1:
+            raise ValueError("sequence_length must be >= 1")
+        if self.top_k is not None and self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        object.__setattr__(self, "files", _normalize_names(self.files, "files"))
+        object.__setattr__(self, "terms", _normalize_names(self.terms, "terms"))
+        if self.traversal is not None and not isinstance(self.traversal, TraversalStrategy):
+            object.__setattr__(self, "traversal", TraversalStrategy(self.traversal))
+
+    # -- convenience -----------------------------------------------------------------------
+    @property
+    def is_filtered(self) -> bool:
+        """True when the query restricts files or terms."""
+        return self.files is not None or self.terms is not None
+
+    def with_task(self, task: Union[Task, str]) -> "Query":
+        """The same knobs applied to a different task."""
+        return replace(self, task=Task.from_name(task) if isinstance(task, str) else task)
+
+    def describe(self) -> str:
+        """A compact human-readable description (CLI/log output)."""
+        parts = [self.task.value]
+        if self.sequence_length is not None:
+            parts.append(f"l={self.sequence_length}")
+        if self.top_k is not None:
+            parts.append(f"top_k={self.top_k}")
+        if self.files is not None:
+            parts.append(f"files={len(self.files)}")
+        if self.terms is not None:
+            parts.append(f"terms={len(self.terms)}")
+        if self.traversal is not None:
+            parts.append(self.traversal.value)
+        return " ".join(parts)
+
+
+def as_query(query: Union[Query, Task, str]) -> Query:
+    """Coerce a task name/enum into a plain :class:`Query`."""
+    if isinstance(query, Query):
+        return query
+    return Query(task=query)
+
+
+# ----------------------------------------------------------------------------------------
+# Uniform result shaping (term filter + top-k), applied by every backend
+# ----------------------------------------------------------------------------------------
+
+def _filter_terms(task: Task, result: TaskResult, terms: Tuple[str, ...]) -> TaskResult:
+    allowed = set(terms)
+    if task in (Task.WORD_COUNT,):
+        return {word: count for word, count in result.items() if word in allowed}
+    if task is Task.SORT:
+        return [(word, count) for word, count in result if word in allowed]
+    if task in (Task.INVERTED_INDEX, Task.RANKED_INVERTED_INDEX):
+        return {word: entry for word, entry in result.items() if word in allowed}
+    if task is Task.TERM_VECTOR:
+        return {
+            file_name: {word: count for word, count in counts.items() if word in allowed}
+            for file_name, counts in result.items()
+        }
+    if task is Task.SEQUENCE_COUNT:
+        return {
+            key: count for key, count in result.items() if all(word in allowed for word in key)
+        }
+    raise ValueError(f"unknown task: {task!r}")  # pragma: no cover - exhaustive over Task
+
+
+def _truncate_top_k(task: Task, result: TaskResult, top_k: int) -> TaskResult:
+    if task is Task.SORT:
+        return result[:top_k]
+    if task in (Task.WORD_COUNT, Task.SEQUENCE_COUNT):
+        ordered = sorted(result.items(), key=lambda item: (-item[1], item[0]))[:top_k]
+        return dict(ordered)
+    if task is Task.RANKED_INVERTED_INDEX:
+        return {word: pairs[:top_k] for word, pairs in result.items()}
+    # Inverted index and term vector have no ranked axis to cut.
+    return result
+
+
+def shape_result(query: Query, result: TaskResult) -> TaskResult:
+    """Apply the query's result-shaping knobs to a canonical result.
+
+    Shaping is deterministic (results are normalized first), so two
+    backends given the same query produce equal shaped results whenever
+    their raw results agree.
+    """
+    shaped = normalize_result(query.task, result)
+    if query.terms is not None:
+        shaped = _filter_terms(query.task, shaped, query.terms)
+    if query.top_k is not None:
+        shaped = _truncate_top_k(query.task, shaped, query.top_k)
+    return shaped

@@ -1,0 +1,72 @@
+"""Named backend registry: one front door for every analytics engine.
+
+``open_backend("gtadoc", corpus_or_compressed, **options)`` constructs
+the requested engine adapter; ``register_backend`` lets applications
+plug in their own engines (anything satisfying
+:class:`~repro.api.backend.AnalyticsBackend`) under a new name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.api.backend import AnalyticsBackend
+from repro.api.backends import (
+    CorpusSource,
+    CpuTadocBackend,
+    DistributedTadocBackend,
+    GpuUncompressedBackend,
+    GTadocBackend,
+    ParallelTadocBackend,
+    ReferenceBackend,
+)
+
+__all__ = ["register_backend", "open_backend", "available_backends"]
+
+#: A factory takes the corpus source plus backend-specific options.
+BackendFactory = Callable[..., AnalyticsBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, replace: bool = False) -> None:
+    """Register ``factory`` under ``name`` (error on collision unless ``replace``)."""
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("backend name must be non-empty")
+    if key in _REGISTRY and not replace:
+        raise ValueError(f"backend {key!r} is already registered (pass replace=True)")
+    _REGISTRY[key] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def open_backend(name: str, source: CorpusSource, **options) -> AnalyticsBackend:
+    """Construct the backend registered under ``name`` for ``source``.
+
+    ``source`` may be a raw :class:`~repro.data.corpus.Corpus` or a
+    :class:`~repro.compression.compressor.CompressedCorpus`; the backend
+    derives the form it needs.  ``options`` are forwarded to the
+    backend's constructor (e.g. ``config=`` for ``gtadoc``,
+    ``num_threads=`` for ``parallel``).
+    """
+    key = name.strip().lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return factory(source, **options)
+
+
+# The six engines the paper evaluates, pre-registered.
+register_backend(GTadocBackend.name, GTadocBackend)
+register_backend(CpuTadocBackend.name, CpuTadocBackend)
+register_backend(ParallelTadocBackend.name, ParallelTadocBackend)
+register_backend(DistributedTadocBackend.name, DistributedTadocBackend)
+register_backend(GpuUncompressedBackend.name, GpuUncompressedBackend)
+register_backend(ReferenceBackend.name, ReferenceBackend)

@@ -185,6 +185,12 @@ class CpuTadoc:
                     table[word_id] = table.get(word_id, 0) + count * weight
         return per_file
 
+    def _file_index_range(self, file_indices: Optional[Tuple[int, ...]]) -> List[int]:
+        """The files a run touches: all of them, or the query's subset."""
+        if file_indices is None:
+            return list(range(self.layout.num_files))
+        return list(file_indices)
+
     def _expand_file_ids(self, file_index: int, counter: CostCounter) -> List[int]:
         """Recursive (DFS) expansion of one file, as [2] does for sequence tasks."""
         layout = self.layout
@@ -202,11 +208,15 @@ class CpuTadoc:
                 output.append(symbol)
         return output
 
-    def _sequence_counts_by_expansion(self, counter: CostCounter) -> Dict[Tuple[int, ...], int]:
-        layout = self.layout
-        length = self.sequence_length
+    def _sequence_counts_by_expansion(
+        self,
+        counter: CostCounter,
+        length: Optional[int] = None,
+        file_indices: Optional[Tuple[int, ...]] = None,
+    ) -> Dict[Tuple[int, ...], int]:
+        length = self.sequence_length if length is None else length
         counts: Dict[Tuple[int, ...], int] = {}
-        for file_index in range(layout.num_files):
+        for file_index in self._file_index_range(file_indices):
             ids = self._expand_file_ids(file_index, counter)
             windows = max(0, len(ids) - length + 1)
             counter.charge(
@@ -219,10 +229,11 @@ class CpuTadoc:
                 counts[key] = counts.get(key, 0) + 1
         return counts
 
-    def _per_file_counts_by_expansion(self, counter: CostCounter) -> List[Dict[int, int]]:
-        layout = self.layout
+    def _per_file_counts_by_expansion(
+        self, counter: CostCounter, file_indices: Optional[Tuple[int, ...]] = None
+    ) -> List[Dict[int, int]]:
         per_file: List[Dict[int, int]] = []
-        for file_index in range(layout.num_files):
+        for file_index in self._file_index_range(file_indices):
             ids = self._expand_file_ids(file_index, counter)
             counter.charge(
                 compute_ops=wc.TOKEN_SCAN_OPS * len(ids),
@@ -236,17 +247,41 @@ class CpuTadoc:
         return per_file
 
     # -- public API --------------------------------------------------------------------------
-    def run(self, task: Task) -> CpuTadocRunResult:
-        """Run ``task`` sequentially on the compressed corpus."""
+    def run(
+        self,
+        task: Task,
+        *,
+        sequence_length: Optional[int] = None,
+        file_indices: Optional[Tuple[int, ...]] = None,
+    ) -> CpuTadocRunResult:
+        """Run ``task`` sequentially on the compressed corpus.
+
+        ``sequence_length`` overrides the engine default for this call;
+        ``file_indices`` restricts the result to a subset of files (the
+        expansion-based tasks then only expand those files).
+        """
         if isinstance(task, str):
             task = Task.from_name(task)
+        if file_indices is not None:
+            file_indices = tuple(sorted(set(file_indices)))
         init_counter = self._init_phase()
         traversal_counter = CostCounter()
         dictionary = self.compressed.dictionary
         file_names = self.compressed.file_names
+        if file_indices is None:
+            subset_names = list(file_names)
+        else:
+            subset_names = [file_names[index] for index in file_indices]
 
         if task in (Task.WORD_COUNT, Task.SORT):
-            counts = self._corpus_word_counts(traversal_counter)
+            if file_indices is None:
+                counts = self._corpus_word_counts(traversal_counter)
+            else:
+                per_file = self._per_file_counts(traversal_counter)
+                counts = {}
+                for file_index in file_indices:
+                    for word_id, count in per_file[file_index].items():
+                        counts[word_id] = counts.get(word_id, 0) + count
             word_counts = decode_word_counts(counts, dictionary)
             if task is Task.SORT:
                 keys = max(1, len(word_counts))
@@ -258,7 +293,9 @@ class CpuTadoc:
                 result = word_counts
         elif task in (Task.INVERTED_INDEX, Task.TERM_VECTOR):
             per_file = self._per_file_counts(traversal_counter)
-            term_vector = decode_per_file_counts(per_file, file_names, dictionary)
+            if file_indices is not None:
+                per_file = [per_file[index] for index in file_indices]
+            term_vector = decode_per_file_counts(per_file, subset_names, dictionary)
             if task is Task.TERM_VECTOR:
                 result = per_file_counts_to_term_vector(term_vector)
             else:
@@ -266,15 +303,19 @@ class CpuTadoc:
         elif task is Task.RANKED_INVERTED_INDEX:
             # As characterised in the paper, [2] handles this task close to
             # the uncompressed implementation: per-file expansion + ranking.
-            per_file = self._per_file_counts_by_expansion(traversal_counter)
-            term_vector = decode_per_file_counts(per_file, file_names, dictionary)
+            per_file = self._per_file_counts_by_expansion(
+                traversal_counter, file_indices=file_indices
+            )
+            term_vector = decode_per_file_counts(per_file, subset_names, dictionary)
             entries = sum(len(counts) for counts in term_vector.values())
             traversal_counter.charge(
                 compute_ops=wc.SORT_OPS_PER_KEY * max(1, entries) * 8.0
             )
             result = per_file_counts_to_ranked_inverted_index(term_vector)
         elif task is Task.SEQUENCE_COUNT:
-            counts = self._sequence_counts_by_expansion(traversal_counter)
+            counts = self._sequence_counts_by_expansion(
+                traversal_counter, length=sequence_length, file_indices=file_indices
+            )
             result = decode_sequence_counts(counts, dictionary)
         else:  # pragma: no cover - exhaustive over Task
             raise ValueError(f"unknown task: {task!r}")

@@ -90,7 +90,7 @@ class DistributedTadoc:
             ]
         return self._engines
 
-    def run(self, task: Task) -> DistributedRunResult:
+    def run(self, task: Task, *, sequence_length: Optional[int] = None) -> DistributedRunResult:
         """Run ``task`` across the cluster and merge the partial results."""
         if isinstance(task, str):
             task = Task.from_name(task)
@@ -102,7 +102,7 @@ class DistributedTadoc:
         traversal_counters: List[CostCounter] = []
         partition_entries: List[int] = []
         for engine in engines:
-            partition_run = engine.run(task)
+            partition_run = engine.run(task, sequence_length=sequence_length)
             partials.append(partition_run.result)
             init_counters.append(partition_run.init_counter)
             traversal_counters.append(partition_run.traversal_counter)

@@ -74,7 +74,7 @@ class ParallelCpuTadoc:
             ]
         return self._engines
 
-    def run(self, task: Task) -> ParallelRunResult:
+    def run(self, task: Task, *, sequence_length: Optional[int] = None) -> ParallelRunResult:
         """Run ``task`` on every partition and merge the partial results."""
         if isinstance(task, str):
             task = Task.from_name(task)
@@ -82,7 +82,7 @@ class ParallelCpuTadoc:
         partials: List[TaskResult] = []
         outcome = ParallelRunResult(task=task, result={})
         for engine in engines:
-            partition_run = engine.run(task)
+            partition_run = engine.run(task, sequence_length=sequence_length)
             partials.append(partition_run.result)
             outcome.partition_init_counters.append(partition_run.init_counter)
             outcome.partition_traversal_counters.append(partition_run.traversal_counter)

@@ -1,10 +1,15 @@
 """Experiment runner: every engine, every dataset, every platform.
 
-The runner caches functional runs (they are platform-independent) and
-prices them under each platform's cost model, applying the paper-scale
-extrapolation described in :mod:`repro.perf.extrapolation`.  It
-produces :class:`SpeedupRow` records — one per (dataset, task,
-platform) — which the benchmark scripts turn into the paper's figures.
+The runner opens every engine through the unified backend registry
+(:func:`repro.api.open_backend`) and issues
+:class:`~repro.api.query.Query` objects against the
+:class:`~repro.api.backend.AnalyticsBackend` protocol — the same front
+door the CLI and the examples use.  Functional runs are cached (they
+are platform-independent) and priced under each platform's cost model,
+applying the paper-scale extrapolation described in
+:mod:`repro.perf.extrapolation`.  It produces :class:`SpeedupRow`
+records — one per (dataset, task, platform) — which the benchmark
+scripts turn into the paper's figures.
 """
 
 from __future__ import annotations
@@ -13,9 +18,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analytics.base import Task
-from repro.baselines.cpu_tadoc import CpuTadoc, CpuTadocRunResult
-from repro.baselines.distributed import DistributedTadoc, DistributedRunResult
-from repro.baselines.gpu_uncompressed import GpuUncompressedAnalytics, GpuUncompressedRunResult
+from repro.api import AnalyticsBackend, Query, open_backend
+from repro.baselines.cpu_tadoc import CpuTadocRunResult
+from repro.baselines.distributed import DistributedRunResult
+from repro.baselines.gpu_uncompressed import GpuUncompressedRunResult
 from repro.compression.compressor import CompressedCorpus, compress_corpus
 from repro.core.engine import GTadoc, GTadocBatchResult, GTadocConfig, GTadocRunResult
 from repro.core.strategy import TraversalStrategy
@@ -150,9 +156,7 @@ class ExperimentRunner:
         self._cpu_runs: Dict[Tuple[str, Task], CpuTadocRunResult] = {}
         self._distributed_runs: Dict[Tuple[str, Task], DistributedRunResult] = {}
         self._gpu_uncompressed_runs: Dict[Tuple[str, Task], GpuUncompressedRunResult] = {}
-        self._engines: Dict[str, GTadoc] = {}
-        self._cpu_engines: Dict[str, CpuTadoc] = {}
-        self._distributed_engines: Dict[str, DistributedTadoc] = {}
+        self._backends: Dict[Tuple[str, str], AnalyticsBackend] = {}
 
     # -- dataset preparation ----------------------------------------------------------------
     def bundle(self, key: str) -> DatasetBundle:
@@ -174,26 +178,50 @@ class ExperimentRunner:
             )
         return self._bundles[key]
 
+    # -- backends (one registry front door for every engine) -------------------------------------
+    def backend(self, key: str, name: str) -> AnalyticsBackend:
+        """The (cached) registered backend ``name`` for dataset ``key``.
+
+        The G-TADOC backend is opened with ``amortize=False`` so each
+        query pays the full per-query cost the paper's figures measure
+        (use :meth:`gtadoc_batch_run` for the amortized serving path).
+        """
+        cache_key = (key, name)
+        if cache_key not in self._backends:
+            bundle = self.bundle(key)
+            options: Dict[str, object] = {}
+            source: object = bundle.corpus
+            if name == "gtadoc":
+                source = bundle.compressed
+                options = {
+                    "config": GTadocConfig(
+                        sequence_length=self.config.sequence_length,
+                        needs_pcie_transfer=key in self.config.pcie_datasets,
+                    ),
+                    "amortize": False,
+                }
+            elif name == "cpu":
+                source = bundle.compressed
+                options = {"sequence_length": self.config.sequence_length}
+            elif name in ("parallel", "distributed", "gpu_uncompressed", "reference"):
+                options = {"sequence_length": self.config.sequence_length}
+                if name == "gpu_uncompressed":
+                    options["needs_pcie_transfer"] = key in self.config.pcie_datasets
+            self._backends[cache_key] = open_backend(name, source, **options)
+        return self._backends[cache_key]
+
     # -- engine runs (functional, cached) --------------------------------------------------------
     def gtadoc_engine(self, key: str) -> GTadoc:
         """The (cached) G-TADOC engine for dataset ``key``."""
-        if key not in self._engines:
-            bundle = self.bundle(key)
-            self._engines[key] = GTadoc(
-                bundle.compressed,
-                config=GTadocConfig(
-                    sequence_length=self.config.sequence_length,
-                    needs_pcie_transfer=key in self.config.pcie_datasets,
-                ),
-            )
-        return self._engines[key]
+        return self.backend(key, "gtadoc").engine
 
     def gtadoc_run(
         self, key: str, task: Task, traversal: Optional[TraversalStrategy] = None
     ) -> GTadocRunResult:
         cache_key = (key, task, traversal)
         if cache_key not in self._gtadoc_runs:
-            self._gtadoc_runs[cache_key] = self.gtadoc_engine(key).run(task, traversal=traversal)
+            outcome = self.backend(key, "gtadoc").run(Query(task=task, traversal=traversal))
+            self._gtadoc_runs[cache_key] = outcome.raw
         return self._gtadoc_runs[cache_key]
 
     def gtadoc_batch_run(
@@ -258,35 +286,23 @@ class ExperimentRunner:
     def cpu_tadoc_run(self, key: str, task: Task) -> CpuTadocRunResult:
         cache_key = (key, task)
         if cache_key not in self._cpu_runs:
-            bundle = self.bundle(key)
-            if key not in self._cpu_engines:
-                self._cpu_engines[key] = CpuTadoc(
-                    bundle.compressed, sequence_length=self.config.sequence_length
-                )
-            self._cpu_runs[cache_key] = self._cpu_engines[key].run(task)
+            self._cpu_runs[cache_key] = self.backend(key, "cpu").run(Query(task=task)).raw
         return self._cpu_runs[cache_key]
 
     def distributed_run(self, key: str, task: Task) -> DistributedRunResult:
         cache_key = (key, task)
         if cache_key not in self._distributed_runs:
-            bundle = self.bundle(key)
-            if key not in self._distributed_engines:
-                self._distributed_engines[key] = DistributedTadoc(
-                    bundle.corpus, sequence_length=self.config.sequence_length
-                )
-            self._distributed_runs[cache_key] = self._distributed_engines[key].run(task)
+            self._distributed_runs[cache_key] = (
+                self.backend(key, "distributed").run(Query(task=task)).raw
+            )
         return self._distributed_runs[cache_key]
 
     def gpu_uncompressed_run(self, key: str, task: Task) -> GpuUncompressedRunResult:
         cache_key = (key, task)
         if cache_key not in self._gpu_uncompressed_runs:
-            bundle = self.bundle(key)
-            analytics = GpuUncompressedAnalytics(
-                bundle.corpus,
-                sequence_length=self.config.sequence_length,
-                needs_pcie_transfer=key in self.config.pcie_datasets,
+            self._gpu_uncompressed_runs[cache_key] = (
+                self.backend(key, "gpu_uncompressed").run(Query(task=task)).raw
             )
-            self._gpu_uncompressed_runs[cache_key] = analytics.run(task)
         return self._gpu_uncompressed_runs[cache_key]
 
     # -- pricing --------------------------------------------------------------------------------------

@@ -7,9 +7,12 @@ Four sub-commands cover the CompressDirect-style workflow:
     analogue) into the TADOC format.
 ``gtadoc run``
     Run one or more of the six analytics tasks on a compressed corpus
-    with the G-TADOC engine and print the top results.  Passing several
-    tasks (or ``--task all``) runs them as one batch that charges the
-    initialization phase once.
+    and print the top results.  Queries go through the unified query
+    API (:mod:`repro.api`): ``--backend`` picks any registered engine
+    (default: the G-TADOC engine) and ``--sequence-length`` sets the
+    per-query window for sequence count.  Passing several tasks (or
+    ``--task all``) runs them as one batch; backends that amortize
+    charge the initialization phase once.
 ``gtadoc info``
     Print Table II style statistics of a compressed corpus.
 ``gtadoc bench``
@@ -24,11 +27,11 @@ import sys
 from typing import List, Optional
 
 from repro.analytics.base import Task
+from repro.api import Query, RunOutcome, available_backends, open_backend
 from repro.bench.experiment import ExperimentConfig, ExperimentRunner
 from repro.bench.tables import format_table
 from repro.compression.serializer import load_compressed, save_compressed
 from repro.compression.compressor import compress_corpus
-from repro.core.engine import GTadoc, GTadocConfig
 from repro.data.generators import generate_dataset, list_datasets
 from repro.data.loaders import load_corpus_dir
 from repro.perf.platforms import get_platform, list_platforms
@@ -65,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--traversal", choices=["top_down", "bottom_up"], default=None)
     run.add_argument("--top", type=int, default=10, help="number of result entries to print")
+    run.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="gtadoc",
+        help="analytics engine to serve the query (default: gtadoc)",
+    )
+    run.add_argument(
+        "--sequence-length",
+        type=int,
+        default=None,
+        help="per-query word-window length for sequence count",
+    )
 
     info = subparsers.add_parser("info", help="print statistics of a compressed corpus")
     info.add_argument("--compressed", required=True)
@@ -132,47 +147,69 @@ def _parse_tasks(raw: str) -> List[Task]:
     return list(dict.fromkeys(tasks))
 
 
+def _describe_engine(outcome: RunOutcome) -> str:
+    strategy = outcome.details.get("strategy")
+    if strategy:
+        return f"task: {outcome.task.value}   traversal: {strategy}"
+    return f"task: {outcome.task.value}   backend: {outcome.backend}"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         tasks = _parse_tasks(args.task)
+        if args.top <= 0:
+            raise ValueError(f"--top must be a positive integer (got {args.top})")
+        if args.sequence_length is not None and args.sequence_length < 1:
+            raise ValueError(
+                f"--sequence-length must be a positive integer (got {args.sequence_length})"
+            )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     compressed = load_compressed(args.compressed)
-    traversal = None
-    if args.traversal:
-        from repro.core.strategy import TraversalStrategy
+    backend = open_backend(args.backend, compressed)
+    if args.traversal and not backend.capabilities().supports_traversal_choice:
+        print(
+            f"error: backend {args.backend!r} does not support --traversal",
+            file=sys.stderr,
+        )
+        return 2
+    queries = [
+        Query(task=task, sequence_length=args.sequence_length, traversal=args.traversal)
+        for task in tasks
+    ]
 
-        traversal = TraversalStrategy(args.traversal)
-    engine = GTadoc(compressed, config=GTadocConfig())
-
-    if len(tasks) == 1:
-        task = tasks[0]
-        outcome = engine.run(task, traversal=traversal)
-        print(f"task: {task.value}   traversal: {outcome.strategy.value}")
-        print(f"kernel launches: {outcome.total_kernel_launches}")
-        print(f"memory pool: {outcome.memory_pool_bytes} bytes")
+    if len(queries) == 1:
+        outcome = backend.run(queries[0])
+        print(_describe_engine(outcome))
+        print(f"kernel launches: {outcome.kernel_launches}")
+        print(f"modelled ops: {outcome.ops:.0f}")
+        if "memory_pool_bytes" in outcome.details:
+            print(f"memory pool: {outcome.details['memory_pool_bytes']} bytes")
         print("top results:")
-        for line in _format_result_preview(task, outcome.result, args.top):
+        for line in _format_result_preview(outcome.task, outcome.result, args.top):
             print(f"  {line}")
         return 0
 
-    batch = engine.run_batch(tasks, traversal=traversal)
-    print(f"batch: {len(batch)} tasks, initialization charged once")
-    print(
-        f"shared kernel launches: {batch.shared_kernel_launches} "
-        f"(init {batch.init_record.num_launches}, "
-        f"shared state {batch.shared_record.num_launches})"
-    )
-    print(f"total kernel launches: {batch.total_kernel_launches}")
-    print(f"memory pool: {batch.memory_pool_bytes} bytes")
-    for task, outcome in batch.items():
+    outcomes = backend.run_batch(queries)
+    shared_launches = sum(outcome.perf.initialization.kernel_launches for outcome in outcomes)
+    total_launches = sum(outcome.kernel_launches for outcome in outcomes)
+    if backend.capabilities().amortizes_batches:
+        print(f"batch: {len(outcomes)} tasks, initialization charged once")
+        print(f"shared kernel launches: {shared_launches}")
+    else:
+        print(f"batch: {len(outcomes)} tasks on backend {backend.name}")
+    print(f"total kernel launches: {total_launches}")
+    pool_bytes = outcomes[-1].details.get("memory_pool_bytes")
+    if pool_bytes is not None:
+        print(f"memory pool: {pool_bytes} bytes")
+    for outcome in outcomes:
         print(
-            f"\ntask: {task.value}   traversal: {outcome.strategy.value}   "
-            f"marginal launches: {outcome.total_kernel_launches}"
+            f"\n{_describe_engine(outcome)}   "
+            f"marginal launches: {outcome.perf.traversal.kernel_launches}"
         )
         print("top results:")
-        for line in _format_result_preview(task, outcome.result, args.top):
+        for line in _format_result_preview(outcome.task, outcome.result, args.top):
             print(f"  {line}")
     return 0
 

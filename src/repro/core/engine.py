@@ -37,7 +37,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 from repro.analytics.base import Task, TaskResult, normalize_result
 from repro.compression.compressor import CompressedCorpus
 from repro.core.layout import DeviceRuleLayout
-from repro.core.plans import TaskPlan, plan_for
+from repro.core.plans import DEFAULT_PARAMS, QueryParams, TaskPlan, plan_for
 from repro.core.session import BASE_INIT, DeviceSession, GTadocConfig
 from repro.core.strategy import StrategyDecision, TraversalStrategy, TraversalStrategySelector
 from repro.gpusim.device import GPUDevice
@@ -153,15 +153,31 @@ class GTadoc:
         return self._session.layout
 
     # -- public API -----------------------------------------------------------------------
-    def run(self, task: Union[Task, str], traversal: Optional[TraversalStrategy] = None) -> GTadocRunResult:
+    def run(
+        self,
+        task: Union[Task, str],
+        traversal: Optional[TraversalStrategy] = None,
+        *,
+        sequence_length: Optional[int] = None,
+        file_indices: Optional[Iterable[int]] = None,
+    ) -> GTadocRunResult:
         """Execute ``task`` and return its result plus per-phase work records.
 
         Runs on a fresh session, so every call pays the full Figure-3
         initialization — the per-query cost the paper's figures measure.
         Use :meth:`run_batch` to amortize initialization across tasks.
+
+        ``sequence_length`` overrides the configured length for this call
+        only; ``file_indices`` restricts the task to a file subset (the
+        traversal then performs only the marginal work for those files).
+        The unified front door for these per-query knobs is
+        :class:`repro.api.Query` via :func:`repro.api.open_backend`.
         """
+        params = self._params(sequence_length, file_indices)
         session = self._session.fresh()
-        task, result, strategy, decision, marginal = self._execute_task(session, task, traversal)
+        task, result, strategy, decision, marginal = self._execute_task(
+            session, task, traversal, params
+        )
         init_record, shared_record = session.drain_new_records()
         traversal_record = GpuRunRecord()
         traversal_record.merge(shared_record)
@@ -182,6 +198,9 @@ class GTadoc:
         tasks: Optional[Iterable[Union[Task, str]]] = None,
         traversal: Optional[TraversalStrategy] = None,
         session: Optional[DeviceSession] = None,
+        *,
+        sequence_length: Optional[int] = None,
+        file_indices: Optional[Iterable[int]] = None,
     ) -> GTadocBatchResult:
         """Execute several tasks against one shared session.
 
@@ -197,6 +216,7 @@ class GTadoc:
         (e.g. ``engine.session.fresh()``) to measure one batch in
         isolation.
         """
+        params = self._params(sequence_length, file_indices)
         requested_tasks = Task.all() if tasks is None else tasks
         task_list = [Task.from_name(t) if isinstance(t, str) else t for t in requested_tasks]
         # Duplicates collapse to one execution (results are keyed by task),
@@ -207,7 +227,7 @@ class GTadoc:
         for requested in task_list:
             pool_before = session.memory_pool_bytes
             task, result, strategy, decision, marginal = self._execute_task(
-                session, requested, traversal
+                session, requested, traversal, params
             )
             results[task] = GTadocRunResult(
                 task=task,
@@ -236,11 +256,24 @@ class GTadoc:
         return self.run_batch(Task.all(), traversal=traversal)
 
     # -- plan execution ------------------------------------------------------------------------
+    @staticmethod
+    def _params(
+        sequence_length: Optional[int], file_indices: Optional[Iterable[int]]
+    ) -> QueryParams:
+        """Normalize per-query knobs into a :class:`QueryParams`."""
+        if sequence_length is None and file_indices is None:
+            return DEFAULT_PARAMS
+        return QueryParams(
+            sequence_length=sequence_length,
+            file_indices=tuple(file_indices) if file_indices is not None else None,
+        )
+
     def _execute_task(
         self,
         session: DeviceSession,
         task: Union[Task, str],
         traversal: Optional[TraversalStrategy],
+        params: QueryParams = DEFAULT_PARAMS,
     ) -> Tuple[Task, TaskResult, TraversalStrategy, Optional[StrategyDecision], GpuRunRecord]:
         """Ensure required state on ``session``, then run the marginal program."""
         if isinstance(task, str):
@@ -256,10 +289,18 @@ class GTadoc:
         if plan.fixed_strategy is not None:
             strategy = plan.fixed_strategy
 
+        if params.filtered:
+            num_files = session.layout.num_files
+            for file_index in params.file_indices:
+                if not 0 <= file_index < num_files:
+                    raise ValueError(
+                        f"file index {file_index} out of range (corpus has {num_files} files)"
+                    )
+
         session.ensure(BASE_INIT)
-        session.ensure(*plan.required_state(strategy, session.config))
+        session.ensure(*plan.required_state(strategy, session.config, params))
 
         marginal = GpuRunRecord()
         device = GPUDevice(record=marginal)
-        raw = plan.traverse(session, device, strategy)
+        raw = plan.traverse(session, device, strategy, params)
         return task, normalize_result(task, raw), strategy, decision, marginal

@@ -10,6 +10,15 @@ that with a registry: each :class:`~repro.analytics.base.Task` maps to a
 * the *marginal* traversal program (``traverse``) that consumes the
   session state and launches only the task-specific kernels.
 
+Plans are parameterised per query through :class:`QueryParams`: a query
+may override the engine's configured sequence length (the session keeps
+per-length head/tail buffers side by side) and may restrict the task to
+a subset of files, in which case the traversal programs only perform the
+marginal work for that subset — corpus-wide tasks switch to the per-file
+machinery restricted to the subset, file-sensitive tasks reduce only the
+requested files, and sequence counting restricts both the root segments
+and the per-rule occurrence weights to the subset.
+
 The engine ensures the required state on the session (charging its
 construction once per session), then runs the plan's traversal on a
 per-task device/record.  Adding a new analytics task means registering a
@@ -19,7 +28,7 @@ plan here — no engine changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analytics.base import Task, TaskResult
 from repro.analytics.derive import (
@@ -51,10 +60,43 @@ from repro.core.traversal import (
 from repro.core.sequence import sequence_counts
 from repro.gpusim.device import GPUDevice
 
-__all__ = ["TaskPlan", "PLAN_REGISTRY", "plan_for"]
+__all__ = ["QueryParams", "DEFAULT_PARAMS", "TaskPlan", "PLAN_REGISTRY", "plan_for"]
 
-RequiresFn = Callable[[TraversalStrategy, GTadocConfig], Tuple[StateKey, ...]]
-TraverseFn = Callable[[DeviceSession, GPUDevice, TraversalStrategy], TaskResult]
+
+@dataclass(frozen=True)
+class QueryParams:
+    """Per-query knobs a plan execution honours.
+
+    ``sequence_length`` overrides the engine config for sequence-sensitive
+    tasks (``None`` means "use the configured default"); ``file_indices``
+    restricts the query to a subset of files so the traversal does only
+    the marginal work for those files.
+    """
+
+    sequence_length: Optional[int] = None
+    file_indices: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.sequence_length is not None and self.sequence_length < 1:
+            raise ValueError("sequence_length must be >= 1")
+        if self.file_indices is not None:
+            object.__setattr__(self, "file_indices", tuple(sorted(set(self.file_indices))))
+            if not self.file_indices:
+                raise ValueError("file_indices must name at least one file")
+
+    def effective_sequence_length(self, config: GTadocConfig) -> int:
+        return self.sequence_length if self.sequence_length is not None else config.sequence_length
+
+    @property
+    def filtered(self) -> bool:
+        return self.file_indices is not None
+
+
+#: The "plain query" every seed entry point implicitly used.
+DEFAULT_PARAMS = QueryParams()
+
+RequiresFn = Callable[[TraversalStrategy, GTadocConfig, QueryParams], Tuple[StateKey, ...]]
+TraverseFn = Callable[[DeviceSession, GPUDevice, TraversalStrategy, QueryParams], TaskResult]
 
 
 @dataclass(frozen=True)
@@ -62,7 +104,7 @@ class TaskPlan:
     """One task's declarative execution plan."""
 
     task: Task
-    #: Session state the traversal consumes under a given strategy/config.
+    #: Session state the traversal consumes under a given strategy/config/query.
     requires: RequiresFn
     #: Marginal traversal program: session state in, raw task result out.
     traverse: TraverseFn
@@ -71,16 +113,65 @@ class TaskPlan:
     fixed_strategy: Optional[TraversalStrategy] = None
 
     def required_state(
-        self, strategy: TraversalStrategy, config: GTadocConfig
+        self,
+        strategy: TraversalStrategy,
+        config: GTadocConfig,
+        params: QueryParams = DEFAULT_PARAMS,
     ) -> Tuple[StateKey, ...]:
-        return self.requires(strategy, config)
+        return self.requires(strategy, config, params)
+
+
+# ----------------------------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------------------------
+
+def _filtered_per_file_counts(
+    session: DeviceSession,
+    device: GPUDevice,
+    strategy: TraversalStrategy,
+    params: QueryParams,
+) -> List[Dict[int, int]]:
+    """Per-file word-id counts restricted to the query's file subset."""
+    layout = session.layout
+    if strategy is TraversalStrategy.TOP_DOWN:
+        return topdown_per_file_counts(
+            layout,
+            session.scheduler,
+            device,
+            file_weights=session.state(FILE_WEIGHTS),
+            file_indices=params.file_indices,
+        )
+    return bottomup_per_file_counts(
+        layout,
+        device,
+        local_tables=session.state(LOCAL_TABLES),
+        file_indices=params.file_indices,
+    )
+
+
+def _decode_file_subset(
+    session: DeviceSession, per_file: List[Dict[int, int]], params: QueryParams
+) -> Dict[str, Dict[str, int]]:
+    """Decode per-file counts, keeping only the query's file subset."""
+    indices = list(params.file_indices)
+    names = [session.compressed.file_names[index] for index in indices]
+    return decode_per_file_counts(
+        [per_file[index] for index in indices], names, session.compressed.dictionary
+    )
 
 
 # ----------------------------------------------------------------------------------------
 # Corpus-wide counts (word count, sort)
 # ----------------------------------------------------------------------------------------
 
-def _corpus_requires(strategy: TraversalStrategy, config: GTadocConfig) -> Tuple[StateKey, ...]:
+def _corpus_requires(
+    strategy: TraversalStrategy, config: GTadocConfig, params: QueryParams = DEFAULT_PARAMS
+) -> Tuple[StateKey, ...]:
+    if params.filtered:
+        # Restricted corpus-wide counts go through the per-file machinery.
+        if strategy is TraversalStrategy.TOP_DOWN:
+            return (FILE_WEIGHTS,)
+        return (BOTTOMUP_BOUNDS, LOCAL_TABLES)
     if strategy is TraversalStrategy.TOP_DOWN:
         return (RULE_WEIGHTS,)
     return (BOTTOMUP_BOUNDS, LOCAL_TABLES)
@@ -88,10 +179,19 @@ def _corpus_requires(strategy: TraversalStrategy, config: GTadocConfig) -> Tuple
 
 def _make_corpus_traverse(task: Task) -> TraverseFn:
     def traverse(
-        session: DeviceSession, device: GPUDevice, strategy: TraversalStrategy
+        session: DeviceSession,
+        device: GPUDevice,
+        strategy: TraversalStrategy,
+        params: QueryParams = DEFAULT_PARAMS,
     ) -> TaskResult:
         layout = session.layout
-        if strategy is TraversalStrategy.TOP_DOWN:
+        if params.filtered:
+            per_file = _filtered_per_file_counts(session, device, strategy, params)
+            counts: Dict[int, int] = {}
+            for file_index in params.file_indices:
+                for word_id, count in per_file[file_index].items():
+                    counts[word_id] = counts.get(word_id, 0) + count
+        elif strategy is TraversalStrategy.TOP_DOWN:
             counts = topdown_word_count(
                 layout, session.scheduler, device, weights=session.state(RULE_WEIGHTS)
             )
@@ -111,7 +211,9 @@ def _make_corpus_traverse(task: Task) -> TraverseFn:
 # File-sensitive counts (inverted index, term vector, ranked inverted index)
 # ----------------------------------------------------------------------------------------
 
-def _file_requires(strategy: TraversalStrategy, config: GTadocConfig) -> Tuple[StateKey, ...]:
+def _file_requires(
+    strategy: TraversalStrategy, config: GTadocConfig, params: QueryParams = DEFAULT_PARAMS
+) -> Tuple[StateKey, ...]:
     if strategy is TraversalStrategy.TOP_DOWN:
         return (FILE_WEIGHTS,)
     return (BOTTOMUP_BOUNDS, LOCAL_TABLES)
@@ -119,20 +221,27 @@ def _file_requires(strategy: TraversalStrategy, config: GTadocConfig) -> Tuple[S
 
 def _make_file_traverse(task: Task) -> TraverseFn:
     def traverse(
-        session: DeviceSession, device: GPUDevice, strategy: TraversalStrategy
+        session: DeviceSession,
+        device: GPUDevice,
+        strategy: TraversalStrategy,
+        params: QueryParams = DEFAULT_PARAMS,
     ) -> TaskResult:
         layout = session.layout
-        if strategy is TraversalStrategy.TOP_DOWN:
-            per_file = topdown_per_file_counts(
-                layout, session.scheduler, device, file_weights=session.state(FILE_WEIGHTS)
-            )
+        if params.filtered:
+            per_file = _filtered_per_file_counts(session, device, strategy, params)
+            term_vector = _decode_file_subset(session, per_file, params)
         else:
-            per_file = bottomup_per_file_counts(
-                layout, device, local_tables=session.state(LOCAL_TABLES)
+            if strategy is TraversalStrategy.TOP_DOWN:
+                per_file = topdown_per_file_counts(
+                    layout, session.scheduler, device, file_weights=session.state(FILE_WEIGHTS)
+                )
+            else:
+                per_file = bottomup_per_file_counts(
+                    layout, device, local_tables=session.state(LOCAL_TABLES)
+                )
+            term_vector = decode_per_file_counts(
+                per_file, session.compressed.file_names, session.compressed.dictionary
             )
-        term_vector = decode_per_file_counts(
-            per_file, session.compressed.file_names, session.compressed.dictionary
-        )
         if task is Task.TERM_VECTOR:
             return per_file_counts_to_term_vector(term_vector)
         if task is Task.INVERTED_INDEX:
@@ -146,18 +255,47 @@ def _make_file_traverse(task: Task) -> TraverseFn:
 # Sequence count
 # ----------------------------------------------------------------------------------------
 
-def _sequence_requires(strategy: TraversalStrategy, config: GTadocConfig) -> Tuple[StateKey, ...]:
-    return (sequence_buffers_key(config.sequence_length), RULE_WEIGHTS)
+def _sequence_requires(
+    strategy: TraversalStrategy, config: GTadocConfig, params: QueryParams = DEFAULT_PARAMS
+) -> Tuple[StateKey, ...]:
+    length = params.effective_sequence_length(config)
+    if params.filtered:
+        # Restricted weights (occurrences within the subset) derive from
+        # the per-file weight tables instead of the scalar rule weights.
+        return (sequence_buffers_key(length), FILE_WEIGHTS)
+    return (sequence_buffers_key(length), RULE_WEIGHTS)
 
 
 def _sequence_traverse(
-    session: DeviceSession, device: GPUDevice, strategy: TraversalStrategy
+    session: DeviceSession,
+    device: GPUDevice,
+    strategy: TraversalStrategy,
+    params: QueryParams = DEFAULT_PARAMS,
 ) -> TaskResult:
-    length = session.config.sequence_length
+    length = params.effective_sequence_length(session.config)
     buffers = session.state(sequence_buffers_key(length))
-    weights = session.state(RULE_WEIGHTS)
+    if params.filtered:
+        file_weights = session.state(FILE_WEIGHTS)
+        allowed = set(params.file_indices)
+        weights = [
+            sum(count for file_index, count in per_rule.items() if file_index in allowed)
+            for per_rule in file_weights
+        ]
+        # Deriving the restricted weights is host-side control work.
+        device.record.host_counter.charge(
+            compute_ops=float(sum(len(per_rule) for per_rule in file_weights)),
+            memory_bytes=8.0 * len(file_weights),
+        )
+    else:
+        weights = session.state(RULE_WEIGHTS)
     counts = sequence_counts(
-        session.layout, session.scheduler, device, buffers, weights, length
+        session.layout,
+        session.scheduler,
+        device,
+        buffers,
+        weights,
+        length,
+        file_indices=params.file_indices,
     )
     return decode_sequence_counts(counts, session.compressed.dictionary)
 

@@ -289,16 +289,29 @@ def sequence_counts(
     buffers: SequenceBuffers,
     weights: Sequence[int],
     sequence_length: int,
+    file_indices: Optional[Sequence[int]] = None,
 ) -> Dict[Tuple[int, ...], int]:
-    """Phase 2 (Figure 8): count word *l*-grams over the whole corpus."""
+    """Phase 2 (Figure 8): count word *l*-grams over the whole corpus.
+
+    With a ``file_indices`` subset, only root segments of the requested
+    files are scanned; callers must supply ``weights`` restricted to the
+    subset (occurrences of each rule within the requested files) so
+    rule-anchored windows are scaled correctly.
+    """
     if sequence_length != buffers.sequence_length:
         raise ValueError("sequence_length does not match the prepared buffers")
+    allowed = frozenset(file_indices) if file_indices is not None else None
 
     local_counts: Dict[Tuple[int, ...], int] = {}
     overlap = sequence_length - 1
 
     # Every non-root rule counts the windows anchored in its own body.
+    # Under a file filter, rules that never occur in the subset (zero
+    # restricted weight) are dropped before scheduling so the kernel only
+    # covers marginal work.
     rule_ids = list(range(1, layout.num_rules))
+    if allowed is not None:
+        rule_ids = [rule_id for rule_id in rule_ids if weights[rule_id] != 0]
     items = [layout.rule_lengths[rule_id] for rule_id in rule_ids]
     assignments = scheduler.partition_items(rule_ids, items) if rule_ids else []
 
@@ -330,6 +343,8 @@ def sequence_counts(
     chunk = max(32, int(scheduler.oversize_threshold * max(1.0, layout.average_rule_length)))
     root_work: List[Tuple[int, int, int]] = []  # (file_index, start, end) in segment coordinates
     for file_index, (segment_start, segment_end) in enumerate(layout.root_segments):
+        if allowed is not None and file_index not in allowed:
+            continue
         length = segment_end - segment_start
         for offset in range(0, max(1, length), chunk):
             start = segment_start + offset

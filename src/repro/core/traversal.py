@@ -206,17 +206,72 @@ def topdown_per_file_counts(
     scheduler: FineGrainedScheduler,
     device: GPUDevice,
     file_weights: Optional[List[Dict[int, int]]] = None,
+    file_indices: Optional[Sequence[int]] = None,
 ) -> List[Dict[int, int]]:
     """Per-file word counts via top-down propagation of file weights.
 
     When ``file_weights`` is supplied (e.g. cached by a session), only
     the reduce kernels run; otherwise the propagation pass runs first.
+
+    When ``file_indices`` restricts the query to a file subset, the
+    reduce pass only visits rules whose file weights intersect the
+    subset and only accumulates into the requested files, and the root's
+    direct words are folded into the same (single) kernel launch — a
+    restricted query does strictly marginal work.
     """
     num_rules = layout.num_rules
     if file_weights is None:
         file_weights = compute_file_weights_topdown(layout, device)
 
     per_file_counts: List[Dict[int, int]] = [dict() for _ in range(layout.num_files)]
+
+    if file_indices is not None:
+        allowed = frozenset(file_indices)
+        allowed_order = sorted(allowed)
+        rule_ids = [
+            rule_id
+            for rule_id in range(1, num_rules)
+            if any(file_index in allowed for file_index in file_weights[rule_id])
+        ]
+        items = [len(layout.local_words[rule_id]) for rule_id in rule_ids]
+        assignments = scheduler.partition_items(rule_ids, items) if rule_ids else []
+
+        def subset_kernel(tid: int, ctx) -> None:
+            if tid < len(assignments):
+                assignment = assignments[tid]
+                rule_id = assignment.rule_id
+                ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=8.0)
+                weights = {
+                    file_index: weight
+                    for file_index, weight in file_weights[rule_id].items()
+                    if file_index in allowed
+                }
+                if not weights:
+                    return
+                local = layout.local_words[rule_id][assignment.start : assignment.end]
+                for word_id, count in local:
+                    ctx.charge(ops=wc.SYMBOL_VISIT_OPS, memory_bytes=wc.SYMBOL_VISIT_BYTES)
+                    for file_index, weight in weights.items():
+                        ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+                        ctx.atomic_ops += 1.0
+                        table = per_file_counts[file_index]
+                        table[word_id] = table.get(word_id, 0) + count * weight
+                return
+            index = tid - len(assignments)
+            if index >= len(allowed_order):
+                return
+            file_index = allowed_order[index]
+            for word_id, count in layout.root_words_per_file[file_index].items():
+                ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+                table = per_file_counts[file_index]
+                table[word_id] = table.get(word_id, 0) + count
+
+        device.launch(
+            "reduceFileSubsetKernel",
+            subset_kernel,
+            max(1, len(assignments) + len(allowed_order)),
+        )
+        return per_file_counts
     rule_ids = list(range(1, num_rules)) if num_rules > 1 else []
     items = [len(layout.local_words[rule_id]) for rule_id in rule_ids]
     assignments = scheduler.partition_items(rule_ids, items) if rule_ids else []
@@ -469,20 +524,28 @@ def bottomup_per_file_counts(
     device: GPUDevice,
     memory_pool: Optional[MemoryPool] = None,
     local_tables: Optional[List[Dict[int, int]]] = None,
+    file_indices: Optional[Sequence[int]] = None,
 ) -> List[Dict[int, int]]:
     """Per-file word counts via the bottom-up traversal.
 
     Local tables are built once (subtree-complete), then each file's
     result is assembled from the root segment belonging to that file:
     its direct terminal words plus its direct sub-rules' local tables
-    scaled by their in-file occurrence counts.
+    scaled by their in-file occurrence counts.  A ``file_indices``
+    subset restricts the reduce to the requested files only.
     """
     if local_tables is None:
         local_tables, _bounds = build_local_tables_bottomup(layout, device, memory_pool)
     per_file_counts: List[Dict[int, int]] = [dict() for _ in range(layout.num_files)]
+    targets = sorted(set(file_indices)) if file_indices is not None else None
 
     def reduce_kernel(tid: int, ctx) -> None:
-        file_index = tid
+        if targets is not None:
+            if tid >= len(targets):
+                return
+            file_index = targets[tid]
+        else:
+            file_index = tid
         if file_index >= layout.num_files:
             return
         result = per_file_counts[file_index]
@@ -495,5 +558,6 @@ def bottomup_per_file_counts(
                 ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
                 result[word_id] = result.get(word_id, 0) + count * frequency
 
-    device.launch("reduceFileResultKernel", reduce_kernel, max(1, layout.num_files))
+    num_threads = len(targets) if targets is not None else layout.num_files
+    device.launch("reduceFileResultKernel", reduce_kernel, max(1, num_threads))
     return per_file_counts

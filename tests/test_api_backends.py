@@ -1,0 +1,372 @@
+"""Tests for the unified query API: Query, backends, registry, outcomes.
+
+The centrepiece is the cross-backend equivalence matrix: every
+registered backend must return ``results_equal`` outputs for every task,
+at two sequence lengths, and under a file-subset filter — all through
+the one :class:`~repro.api.backend.AnalyticsBackend` protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.base import Task, results_equal
+from repro.api import (
+    AnalyticsBackend,
+    BackendCapabilities,
+    Query,
+    RunOutcome,
+    as_query,
+    available_backends,
+    open_backend,
+    register_backend,
+    shape_result,
+)
+from repro.api.registry import _REGISTRY
+from repro.cluster.simulator import ClusterSpec
+from repro.core.engine import GTadocRunResult
+from repro.core.strategy import TraversalStrategy
+
+ALL_BACKENDS = ("gtadoc", "cpu", "parallel", "distributed", "gpu_uncompressed", "reference")
+
+#: Keep the simulated cluster small so the matrix stays fast on tiny corpora.
+_BACKEND_OPTIONS = {
+    "parallel": {"num_threads": 2},
+    "distributed": {"cluster": ClusterSpec(num_nodes=2), "partitions_per_node": 1},
+}
+
+
+@pytest.fixture(scope="module")
+def backends(tiny_compressed):
+    """Every registered backend opened over the same compressed corpus."""
+    return {
+        name: open_backend(name, tiny_compressed, **_BACKEND_OPTIONS.get(name, {}))
+        for name in available_backends()
+    }
+
+
+# ----------------------------------------------------------------------------------------
+# Query object
+# ----------------------------------------------------------------------------------------
+
+class TestQuery:
+    def test_task_accepts_strings(self):
+        assert Query(task="word_count").task is Task.WORD_COUNT
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            Query(task="not_a_task")
+
+    def test_bad_sequence_length_rejected(self):
+        with pytest.raises(ValueError):
+            Query(task=Task.SEQUENCE_COUNT, sequence_length=0)
+
+    def test_bad_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            Query(task=Task.SORT, top_k=0)
+
+    def test_empty_files_filter_rejected(self):
+        with pytest.raises(ValueError):
+            Query(task=Task.WORD_COUNT, files=())
+
+    def test_files_accept_single_string(self):
+        assert Query(task=Task.WORD_COUNT, files="a.txt").files == ("a.txt",)
+
+    def test_files_deduplicated(self):
+        query = Query(task=Task.WORD_COUNT, files=("a.txt", "a.txt", "b.txt"))
+        assert query.files == ("a.txt", "b.txt")
+
+    def test_traversal_accepts_strings(self):
+        assert Query(task=Task.WORD_COUNT, traversal="bottom_up").traversal is (
+            TraversalStrategy.BOTTOM_UP
+        )
+
+    def test_as_query_coerces_names(self):
+        assert as_query("sort").task is Task.SORT
+        query = Query(task=Task.SORT, top_k=2)
+        assert as_query(query) is query
+
+    def test_with_task_keeps_knobs(self):
+        query = Query(task=Task.WORD_COUNT, top_k=3, files=("a.txt",))
+        moved = query.with_task("sort")
+        assert moved.task is Task.SORT
+        assert moved.top_k == 3 and moved.files == ("a.txt",)
+
+    def test_describe_mentions_knobs(self):
+        text = Query(task=Task.SEQUENCE_COUNT, sequence_length=4, top_k=2).describe()
+        assert "sequence_count" in text and "l=4" in text and "top_k=2" in text
+
+    def test_query_is_hashable_cache_key(self):
+        cache = {Query(task=Task.WORD_COUNT, top_k=3): "hit"}
+        assert cache[Query(task="word_count", top_k=3)] == "hit"
+        assert Query(task=Task.SORT) in {Query(task=Task.SORT)}
+
+
+class TestShaping:
+    def test_top_k_truncates_sort(self):
+        shaped = shape_result(Query(task=Task.SORT, top_k=1), {"a": 2, "b": 5})
+        assert shaped == [("b", 5)]
+
+    def test_top_k_truncates_ranked_lists(self):
+        result = {"w": [("f1", 9), ("f2", 1)]}
+        shaped = shape_result(Query(task=Task.RANKED_INVERTED_INDEX, top_k=1), result)
+        assert shaped == {"w": [("f1", 9)]}
+
+    def test_terms_filter_word_count(self):
+        shaped = shape_result(Query(task=Task.WORD_COUNT, terms=("a",)), {"a": 1, "b": 2})
+        assert shaped == {"a": 1}
+
+    def test_terms_filter_sequences_need_all_words(self):
+        result = {("a", "b"): 1, ("a", "c"): 2}
+        shaped = shape_result(Query(task=Task.SEQUENCE_COUNT, terms=("a", "b")), result)
+        assert shaped == {("a", "b"): 1}
+
+    def test_term_vector_inner_filter(self):
+        result = {"f": {"a": 1, "b": 2}}
+        shaped = shape_result(Query(task=Task.TERM_VECTOR, terms=("b",)), result)
+        assert shaped == {"f": {"b": 2}}
+
+
+# ----------------------------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_all_six_engines_registered(self):
+        assert set(ALL_BACKENDS) <= set(available_backends())
+
+    def test_unknown_backend_lists_choices(self, tiny_compressed):
+        with pytest.raises(ValueError, match="gtadoc"):
+            open_backend("bogus", tiny_compressed)
+
+    def test_open_accepts_raw_corpus(self, tiny_corpus):
+        backend = open_backend("gtadoc", tiny_corpus)
+        outcome = backend.run(Query(task=Task.WORD_COUNT))
+        assert outcome.result
+
+    def test_open_accepts_compressed_for_raw_engines(self, tiny_compressed, tiny_reference):
+        backend = open_backend("reference", tiny_compressed)
+        outcome = backend.run(Query(task=Task.WORD_COUNT))
+        assert outcome.result == tiny_reference.run(Task.WORD_COUNT)
+
+    def test_register_custom_backend(self, tiny_compressed):
+        class EchoBackend:
+            name = "echo_test"
+
+            def __init__(self, source):
+                self.source = source
+
+            def run(self, query):
+                return RunOutcome(
+                    query=query, backend=self.name, task=query.task, result={"echo": 1}
+                )
+
+            def run_batch(self, queries):
+                return [self.run(query) for query in queries]
+
+            def capabilities(self):
+                return BackendCapabilities(
+                    name=self.name, description="test", device="cpu", compressed_domain=False
+                )
+
+        register_backend("echo_test", EchoBackend)
+        try:
+            backend = open_backend("echo_test", tiny_compressed)
+            assert isinstance(backend, AnalyticsBackend)
+            assert backend.run(Query(task=Task.WORD_COUNT)).result == {"echo": 1}
+            with pytest.raises(ValueError):
+                register_backend("echo_test", EchoBackend)
+        finally:
+            _REGISTRY.pop("echo_test", None)
+
+    def test_every_builtin_backend_satisfies_protocol(self, backends):
+        for backend in backends.values():
+            assert isinstance(backend, AnalyticsBackend)
+
+
+# ----------------------------------------------------------------------------------------
+# Cross-backend equivalence matrix (the satellite acceptance test)
+# ----------------------------------------------------------------------------------------
+
+MATRIX_SEQUENCE_LENGTHS = (2, 4)
+
+
+@pytest.mark.parametrize("name", ALL_BACKENDS)
+@pytest.mark.parametrize("task", Task.all())
+def test_backend_matrix_matches_reference(backends, tiny_compressed, name, task):
+    """Every backend agrees with the reference for every task, at two
+    sequence lengths, and under a file-subset filter."""
+    reference = backends["reference"]
+    backend = backends[name]
+    subset = tuple(tiny_compressed.file_names[:2])
+    queries = [
+        Query(task=task, sequence_length=length) for length in MATRIX_SEQUENCE_LENGTHS
+    ] + [
+        Query(task=task, sequence_length=MATRIX_SEQUENCE_LENGTHS[0], files=subset),
+    ]
+    for query in queries:
+        expected = reference.run(query)
+        outcome = backend.run(query)
+        assert outcome.backend == name
+        assert outcome.task is task
+        assert results_equal(task, outcome.result, expected.result), query.describe()
+
+
+def test_run_batch_matches_individual_runs(backends):
+    queries = [Query(task=Task.WORD_COUNT), Query(task=Task.SORT, top_k=4)]
+    for name, backend in backends.items():
+        outcomes = backend.run_batch(queries)
+        assert [outcome.task for outcome in outcomes] == [Task.WORD_COUNT, Task.SORT]
+        for query, outcome in zip(queries, outcomes):
+            assert results_equal(query.task, outcome.result, backend.run(query).result), name
+
+
+# ----------------------------------------------------------------------------------------
+# Perf normalization and the G-TADOC serving path
+# ----------------------------------------------------------------------------------------
+
+class TestOutcomePerf:
+    def test_gpu_backends_report_launches(self, backends):
+        outcome = backends["gtadoc"].run(Query(task=Task.WORD_COUNT))
+        assert outcome.kernel_launches >= 1
+        assert outcome.ops > 0
+
+    def test_cpu_backends_report_zero_launches_nonzero_ops(self, backends):
+        for name in ("cpu", "parallel", "distributed"):
+            outcome = backends[name].run(Query(task=Task.WORD_COUNT))
+            assert outcome.kernel_launches == 0, name
+            assert outcome.ops > 0, name
+            assert outcome.perf.initialization.ops > 0, name
+            assert outcome.perf.traversal.ops > 0, name
+
+    def test_pcie_transfer_surfaces_in_perf(self, tiny_corpus):
+        backend = open_backend("gpu_uncompressed", tiny_corpus, needs_pcie_transfer=True)
+        outcome = backend.run(Query(task=Task.WORD_COUNT))
+        assert outcome.perf.traversal.pcie_bytes > 0
+
+    def test_reference_backend_has_no_perf_model(self, backends):
+        outcome = backends["reference"].run(Query(task=Task.WORD_COUNT))
+        assert outcome.kernel_launches == 0
+        assert outcome.ops == 0.0
+
+    def test_raw_keeps_engine_result(self, backends):
+        outcome = backends["gtadoc"].run(Query(task=Task.WORD_COUNT))
+        assert isinstance(outcome.raw, GTadocRunResult)
+        assert outcome.details["strategy"] in ("top_down", "bottom_up")
+
+    def test_capabilities_describe_engines(self, backends):
+        caps = {name: backend.capabilities() for name, backend in backends.items()}
+        assert caps["gtadoc"].device == "gpu" and caps["gtadoc"].compressed_domain
+        assert caps["gtadoc"].native_file_filter and caps["gtadoc"].amortizes_batches
+        assert caps["cpu"].device == "cpu" and caps["cpu"].compressed_domain
+        assert caps["distributed"].device == "cluster"
+        assert not caps["gpu_uncompressed"].compressed_domain
+        assert not caps["reference"].compressed_domain
+        for name, cap in caps.items():
+            assert cap.name == name
+            assert set(cap.tasks) == set(Task.all())
+
+
+class TestGTadocServingPath:
+    def test_initialization_charged_once_across_queries(self, tiny_compressed):
+        backend = open_backend("gtadoc", tiny_compressed)
+        first = backend.run(Query(task=Task.WORD_COUNT))
+        second = backend.run(Query(task=Task.SORT))
+        assert first.perf.initialization.kernel_launches > 0
+        assert second.perf.initialization.kernel_launches == 0
+
+    def test_amortize_false_pays_full_cost_every_time(self, tiny_compressed):
+        backend = open_backend("gtadoc", tiny_compressed, amortize=False)
+        first = backend.run(Query(task=Task.WORD_COUNT))
+        second = backend.run(Query(task=Task.WORD_COUNT))
+        assert first.perf.initialization.kernel_launches > 0
+        assert second.perf.initialization.kernel_launches == (
+            first.perf.initialization.kernel_launches
+        )
+
+    def test_unknown_file_filter_rejected(self, tiny_compressed):
+        backend = open_backend("gtadoc", tiny_compressed)
+        with pytest.raises(ValueError, match="unknown file"):
+            backend.run(Query(task=Task.WORD_COUNT, files=("missing.txt",)))
+
+    def test_traversal_override_respected(self, tiny_compressed):
+        backend = open_backend("gtadoc", tiny_compressed)
+        outcome = backend.run(
+            Query(task=Task.WORD_COUNT, traversal=TraversalStrategy.BOTTOM_UP)
+        )
+        assert outcome.details["strategy"] == "bottom_up"
+
+    def test_per_query_sequence_lengths_share_one_session(self, tiny_compressed, tiny_corpus):
+        from repro.analytics.reference import UncompressedAnalytics
+
+        backend = open_backend("gtadoc", tiny_compressed)
+        for length in (2, 3, 4):
+            outcome = backend.run(Query(task=Task.SEQUENCE_COUNT, sequence_length=length))
+            expected = UncompressedAnalytics(tiny_corpus, sequence_length=length).run(
+                Task.SEQUENCE_COUNT
+            )
+            assert results_equal(Task.SEQUENCE_COUNT, outcome.result, expected)
+
+
+class TestFilteredQueriesDoMarginalWork:
+    """The PR's acceptance criterion: filtered/parameterized queries on the
+    G-TADOC backend launch strictly fewer kernels than the corresponding
+    full-corpus query."""
+
+    def test_filtered_query_launches_strictly_fewer_kernels(self, tiny_compressed):
+        backend = open_backend("gtadoc", tiny_compressed)
+        subset = (tiny_compressed.file_names[0],)
+        full = backend.run(
+            Query(task=Task.TERM_VECTOR, traversal=TraversalStrategy.TOP_DOWN)
+        )
+        filtered = backend.run(
+            Query(task=Task.TERM_VECTOR, files=subset, traversal=TraversalStrategy.TOP_DOWN)
+        )
+        # The full-corpus query paid initialization + shared state; the
+        # restricted query only did marginal work on the warm session.
+        assert filtered.kernel_launches < full.kernel_launches
+
+        # Even marginal-vs-marginal (both warm), the restricted program
+        # fuses its reduce into a single subset kernel: strictly fewer
+        # launches and strictly less traversal work.
+        full_again = backend.run(
+            Query(task=Task.TERM_VECTOR, traversal=TraversalStrategy.TOP_DOWN)
+        )
+        assert (
+            filtered.perf.traversal.kernel_launches
+            < full_again.perf.traversal.kernel_launches
+        )
+        assert filtered.perf.traversal.ops < full_again.perf.traversal.ops
+
+    def test_filtered_marginal_kernel_is_the_subset_kernel(self, tiny_compressed):
+        backend = open_backend("gtadoc", tiny_compressed)
+        outcome = backend.run(
+            Query(
+                task=Task.INVERTED_INDEX,
+                files=(tiny_compressed.file_names[0],),
+                traversal=TraversalStrategy.TOP_DOWN,
+            )
+        )
+        names = [kernel.name for kernel in outcome.raw.traversal_record.kernels]
+        assert names == ["reduceFileSubsetKernel"]
+
+    def test_filtered_sequence_count_scans_fewer_segments(self, many_files_compressed):
+        backend = open_backend("gtadoc", many_files_compressed)
+        subset = tuple(many_files_compressed.file_names[:2])
+        full = backend.run(Query(task=Task.SEQUENCE_COUNT))
+        filtered = backend.run(Query(task=Task.SEQUENCE_COUNT, files=subset))
+        assert filtered.perf.traversal.ops < full.perf.traversal.ops
+
+    def test_filtered_bottomup_reduce_covers_subset_only(self, many_files_compressed):
+        backend = open_backend("gtadoc", many_files_compressed)
+        subset = tuple(many_files_compressed.file_names[:2])
+        full = backend.run(
+            Query(task=Task.TERM_VECTOR, traversal=TraversalStrategy.BOTTOM_UP)
+        )
+        filtered = backend.run(
+            Query(task=Task.TERM_VECTOR, files=subset, traversal=TraversalStrategy.BOTTOM_UP)
+        )
+        full_kernel = full.raw.traversal_record.kernels[-1]
+        filtered_kernel = filtered.raw.traversal_record.kernels[-1]
+        assert filtered_kernel.num_threads == len(subset)
+        assert filtered_kernel.num_threads < full_kernel.num_threads

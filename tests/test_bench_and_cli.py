@@ -85,6 +85,20 @@ class TestExperimentRunner:
     def test_batch_run_cached(self, small_runner):
         assert small_runner.gtadoc_batch_run("D") is small_runner.gtadoc_batch_run("D")
 
+    def test_runner_goes_through_backend_registry(self, small_runner):
+        from repro.api import AnalyticsBackend
+
+        backend = small_runner.backend("D", "gtadoc")
+        assert isinstance(backend, AnalyticsBackend)
+        assert backend is small_runner.backend("D", "gtadoc")
+        # The runner's per-query semantics stay fresh-session (paper cost).
+        assert not backend.amortize
+
+    def test_runner_backends_cover_all_engines(self, small_runner):
+        for name in ("cpu", "distributed", "gpu_uncompressed"):
+            backend = small_runner.backend("D", name)
+            assert backend.capabilities().name == name
+
 
 class TestAggregation:
     def test_geometric_mean_basics(self):
@@ -203,6 +217,121 @@ class TestCli:
         main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
         capsys.readouterr()
         assert main(["run", "--compressed", str(compressed_path), "--task", "bogus"]) == 2
+
+    @pytest.mark.parametrize("top", ["0", "-3"])
+    def test_run_rejects_non_positive_top(self, tmp_path, capsys, top):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(
+            ["run", "--compressed", str(compressed_path), "--task", "word_count", "--top", top]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--top must be a positive integer" in err
+
+    def test_run_rejects_non_positive_sequence_length(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(
+            [
+                "run",
+                "--compressed",
+                str(compressed_path),
+                "--task",
+                "sequence_count",
+                "--sequence-length",
+                "0",
+            ]
+        ) == 2
+        assert "--sequence-length must be a positive integer" in capsys.readouterr().err
+
+    def test_run_with_sequence_length_flag(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(
+            [
+                "run",
+                "--compressed",
+                str(compressed_path),
+                "--task",
+                "sequence_count",
+                "--sequence-length",
+                "4",
+                "--top",
+                "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sequence_count" in out
+        # Each preview row is a 4-gram: four words plus the count column.
+        preview = [line for line in out.splitlines() if line.startswith("  ") and "\t" in line]
+        assert preview and all(len(line.split("\t")[0].split()) == 4 for line in preview)
+
+    @pytest.mark.parametrize("backend", ["cpu", "reference"])
+    def test_run_with_alternative_backends(self, tmp_path, capsys, backend):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(
+            [
+                "run",
+                "--compressed",
+                str(compressed_path),
+                "--task",
+                "word_count",
+                "--backend",
+                backend,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"backend: {backend}" in out
+        assert "top results" in out
+
+    def test_run_rejects_traversal_on_unsupporting_backend(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(
+            [
+                "run",
+                "--compressed",
+                str(compressed_path),
+                "--task",
+                "word_count",
+                "--backend",
+                "cpu",
+                "--traversal",
+                "bottom_up",
+            ]
+        ) == 2
+        assert "does not support --traversal" in capsys.readouterr().err
+
+    def test_single_and_batch_backend_results_agree(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        main(
+            ["run", "--compressed", str(compressed_path), "--task", "word_count", "--top", "5"]
+        )
+        single_out = capsys.readouterr().out
+        main(
+            [
+                "run",
+                "--compressed",
+                str(compressed_path),
+                "--task",
+                "word_count,sort",
+                "--top",
+                "5",
+            ]
+        )
+        batch_out = capsys.readouterr().out
+        single_preview = [line for line in single_out.splitlines() if "\t" in line]
+        assert single_preview
+        for line in single_preview:
+            assert line in batch_out
 
     def test_bench_rejects_cluster_platform(self, capsys):
         assert main(["bench", "--platform", "10-node cluster", "--datasets", "D"]) == 2
