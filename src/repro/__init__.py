@@ -13,7 +13,9 @@ Python:
   and bottom-up traversals, head/tail sequence support) — :mod:`repro.core`,
 * the baselines the paper compares against (sequential / parallel /
   distributed CPU TADOC, GPU uncompressed analytics) —
-  :mod:`repro.baselines`, and
+  :mod:`repro.baselines`,
+* the thread-safe serving layer (device-session LRU, query coalescing,
+  result caching for concurrent traffic) — :mod:`repro.serve`, and
 * the evaluation harness regenerating every table and figure —
   :mod:`repro.bench` plus the ``benchmarks/`` directory.
 
@@ -45,8 +47,9 @@ from repro.core import (
     TraversalStrategy,
 )
 from repro.data import Corpus, Document, generate_dataset
+from repro.serve import AnalyticsService, ServiceConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -71,4 +74,6 @@ __all__ = [
     "Corpus",
     "Document",
     "generate_dataset",
+    "AnalyticsService",
+    "ServiceConfig",
 ]

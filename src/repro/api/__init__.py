@@ -34,11 +34,12 @@ from repro.api.backends import (
     ReferenceBackend,
 )
 from repro.api.outcome import PhasePerf, RunOutcome, RunPerf
-from repro.api.query import Query, as_query, shape_result
+from repro.api.query import FrozenExtras, Query, as_query, shape_result
 from repro.api.registry import available_backends, open_backend, register_backend
 
 __all__ = [
     "Query",
+    "FrozenExtras",
     "as_query",
     "shape_result",
     "RunOutcome",

@@ -15,12 +15,74 @@ returns comparable results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable, Mapping, Optional, Tuple, Union
+from typing import Any, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.analytics.base import Task, TaskResult, normalize_result
 from repro.core.strategy import TraversalStrategy
 
-__all__ = ["Query", "as_query", "shape_result"]
+__all__ = ["FrozenExtras", "Query", "as_query", "shape_result"]
+
+
+class FrozenExtras(Mapping):
+    """An immutable, hashable mapping of a query's extra knobs.
+
+    A :class:`Query` is meant to be a cache/set key, so its ``extras``
+    must hash consistently with equality and must not be mutable after
+    the query is published.  The entries are frozen into a sorted tuple
+    of ``(key, value)`` pairs at construction: equal extras hash equal
+    regardless of insertion order, and there is no mutation surface for
+    callers holding a reference.  Keys must be strings and values must
+    be hashable (both enforced here, so an unusable query fails at
+    construction rather than at cache-insertion time).
+    """
+
+    __slots__ = ("_items", "_data")
+
+    def __init__(self, source: Union["FrozenExtras", Mapping, Iterable[Tuple[str, Any]]] = ()):
+        if isinstance(source, FrozenExtras):
+            self._items: Tuple[Tuple[str, Any], ...] = source._items
+            self._data: Mapping[str, Any] = source._data
+            return
+        data = dict(source)
+        for key in data:
+            if not isinstance(key, str):
+                raise TypeError(f"extras keys must be strings, got {key!r}")
+        items = tuple(sorted(data.items()))
+        try:
+            hash(items)
+        except TypeError:
+            raise TypeError(
+                "extras values must be hashable so the query can be used as a cache key"
+            ) from None
+        self._items = items
+        self._data = data
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenExtras):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return self._data == dict(other)
+        return NotImplemented
+
+    @property
+    def items_tuple(self) -> Tuple[Tuple[str, Any], ...]:
+        """The frozen ``(key, value)`` pairs, sorted by key."""
+        return self._items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenExtras({dict(self._items)!r})"
 
 
 def _normalize_names(value: Optional[Iterable[str]], label: str) -> Optional[Tuple[str, ...]]:
@@ -47,8 +109,11 @@ class Query:
         Word-window length for sequence-sensitive tasks; ``None`` uses
         the backend's configured default.
     top_k:
-        Keep only the ``top_k`` highest-count entries of ranked outputs
-        (sort, word/sequence counts, per-word file rankings).
+        Keep only ``top_k`` entries along each task's ranked axis: the
+        ``top_k`` highest-count entries of sort/word-count/sequence-count
+        results, the first ``top_k`` entries of each per-word posting
+        list (ranked and plain inverted index), and each file's ``top_k``
+        highest-count words in a term vector.
     files:
         Restrict the query to these files (by name).  Backends that
         support native filtering do only the marginal work for the
@@ -69,9 +134,10 @@ class Query:
     files: Optional[Tuple[str, ...]] = None
     terms: Optional[Tuple[str, ...]] = None
     traversal: Optional[TraversalStrategy] = None
-    #: Room for future knobs; excluded from hashing so a Query stays a
-    #: usable cache/set key (it still participates in equality).
-    extras: Mapping[str, Any] = field(default_factory=dict, hash=False)
+    #: Room for future knobs; frozen into a :class:`FrozenExtras` at
+    #: construction so it participates in both equality and hashing —
+    #: a Query is a safe cache/set key.
+    extras: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         task = self.task
@@ -85,6 +151,8 @@ class Query:
         object.__setattr__(self, "terms", _normalize_names(self.terms, "terms"))
         if self.traversal is not None and not isinstance(self.traversal, TraversalStrategy):
             object.__setattr__(self, "traversal", TraversalStrategy(self.traversal))
+        if not isinstance(self.extras, FrozenExtras):
+            object.__setattr__(self, "extras", FrozenExtras(self.extras))
 
     # -- convenience -----------------------------------------------------------------------
     @property
@@ -144,6 +212,14 @@ def _filter_terms(task: Task, result: TaskResult, terms: Tuple[str, ...]) -> Tas
 
 
 def _truncate_top_k(task: Task, result: TaskResult, top_k: int) -> TaskResult:
+    """Cut every task's ranked (or rankable) axis to ``top_k`` entries.
+
+    Per-word/file structures are truncated *within* each entry, mirroring
+    ``RANKED_INVERTED_INDEX``: an inverted index keeps each word's first
+    ``top_k`` files (name order, the canonical posting order), and a term
+    vector keeps each file's ``top_k`` highest-count words (ties broken
+    by word, the same order the ranked index uses).
+    """
     if task is Task.SORT:
         return result[:top_k]
     if task in (Task.WORD_COUNT, Task.SEQUENCE_COUNT):
@@ -151,8 +227,14 @@ def _truncate_top_k(task: Task, result: TaskResult, top_k: int) -> TaskResult:
         return dict(ordered)
     if task is Task.RANKED_INVERTED_INDEX:
         return {word: pairs[:top_k] for word, pairs in result.items()}
-    # Inverted index and term vector have no ranked axis to cut.
-    return result
+    if task is Task.INVERTED_INDEX:
+        return {word: files[:top_k] for word, files in result.items()}
+    if task is Task.TERM_VECTOR:
+        return {
+            file_name: dict(sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:top_k])
+            for file_name, counts in result.items()
+        }
+    raise ValueError(f"unknown task: {task!r}")  # pragma: no cover - exhaustive over Task
 
 
 def shape_result(query: Query, result: TaskResult) -> TaskResult:

@@ -70,3 +70,14 @@ register_backend(ParallelTadocBackend.name, ParallelTadocBackend)
 register_backend(DistributedTadocBackend.name, DistributedTadocBackend)
 register_backend(GpuUncompressedBackend.name, GpuUncompressedBackend)
 register_backend(ReferenceBackend.name, ReferenceBackend)
+
+
+def _serve_factory(source: CorpusSource, **options) -> AnalyticsBackend:
+    # Imported lazily: the serving layer builds on this package.
+    from repro.serve.service import AnalyticsService
+
+    return AnalyticsService(source, **options)
+
+
+# The thread-safe serving layer (session LRU + coalescing + result cache).
+register_backend("serve", _serve_factory)

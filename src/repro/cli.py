@@ -18,6 +18,11 @@ Four sub-commands cover the CompressDirect-style workflow:
 ``gtadoc bench``
     Run the Figure 9 speedup grid for selected datasets/platforms and
     print the resulting table.
+``gtadoc serve-bench``
+    Replay a synthetic mixed-query request trace through the
+    thread-safe serving layer (:mod:`repro.serve`) and report kernel
+    launches per query, result-cache hit rate and coalescing statistics
+    against serial per-query execution.
 """
 
 from __future__ import annotations
@@ -88,6 +93,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--datasets", default="A,B,D", help="comma-separated dataset keys")
     bench.add_argument("--platform", default="Pascal", help="Table I platform key")
     bench.add_argument("--scale", type=float, default=0.15, help="dataset analogue scale")
+
+    serve = subparsers.add_parser(
+        "serve-bench", help="replay a synthetic request trace through the serving layer"
+    )
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--compressed", help="path written by 'gtadoc compress'")
+    serve_source.add_argument(
+        "--dataset", choices=list_datasets(), help="generate and compress a dataset analogue"
+    )
+    serve.add_argument("--scale", type=float, default=0.1, help="dataset analogue scale")
+    serve.add_argument("--requests", type=int, default=64, help="trace length")
+    serve.add_argument("--threads", type=int, default=8, help="concurrent worker threads")
+    serve.add_argument("--seed", type=int, default=17, help="trace randomness seed")
+    serve.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=2.0,
+        help="how long a micro-batch leader waits for compatible queries",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=4, help="bound on resident device sessions"
+    )
+    serve.add_argument(
+        "--no-serial-baseline",
+        action="store_true",
+        help="skip the serial per-query comparison replay (faster)",
+    )
 
     return parser
 
@@ -260,6 +292,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceConfig, TraceConfig, replay_trace, synthesize_trace
+
+    try:
+        if args.requests < 1:
+            raise ValueError(f"--requests must be a positive integer (got {args.requests})")
+        if args.threads < 1:
+            raise ValueError(f"--threads must be a positive integer (got {args.threads})")
+        if args.coalesce_window_ms < 0:
+            raise ValueError("--coalesce-window-ms must be non-negative")
+        service_config = ServiceConfig(
+            max_sessions=args.max_sessions,
+            coalesce_window=args.coalesce_window_ms / 1000.0,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.compressed:
+        compressed = load_compressed(args.compressed)
+    else:
+        compressed = compress_corpus(generate_dataset(args.dataset, scale=args.scale))
+    trace = synthesize_trace(
+        compressed.file_names, TraceConfig(num_requests=args.requests, seed=args.seed)
+    )
+    report = replay_trace(
+        compressed,
+        trace,
+        num_threads=args.threads,
+        service_config=service_config,
+        serial_baseline=not args.no_serial_baseline,
+    )
+    stats = report.stats
+    rows = [
+        ("requests", report.num_requests),
+        ("worker threads", report.num_threads),
+        ("engine micro-batches", stats.micro_batches),
+        ("mean batch size", f"{stats.mean_batch_size:.2f}"),
+        ("coalesced queries", stats.coalesced_queries),
+        ("result-cache hit rate", f"{stats.result_cache.hit_rate * 100:.1f}%"),
+        ("served kernel launches", stats.kernel_launches),
+        ("served launches/query", f"{report.served_launches_per_query:.2f}"),
+    ]
+    if report.serial_launches is not None:
+        rows.extend(
+            [
+                ("serial kernel launches", report.serial_launches),
+                ("serial launches/query", f"{report.serial_launches_per_query:.2f}"),
+                ("launch reduction", f"{report.launch_reduction * 100:.1f}%"),
+                ("results match serial", "yes" if report.results_match else "NO"),
+            ]
+        )
+    print(
+        format_table(
+            ["statistic", "value"],
+            rows,
+            title=f"Serving replay: {compressed.name} ({len(compressed.file_names)} files)",
+        )
+    )
+    if report.results_match is False:
+        print("error: served results diverged from serial execution", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``gtadoc`` console script."""
     parser = build_parser()
@@ -269,6 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "info": _cmd_info,
         "bench": _cmd_bench,
+        "serve-bench": _cmd_serve_bench,
     }
     return handlers[args.command](args)
 

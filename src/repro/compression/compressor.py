@@ -14,8 +14,10 @@ The pipeline follows Figure 1 of the paper:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compression.dag import DagStatistics, GrammarDAG
 from repro.compression.dictionary import Dictionary
@@ -67,6 +69,29 @@ class CompressedCorpus:
         self.dag = GrammarDAG(grammar)
         self._splitter_set = set(self.splitter_ids)
         self._root_segments = self._compute_root_segments()
+        self._fingerprint: Optional[str] = None
+
+    # -- identity ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this compressed corpus.
+
+        Two corpora with the same files, dictionary and grammar share a
+        fingerprint regardless of how (or when) they were built, so the
+        value is a safe cache key for anything derived from the
+        compressed form — device sessions, query results, serialized
+        artifacts.  The display ``name`` does not participate: renaming
+        a corpus does not change any query result.
+        """
+        if self._fingerprint is None:
+            payload = {
+                "file_names": self.file_names,
+                "splitter_ids": self.splitter_ids,
+                "dictionary": self.dictionary.to_dict(),
+                "rules": [rule.symbols for rule in self.grammar],
+            }
+            canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            self._fingerprint = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return self._fingerprint
 
     # -- file segmentation -------------------------------------------------------
     def _compute_root_segments(self) -> List[Tuple[int, int]]:

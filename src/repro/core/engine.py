@@ -54,8 +54,10 @@ class GTadocRunResult:
     marginal: ``init_record`` holds only the task's own initialization
     work (usually none — shared initialization is charged once on the
     batch), ``traversal_record`` only its marginal traversal kernels,
-    and ``memory_pool_bytes`` only the pool growth the task caused
-    (cumulative pool usage lives on the batch result).
+    ``memory_pool_bytes`` only the pool growth the task caused
+    (cumulative pool usage lives on the batch result), and
+    ``scheduler_summary`` is empty — the scheduler is shared session
+    state, so its summary is reported once on the batch.
     """
 
     task: Task
@@ -77,16 +79,19 @@ class GTadocBatchResult(Mapping):
     """Outcome of :meth:`GTadoc.run_batch`: per-task results + shared records.
 
     Behaves as a mapping from :class:`Task` to :class:`GTadocRunResult`,
-    so existing ``run_all`` callers keep working.  ``init_record`` holds
-    the Figure-3 initialization work charged once for the whole batch;
-    ``shared_record`` the shared traversal-state construction (local
-    tables, rule/file weights) likewise charged once.
+    so existing ``run_all`` callers keep working.  Shared figures are
+    reported here, once per batch: ``init_record`` holds the Figure-3
+    initialization work, ``shared_record`` the shared traversal-state
+    construction (local tables, rule/file weights),
+    ``memory_pool_bytes`` the session's cumulative pool usage, and
+    ``scheduler_summary`` the shared fine-grained scheduler's summary.
     """
 
     results: Dict[Task, GTadocRunResult]
     init_record: GpuRunRecord
     shared_record: GpuRunRecord
     memory_pool_bytes: int
+    scheduler_summary: Dict[str, float] = field(default_factory=dict)
 
     # -- mapping interface ----------------------------------------------------------------
     def __getitem__(self, task: Union[Task, str]) -> GTadocRunResult:
@@ -224,28 +229,32 @@ class GTadoc:
         task_list = list(dict.fromkeys(task_list))
         session = session if session is not None else self._session
         results: Dict[Task, GTadocRunResult] = {}
-        for requested in task_list:
-            pool_before = session.memory_pool_bytes
-            task, result, strategy, decision, marginal = self._execute_task(
-                session, requested, traversal, params
-            )
-            results[task] = GTadocRunResult(
-                task=task,
-                result=result,
-                strategy=strategy,
-                strategy_decision=decision,
-                init_record=GpuRunRecord(),
-                traversal_record=marginal,
-                memory_pool_bytes=session.memory_pool_bytes - pool_before,
+        # The session lock is held across the whole batch so concurrent
+        # batches on one session serialize and the drained construction
+        # records are attributed to the batch that actually built them.
+        with session.lock:
+            for requested in task_list:
+                pool_before = session.memory_pool_bytes
+                task, result, strategy, decision, marginal = self._execute_task(
+                    session, requested, traversal, params
+                )
+                results[task] = GTadocRunResult(
+                    task=task,
+                    result=result,
+                    strategy=strategy,
+                    strategy_decision=decision,
+                    init_record=GpuRunRecord(),
+                    traversal_record=marginal,
+                    memory_pool_bytes=session.memory_pool_bytes - pool_before,
+                )
+            init_record, shared_record = session.drain_new_records()
+            return GTadocBatchResult(
+                results=results,
+                init_record=init_record,
+                shared_record=shared_record,
+                memory_pool_bytes=session.memory_pool_bytes,
                 scheduler_summary=session.scheduler.summary(),
             )
-        init_record, shared_record = session.drain_new_records()
-        return GTadocBatchResult(
-            results=results,
-            init_record=init_record,
-            shared_record=shared_record,
-            memory_pool_bytes=session.memory_pool_bytes,
-        )
 
     def run_all(self, traversal: Optional[TraversalStrategy] = None) -> GTadocBatchResult:
         """Run every task (evaluation order) as one batch.

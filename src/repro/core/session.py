@@ -31,13 +31,14 @@ does not depend on the configuration).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.compression.compressor import CompressedCorpus
 from repro.core.layout import DeviceRuleLayout
 from repro.core.scheduler import DEFAULT_OVERSIZE_THRESHOLD, FineGrainedScheduler
-from repro.core.sequence import build_sequence_buffers
+from repro.core.sequence import build_sequence_buffers, head_tail_upper_limit
 from repro.core.traversal import (
     build_local_tables_bottomup,
     compute_file_weights_topdown,
@@ -144,37 +145,55 @@ class DeviceSession:
         self._memory_pool_built = False
         self._states: Dict[StateKey, _CachedState] = {}
         self._pending: List[_CachedState] = []
+        # Re-entrant so a batch can hold the lock across several
+        # ensure/state/drain calls (the engine and the serving layer do).
+        self._lock = threading.RLock()
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The session's lock; hold it to make a multi-call sequence atomic.
+
+        Every state-touching method acquires it internally, so single
+        calls are always safe.  Callers that need *attribution* to be
+        atomic as well — e.g. a batch that drains construction records
+        after running its tasks — hold the lock across the whole
+        sequence (it is re-entrant).
+        """
+        return self._lock
 
     # -- shared pieces -----------------------------------------------------------------
     @property
     def layout(self) -> DeviceRuleLayout:
         """The device layout (built once, survives invalidation)."""
-        if self._layout is None:
-            self._layout = DeviceRuleLayout.from_compressed(self.compressed)
-        return self._layout
+        with self._lock:
+            if self._layout is None:
+                self._layout = DeviceRuleLayout.from_compressed(self.compressed)
+            return self._layout
 
     @property
     def scheduler(self) -> FineGrainedScheduler:
         """The fine-grained thread scheduler for the current config."""
-        if self._scheduler is None:
-            self._scheduler = FineGrainedScheduler(
-                self.layout,
-                oversize_threshold=self.config.oversize_threshold,
-                max_group_size=self.config.max_group_size,
-            )
-        return self._scheduler
+        with self._lock:
+            if self._scheduler is None:
+                self._scheduler = FineGrainedScheduler(
+                    self.layout,
+                    oversize_threshold=self.config.oversize_threshold,
+                    max_group_size=self.config.max_group_size,
+                )
+            return self._scheduler
 
     @property
     def memory_pool(self) -> Optional[MemoryPool]:
         """The shared self-maintained pool (``None`` when disabled)."""
-        if not self._memory_pool_built:
-            self._memory_pool_built = True
-            if self.config.use_memory_pool:
-                layout = self.layout
-                sequence_slack = layout.num_rules * (4 * self.config.sequence_length + 8)
-                capacity = 4 * layout.estimated_local_table_entries() + sequence_slack + 4096
-                self._memory_pool = MemoryPool(capacity=capacity)
-        return self._memory_pool
+        with self._lock:
+            if not self._memory_pool_built:
+                self._memory_pool_built = True
+                if self.config.use_memory_pool:
+                    layout = self.layout
+                    sequence_slack = layout.num_rules * (4 * self.config.sequence_length + 8)
+                    capacity = 4 * layout.estimated_local_table_entries() + sequence_slack + 4096
+                    self._memory_pool = MemoryPool(capacity=capacity)
+            return self._memory_pool
 
     @property
     def memory_pool_bytes(self) -> int:
@@ -195,34 +214,40 @@ class DeviceSession:
 
     def configure(self, config: GTadocConfig) -> None:
         """Adopt ``config``; invalidate cached state if it differs."""
-        if config != self.config:
-            self.config = config
-            self.invalidate()
+        with self._lock:
+            if config != self.config:
+                self.config = config
+                self.invalidate()
 
     def invalidate(self) -> None:
         """Drop every cached piece of state except the layout."""
-        self._states.clear()
-        self._pending.clear()
-        self._scheduler = None
-        self._memory_pool = None
-        self._memory_pool_built = False
+        with self._lock:
+            self._states.clear()
+            self._pending.clear()
+            self._scheduler = None
+            self._memory_pool = None
+            self._memory_pool_built = False
 
     # -- cached state -------------------------------------------------------------------------
     def has_state(self, key: StateKey) -> bool:
-        return key in self._states
+        with self._lock:
+            return key in self._states
 
     @property
     def cached_keys(self) -> Tuple[StateKey, ...]:
-        return tuple(self._states)
+        with self._lock:
+            return tuple(self._states)
 
     def ensure(self, *keys: StateKey) -> None:
         """Build any of ``keys`` not yet cached (dependencies included)."""
-        for key in keys:
-            self._ensure(key)
+        with self._lock:
+            for key in keys:
+                self._ensure(key)
 
     def state(self, key: StateKey) -> Any:
         """The cached value for ``key``, building it on first use."""
-        return self._ensure(key).value
+        with self._lock:
+            return self._ensure(key).value
 
     def drain_new_records(self) -> Tuple[GpuRunRecord, GpuRunRecord]:
         """Collect construction work queued since the last drain.
@@ -230,33 +255,37 @@ class DeviceSession:
         Returns ``(init_record, shared_traversal_record)``: the first holds
         Figure-3 initialization-phase work, the second shared traversal
         structures (local tables, rule/file weights).  Draining charges each
-        piece of state exactly once over the session's lifetime.
+        piece of state exactly once over the session's lifetime.  Callers
+        that must attribute the drained work to a specific batch hold
+        :attr:`lock` across the batch's ensure/traverse/drain sequence.
         """
-        init_record = GpuRunRecord()
-        shared_record = GpuRunRecord()
-        for entry in self._pending:
-            target = init_record if entry.phase == "initialization" else shared_record
-            target.merge(entry.record)
-        self._pending.clear()
-        return init_record, shared_record
+        with self._lock:
+            init_record = GpuRunRecord()
+            shared_record = GpuRunRecord()
+            for entry in self._pending:
+                target = init_record if entry.phase == "initialization" else shared_record
+                target.merge(entry.record)
+            self._pending.clear()
+            return init_record, shared_record
 
     # -- builders ----------------------------------------------------------------------------------
     def _ensure(self, key: StateKey) -> _CachedState:
-        cached = self._states.get(key)
-        if cached is not None:
-            return cached
-        # Dependencies are ensured first so the pending queue stays in
-        # construction order (bounds before tables, etc.).
-        if key == LOCAL_TABLES:
-            self._ensure(BOTTOMUP_BOUNDS)
-        record = GpuRunRecord()
-        device = GPUDevice(record=record)
-        value = self._build(key, device)
-        phase = "initialization" if key.kind in _INIT_PHASE_KINDS else "traversal"
-        entry = _CachedState(key=key, value=value, record=record, phase=phase)
-        self._states[key] = entry
-        self._pending.append(entry)
-        return entry
+        with self._lock:
+            cached = self._states.get(key)
+            if cached is not None:
+                return cached
+            # Dependencies are ensured first so the pending queue stays in
+            # construction order (bounds before tables, etc.).
+            if key == LOCAL_TABLES:
+                self._ensure(BOTTOMUP_BOUNDS)
+            record = GpuRunRecord()
+            device = GPUDevice(record=record)
+            value = self._build(key, device)
+            phase = "initialization" if key.kind in _INIT_PHASE_KINDS else "traversal"
+            entry = _CachedState(key=key, value=value, record=record, phase=phase)
+            self._states[key] = entry
+            self._pending.append(entry)
+            return entry
 
     def _build(self, key: StateKey, device: GPUDevice) -> Any:
         layout = self.layout
@@ -275,11 +304,40 @@ class DeviceSession:
         if key == FILE_WEIGHTS:
             return compute_file_weights_topdown(layout, device)
         if key.kind == "sequence_buffers":
-            # The pool is sized for the configured sequence length; other
-            # lengths are still served, just without pooled backing.
-            pool = self.memory_pool if key.param == self.config.sequence_length else None
+            # The pool is provisioned for the configured sequence length;
+            # other lengths size their requirement and grow the pool in one
+            # step, so their buffers are pooled (and accounted) too.
+            pool = self.memory_pool
+            if pool is not None:
+                self._reserve_sequence_capacity(pool, key.param)
             return build_sequence_buffers(layout, device, key.param, memory_pool=pool)
         raise KeyError(f"unknown session state: {key!r}")
+
+    def _reserve_sequence_capacity(self, pool: MemoryPool, sequence_length: int) -> None:
+        """Size the pool for one length's head/tail buffers before building them."""
+        layout = self.layout
+        limit = max(0, sequence_length - 1)
+        needed = 0
+        for rule_id in range(1, layout.num_rules):
+            if pool.allocation_of(f"headTail[l={sequence_length}][{rule_id}]") is not None:
+                continue
+            upper = head_tail_upper_limit(
+                layout.rule_lengths[rule_id], len(layout.subrules[rule_id]), sequence_length
+            )
+            # Worst case one alignment gap per allocation.
+            needed += max(1, 2 * limit + max(0, upper)) + pool.alignment
+        if needed == 0:
+            return
+        if sequence_length == self.config.sequence_length:
+            # The base capacity already budgets this length; top up only a
+            # shortfall.
+            if needed > pool.free_words:
+                pool.reserve(needed - pool.free_words)
+        else:
+            # Off-config lengths bring their own capacity in full: the
+            # existing free words are headroom budgeted for local tables
+            # and the configured length, and must stay available to them.
+            pool.reserve(needed)
 
     def _build_base_init(self, device: GPUDevice) -> bool:
         """Initialization work every task shares (Figure 3, left box)."""

@@ -84,9 +84,36 @@ class MemoryPool:
         """Allocate several owners at once (initialization-phase bulk sizing)."""
         return {owner: self.allocate(owner, size) for owner, size in sizes.items()}
 
+    def reserve(self, extra_words: int) -> None:
+        """Grow the pool by ``extra_words`` without disturbing allocations.
+
+        The pool is self-maintained: when a new per-query requirement is
+        sized (e.g. head/tail buffers for a sequence length the pool was
+        not originally provisioned for), the backing store is extended
+        in one step — the pool equivalent of the initialization-phase
+        bulk sizing, rather than per-thread dynamic allocation.
+
+        Growing replaces the backing array (existing contents are
+        copied), so any :meth:`view` handed out *before* the reserve is
+        detached from the pool: writes through it no longer reach
+        :attr:`storage`.  Re-request views after reserving.
+        """
+        if extra_words < 0:
+            raise ValueError("reserve size must be non-negative")
+        if extra_words == 0:
+            return
+        self.capacity += int(extra_words)
+        self.storage = np.concatenate(
+            [self.storage, np.zeros(int(extra_words), dtype=np.int64)]
+        )
+
     # -- access --------------------------------------------------------------------------
     def view(self, allocation: PoolAllocation) -> np.ndarray:
-        """A writable view of an allocation's words."""
+        """A writable view of an allocation's words.
+
+        Valid until the next :meth:`reserve` (which replaces the backing
+        array); re-request the view after growing the pool.
+        """
         return self.storage[allocation.offset : allocation.end]
 
     def owner_view(self, owner: str) -> np.ndarray:

@@ -1,0 +1,37 @@
+"""Serving layer: thread-safe concurrent query serving over G-TADOC.
+
+:class:`AnalyticsService` fronts the unified query API for concurrent
+traffic: a bounded LRU of device sessions (keyed by corpus fingerprint
+plus engine config), coalescing of compatible in-flight queries into
+``run_batch`` micro-batches, and a ``Query``-keyed result cache with
+fingerprint invalidation.  The service is also registered as the
+``"serve"`` backend, so ``open_backend("serve", corpus)`` returns one.
+
+Quick start::
+
+    from repro.serve import AnalyticsService
+
+    service = AnalyticsService(compressed)
+    outcome = service.submit(Query(task="word_count", top_k=10))
+    print(service.stats().launches_per_query)
+"""
+
+from repro.serve.caches import CacheStats, LRUCache
+from repro.serve.coalescer import CoalescedRequest, QueryCoalescer
+from repro.serve.replay import ReplayReport, replay_trace
+from repro.serve.service import AnalyticsService, ServiceConfig, ServiceStats
+from repro.serve.trace import TraceConfig, synthesize_trace
+
+__all__ = [
+    "AnalyticsService",
+    "ServiceConfig",
+    "ServiceStats",
+    "CacheStats",
+    "LRUCache",
+    "QueryCoalescer",
+    "CoalescedRequest",
+    "TraceConfig",
+    "synthesize_trace",
+    "ReplayReport",
+    "replay_trace",
+]

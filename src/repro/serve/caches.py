@@ -1,0 +1,143 @@
+"""Thread-safe bounded LRU caches with serving statistics.
+
+The serving layer keeps two caches: a small LRU of
+:class:`~repro.core.session.DeviceSession` entries (device state is the
+expensive thing G-TADOC builds, so a bounded number of corpus/config
+combinations stay resident) and a larger LRU of query results.  Both
+need the same machinery — bounded capacity, recency ordering, hit/miss/
+eviction/invalidation counters, safe concurrent access — which lives
+here.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, List, Tuple
+
+__all__ = ["CacheStats", "LRUCache"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    capacity: int
+    size: int
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when the cache has not been consulted)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class LRUCache:
+    """A bounded, thread-safe LRU mapping with hit/miss/eviction counters.
+
+    ``get`` and ``get_or_create`` count hits and misses; inserting past
+    ``capacity`` evicts the least recently used entry (counted as an
+    eviction); ``remove_where`` drops matching entries (counted as
+    invalidations).  All operations hold one internal lock, so the cache
+    may be shared freely between worker threads.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # -- lookups -----------------------------------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        """The cached value (marking it most recent), or ``default`` on a miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def get_or_create(self, key: Any, factory: Callable[[], Any]) -> Tuple[Any, bool]:
+        """The cached value for ``key``, building it on a miss.
+
+        Returns ``(value, created)``.  The factory runs under the cache
+        lock, so concurrent callers never build the same entry twice.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return value, False
+            self._misses += 1
+            value = factory()
+            self._entries[key] = value
+            self._evict_overflow()
+            return value, True
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert (or refresh) an entry without touching hit/miss counters."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._evict_overflow()
+
+    def _evict_overflow(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    # -- invalidation ------------------------------------------------------------------
+    def remove_where(self, predicate: Callable[[Any], bool]) -> int:
+        """Drop every entry whose *key* matches; returns how many were dropped."""
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations)."""
+        return self.remove_where(lambda key: True)
+
+    # -- introspection ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> List[Any]:
+        """Current keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                capacity=self.capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+            )

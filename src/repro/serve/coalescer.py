@@ -1,0 +1,153 @@
+"""Leader/follower query coalescing into micro-batches.
+
+Concurrent queries that can execute against the same device-session
+state (same corpus, engine config, sequence length, file subset and
+traversal override) should not each pay a separate engine round trip:
+one ``run_batch`` serves them all, charging shared initialization and
+traversal-state construction once.  The coalescer implements the
+batching discipline:
+
+* the first request for a compatibility group becomes the *leader*;
+* the leader waits one short coalescing window so concurrent followers
+  can pile onto the group, then takes up to ``max_batch`` pending
+  requests and executes them as one micro-batch;
+* followers block on their request's event and wake with the outcome
+  (or the batch's error) filled in;
+* each leader executes exactly one micro-batch.  If more requests
+  queued while it executed, leadership is handed to the head of the
+  queue (its thread wakes and drains the next batch immediately, no
+  second window), so a leader's latency is bounded by its own batch
+  and the group is empty when the last leader retires — at which point
+  the group record is dropped.
+
+The coalescer knows nothing about engines or queries beyond the opaque
+group key — the serving layer supplies the execution function.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api.query import Query
+
+__all__ = ["CoalescedRequest", "QueryCoalescer"]
+
+
+class CoalescedRequest:
+    """One in-flight query: the slot a micro-batch writes its outcome into."""
+
+    __slots__ = ("query", "event", "outcome", "error", "batch_size", "promoted")
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.event = threading.Event()
+        self.outcome: Any = None
+        self.error: Optional[BaseException] = None
+        #: Size of the micro-batch that served this request (1 = alone).
+        self.batch_size: int = 0
+        #: Set when a retiring leader hands this request's thread the lead.
+        self.promoted: bool = False
+
+
+#: Executes one micro-batch, filling each request's ``outcome``.
+ExecuteFn = Callable[[List[CoalescedRequest]], None]
+
+
+class _Group:
+    """Pending requests of one compatibility group plus leader state."""
+
+    __slots__ = ("pending", "leader_active")
+
+    def __init__(self) -> None:
+        self.pending: List[CoalescedRequest] = []
+        self.leader_active = False
+
+
+class QueryCoalescer:
+    """Groups compatible in-flight requests into micro-batches."""
+
+    def __init__(self, window: float = 0.002, max_batch: int = 16) -> None:
+        if window < 0:
+            raise ValueError("coalescing window must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+        self._groups: Dict[Any, _Group] = {}
+
+    def submit(self, group_key: Any, request: CoalescedRequest, execute: ExecuteFn) -> None:
+        """Run ``request`` through its group's micro-batching, blocking until done.
+
+        Raises whatever the executing micro-batch raised; otherwise
+        ``request.outcome`` is filled in on return.
+        """
+        with self._lock:
+            group = self._groups.setdefault(group_key, _Group())
+            group.pending.append(request)
+            became_leader = not group.leader_active
+            if became_leader:
+                group.leader_active = True
+            else:
+                self._arrival.notify_all()
+        if became_leader:
+            self._lead_one_batch(group_key, group, execute, hold_window=True)
+        else:
+            request.event.wait()
+            if request.promoted:
+                # A retiring leader handed this thread the lead; its own
+                # request is still pending, so no window: drain right away.
+                self._lead_one_batch(group_key, group, execute, hold_window=False)
+        if request.error is not None:
+            raise request.error
+
+    def _lead_one_batch(
+        self, group_key: Any, group: _Group, execute: ExecuteFn, hold_window: bool
+    ) -> None:
+        """Execute one micro-batch, then hand off leadership or retire."""
+        if hold_window:
+            self._wait_for_followers(group)
+        with self._lock:
+            batch = group.pending[: self.max_batch]
+            del group.pending[: self.max_batch]
+            if not batch:  # pragma: no cover - a leader's own request is pending
+                self._retire(group_key, group)
+                return
+        for queued in batch:
+            queued.batch_size = len(batch)
+        try:
+            execute(batch)
+        except BaseException as error:  # propagate to every waiter
+            for queued in batch:
+                queued.error = error
+        finally:
+            for queued in batch:
+                queued.event.set()
+            with self._lock:
+                if group.pending:
+                    successor = group.pending[0]
+                    successor.promoted = True
+                    successor.event.set()
+                else:
+                    self._retire(group_key, group)
+
+    def _retire(self, group_key: Any, group: _Group) -> None:
+        """Release leadership and drop the empty group (held lock required)."""
+        group.leader_active = False
+        if self._groups.get(group_key) is group:
+            del self._groups[group_key]
+
+    def _wait_for_followers(self, group: _Group) -> None:
+        """Hold the coalescing window open (cut short once the batch is full)."""
+        if self.window <= 0:
+            return
+        deadline = time.monotonic() + self.window
+        with self._arrival:
+            while len(group.pending) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._arrival.wait(remaining)

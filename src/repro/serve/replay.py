@@ -1,0 +1,127 @@
+"""Replay a request trace through the serving layer and measure it.
+
+One helper serves the CLI (``gtadoc serve-bench``), the serving
+benchmark and the serving example: replay a trace with N worker
+threads against an :class:`~repro.serve.service.AnalyticsService`,
+optionally replay the same trace serially with per-query
+:meth:`GTadoc.run` semantics (a fresh session per query — the paper's
+full per-query cost), and report launches-per-query plus cache/coalescing
+statistics side by side.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.api.backends import GTadocBackend
+from repro.api.outcome import RunOutcome
+from repro.api.query import Query
+from repro.compression.compressor import CompressedCorpus
+from repro.core.session import GTadocConfig
+from repro.serve.service import AnalyticsService, ServiceConfig, ServiceStats
+
+__all__ = ["ReplayReport", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Serving replay vs. serial per-query execution, side by side."""
+
+    num_requests: int
+    num_threads: int
+    #: Outcomes in trace order, as served by the service.
+    outcomes: List[RunOutcome]
+    #: Service counters for exactly this replay.
+    stats: ServiceStats
+    #: Total kernel launches of the serial per-query replay
+    #: (``None`` when the serial baseline was skipped).
+    serial_launches: Optional[int] = None
+    #: Whether every served result equalled its serial counterpart.
+    results_match: Optional[bool] = None
+
+    @property
+    def served_launches_per_query(self) -> float:
+        return self.stats.kernel_launches / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def serial_launches_per_query(self) -> Optional[float]:
+        if self.serial_launches is None or not self.num_requests:
+            return None
+        return self.serial_launches / self.num_requests
+
+    @property
+    def launch_reduction(self) -> Optional[float]:
+        """Fraction of serial launches the serving layer avoided."""
+        if self.serial_launches is None or self.serial_launches == 0:
+            return None
+        return 1.0 - self.stats.kernel_launches / self.serial_launches
+
+
+def replay_trace(
+    compressed: CompressedCorpus,
+    trace: Sequence[Query],
+    *,
+    num_threads: int = 8,
+    engine_config: Optional[GTadocConfig] = None,
+    service_config: Optional[ServiceConfig] = None,
+    serial_baseline: bool = True,
+) -> ReplayReport:
+    """Replay ``trace`` through a fresh service with ``num_threads`` workers.
+
+    With ``serial_baseline`` (the default) the same trace is also
+    executed serially — one fresh-session ``run()`` per query — and the
+    served results are checked for bit-identity against it.
+    """
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    service = AnalyticsService(
+        compressed, engine_config=engine_config, service_config=service_config
+    )
+    outcomes: List[Optional[RunOutcome]] = [None] * len(trace)
+    errors: List[BaseException] = []
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with cursor_lock:
+                index = cursor["next"]
+                if index >= len(trace):
+                    return
+                cursor["next"] = index + 1
+            try:
+                outcomes[index] = service.submit(trace[index])
+            except BaseException as error:  # surface in the caller's thread
+                errors.append(error)
+                return
+
+    threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+    serial_launches: Optional[int] = None
+    results_match: Optional[bool] = None
+    if serial_baseline:
+        serial = GTadocBackend(compressed, config=engine_config, amortize=False)
+        serial_launches = 0
+        results_match = True
+        for index, query in enumerate(trace):
+            reference = serial.run(query)
+            serial_launches += reference.kernel_launches
+            if outcomes[index].result != reference.result:
+                results_match = False
+
+    return ReplayReport(
+        num_requests=len(trace),
+        num_threads=num_threads,
+        outcomes=list(outcomes),
+        stats=service.stats(),
+        serial_launches=serial_launches,
+        results_match=results_match,
+    )

@@ -1,0 +1,386 @@
+"""The thread-safe serving layer: one service, many concurrent queries.
+
+TADOC compressed structures are built once and meant to serve many
+queries, and G-TADOC's Figure-3 split exists precisely so the
+initialization phase can be amortized across requests.
+:class:`AnalyticsService` is the subsystem that realises that shape for
+concurrent traffic:
+
+* a bounded LRU of :class:`~repro.core.session.DeviceSession` entries,
+  keyed by corpus :meth:`~repro.compression.compressor.CompressedCorpus.fingerprint`
+  plus :class:`~repro.core.session.GTadocConfig`, so the expensive
+  device state stays resident for the hottest corpora and is dropped
+  least-recently-used first;
+* query coalescing — concurrent queries compatible on required session
+  state (same corpus/config/sequence length/file subset/traversal) are
+  grouped into one ``run_batch`` micro-batch, charging initialization
+  and shared traversal-state construction once for the whole group;
+* a :class:`~repro.api.query.Query`-keyed result cache in front of the
+  engines, with hit/miss/eviction statistics and explicit
+  fingerprint-based invalidation for corpora that change;
+* per-session locking underneath (see
+  :attr:`~repro.core.session.DeviceSession.lock`), so the service's
+  worker threads produce results bit-identical to serial execution.
+
+The service itself satisfies the
+:class:`~repro.api.backend.AnalyticsBackend` protocol and is registered
+as the ``"serve"`` backend, so it fronts the same registry every other
+engine sits behind.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analytics.base import Task
+from repro.api.backend import BackendCapabilities
+from repro.api.backends import CorpusSource, _as_compressed, _file_indices_for
+from repro.api.outcome import PhasePerf, RunOutcome, RunPerf, perf_from_records
+from repro.api.query import Query, as_query, shape_result
+from repro.compression.compressor import CompressedCorpus
+from repro.core.engine import GTadoc
+from repro.core.session import GTadocConfig
+from repro.data.corpus import Corpus
+from repro.serve.caches import CacheStats, LRUCache
+from repro.serve.coalescer import CoalescedRequest, QueryCoalescer
+
+__all__ = ["ServiceConfig", "ServiceStats", "AnalyticsService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunable parameters of the serving layer."""
+
+    #: Bound on resident device sessions (distinct corpus/config pairs).
+    max_sessions: int = 4
+    #: Bound on cached query results.
+    result_cache_capacity: int = 1024
+    #: Serve repeated identical queries from the result cache.
+    cache_results: bool = True
+    #: Seconds a micro-batch leader holds the door open for concurrent
+    #: compatible queries (0 disables the wait; coalescing then only
+    #: captures requests that queued while a batch was executing).
+    coalesce_window: float = 0.002
+    #: Upper bound on one micro-batch's size.
+    max_batch_size: int = 16
+    #: Bound on memoized raw-corpus compressions (oldest dropped first).
+    corpus_memo_capacity: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.result_cache_capacity < 1:
+            raise ValueError("result_cache_capacity must be >= 1")
+        if self.coalesce_window < 0:
+            raise ValueError("coalesce_window must be non-negative")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.corpus_memo_capacity < 1:
+            raise ValueError("corpus_memo_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of the service's serving counters."""
+
+    #: Queries answered (result-cache hits included).
+    queries: int
+    #: Queries that reached an engine (cache misses).
+    executed_queries: int
+    #: Engine micro-batches dispatched.
+    micro_batches: int
+    #: Executed queries that shared their micro-batch with at least one other.
+    coalesced_queries: int
+    #: Simulated kernel launches charged by all micro-batches.
+    kernel_launches: int
+    #: The initialization/shared-state share of those launches.
+    shared_kernel_launches: int
+    session_cache: CacheStats
+    result_cache: CacheStats
+
+    @property
+    def launches_per_query(self) -> float:
+        """Kernel launches per answered query (cache hits pull this down)."""
+        return self.kernel_launches / self.queries if self.queries else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.executed_queries / self.micro_batches if self.micro_batches else 0.0
+
+
+@dataclass
+class _SessionEntry:
+    """One resident corpus/config pair: compressed form + its engine."""
+
+    key: Tuple[str, GTadocConfig]
+    compressed: CompressedCorpus
+    engine: GTadoc
+
+
+@dataclass(frozen=True)
+class _CachedResult:
+    """What the result cache stores: the shaped result + the strategy used.
+
+    The stored result is a private deep copy and every hit hands out a
+    fresh copy, so no caller mutation can poison the cache (or another
+    caller's outcome) and the bit-identical-to-serial guarantee holds.
+    """
+
+    result: object
+    strategy: Optional[str]
+
+    @classmethod
+    def of(cls, result: object, strategy: Optional[str]) -> "_CachedResult":
+        return cls(result=copy.deepcopy(result), strategy=strategy)
+
+    def fresh_result(self) -> object:
+        return copy.deepcopy(self.result)
+
+
+class AnalyticsService:
+    """Thread-safe serving front end over the G-TADOC engine.
+
+    ``submit`` may be called concurrently from any number of worker
+    threads; results are bit-identical to serial per-query execution.
+    The service satisfies the :class:`~repro.api.backend.AnalyticsBackend`
+    protocol (``run``/``run_batch``/``capabilities``) and is registered
+    as the ``"serve"`` backend.
+    """
+
+    name = "serve"
+
+    def __init__(
+        self,
+        source: Optional[CorpusSource] = None,
+        *,
+        engine_config: Optional[GTadocConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = service_config or ServiceConfig()
+        self._engine_config = engine_config or GTadocConfig()
+        self._sessions = LRUCache(self.config.max_sessions)
+        self._results = LRUCache(self.config.result_cache_capacity)
+        self._coalescer = QueryCoalescer(
+            window=self.config.coalesce_window, max_batch=self.config.max_batch_size
+        )
+        self._stats_lock = threading.Lock()
+        self._queries = 0
+        self._executed_queries = 0
+        self._micro_batches = 0
+        self._coalesced_queries = 0
+        self._kernel_launches = 0
+        self._shared_kernel_launches = 0
+        # Raw corpora are compressed once and memoized per object (bounded;
+        # oldest entries dropped first), so a caller may keep handing the
+        # same Corpus to every submit without re-compressing.
+        self._compressed_by_corpus: Dict[int, Tuple[Corpus, CompressedCorpus]] = {}
+        self._corpus_lock = threading.Lock()
+        self._default: Optional[CompressedCorpus] = (
+            self._resolve_source(source) if source is not None else None
+        )
+
+    # -- the query path ----------------------------------------------------------------
+    def submit(
+        self,
+        query: Union[Query, Task, str],
+        *,
+        source: Optional[CorpusSource] = None,
+        engine_config: Optional[GTadocConfig] = None,
+    ) -> RunOutcome:
+        """Answer one query, coalescing with compatible concurrent queries.
+
+        ``source`` picks the corpus (the service's default when omitted);
+        ``engine_config`` overrides the service's engine configuration
+        for this query's session.  Thread-safe.
+        """
+        query = as_query(query)
+        compressed, config = self._resolve_target(source, engine_config)
+        session_key = (compressed.fingerprint(), config)
+        # Unknown file names must fail the offending caller before it is
+        # counted as served (and, later, before it can poison a whole
+        # micro-batch).
+        _file_indices_for(compressed.file_names, query.files)
+        with self._stats_lock:
+            self._queries += 1
+
+        cache_key = (session_key, query)
+        if self.config.cache_results:
+            cached = self._results.get(cache_key)
+            if cached is not None:
+                # A pure hit neither builds nor touches a session entry.
+                return self._hit_outcome(query, cached)
+
+        entry = self._entry_for(session_key, compressed, config)
+        request = CoalescedRequest(query)
+        group_key = (entry.key, query.sequence_length, query.files, query.traversal)
+        self._coalescer.submit(
+            group_key, request, lambda batch: self._execute_batch(entry, batch)
+        )
+        outcome = request.outcome
+        if self.config.cache_results:
+            self._results.put(
+                cache_key,
+                _CachedResult.of(outcome.result, outcome.details.get("strategy")),
+            )
+        return outcome
+
+    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
+        """:class:`AnalyticsBackend` alias for :meth:`submit`."""
+        return self.submit(query)
+
+    def run_batch(self, queries: Iterable[Union[Query, Task, str]]) -> List[RunOutcome]:
+        """Serve queries in order (concurrency comes from caller threads)."""
+        return [self.submit(query) for query in queries]
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            description="Thread-safe serving layer: session LRU, coalescing, result cache",
+            device="gpu",
+            compressed_domain=True,
+            native_sequence_length=True,
+            native_file_filter=True,
+            amortizes_batches=True,
+            supports_traversal_choice=True,
+        )
+
+    # -- cache management --------------------------------------------------------------
+    def invalidate(self, source: CorpusSource) -> int:
+        """Drop every session and cached result derived from ``source``.
+
+        Call this when a corpus's content changes under a reused name:
+        the stale fingerprint's entries are removed so no query can be
+        answered from outdated device state or results.  Returns the
+        number of entries dropped.
+        """
+        fingerprint = self._resolve_source(source).fingerprint()
+        with self._corpus_lock:
+            self._compressed_by_corpus = {
+                key: value
+                for key, value in self._compressed_by_corpus.items()
+                if value[1].fingerprint() != fingerprint
+            }
+        dropped = self._sessions.remove_where(lambda key: key[0] == fingerprint)
+        dropped += self._results.remove_where(lambda key: key[0][0] == fingerprint)
+        return dropped
+
+    def stats(self) -> ServiceStats:
+        with self._stats_lock:
+            return ServiceStats(
+                queries=self._queries,
+                executed_queries=self._executed_queries,
+                micro_batches=self._micro_batches,
+                coalesced_queries=self._coalesced_queries,
+                kernel_launches=self._kernel_launches,
+                shared_kernel_launches=self._shared_kernel_launches,
+                session_cache=self._sessions.stats(),
+                result_cache=self._results.stats(),
+            )
+
+    @property
+    def resident_sessions(self) -> int:
+        """Device sessions currently held by the LRU."""
+        return len(self._sessions)
+
+    # -- internals ---------------------------------------------------------------------
+    def _resolve_source(self, source: CorpusSource) -> CompressedCorpus:
+        if isinstance(source, CompressedCorpus):
+            return source
+        if isinstance(source, Corpus):
+            with self._corpus_lock:
+                memo = self._compressed_by_corpus.get(id(source))
+                if memo is not None and memo[0] is source:
+                    return memo[1]
+                compressed = _as_compressed(source)
+                self._compressed_by_corpus[id(source)] = (source, compressed)
+                while len(self._compressed_by_corpus) > self.config.corpus_memo_capacity:
+                    self._compressed_by_corpus.pop(next(iter(self._compressed_by_corpus)))
+                return compressed
+        raise TypeError(f"expected a Corpus or CompressedCorpus, got {type(source).__name__}")
+
+    def _resolve_target(
+        self, source: Optional[CorpusSource], engine_config: Optional[GTadocConfig]
+    ) -> Tuple[CompressedCorpus, GTadocConfig]:
+        """The compressed corpus + engine config one submit addresses."""
+        if source is None:
+            compressed = self._default
+            if compressed is None:
+                raise ValueError(
+                    "no corpus to serve: pass source= or construct the service with one"
+                )
+        else:
+            compressed = self._resolve_source(source)
+        return compressed, engine_config or self._engine_config
+
+    def _entry_for(
+        self,
+        key: Tuple[str, GTadocConfig],
+        compressed: CompressedCorpus,
+        config: GTadocConfig,
+    ) -> _SessionEntry:
+        entry, _created = self._sessions.get_or_create(
+            key,
+            lambda: _SessionEntry(
+                key=key, compressed=compressed, engine=GTadoc(compressed, config=config)
+            ),
+        )
+        return entry
+
+    def _execute_batch(self, entry: _SessionEntry, batch: List[CoalescedRequest]) -> None:
+        """Run one micro-batch against the entry's session and fill outcomes."""
+        lead = batch[0].query
+        indices = _file_indices_for(entry.compressed.file_names, lead.files)
+        result_batch = entry.engine.run_batch(
+            [request.query.task for request in batch],
+            traversal=lead.traversal,
+            sequence_length=lead.sequence_length,
+            file_indices=indices,
+        )
+        with self._stats_lock:
+            self._micro_batches += 1
+            self._executed_queries += len(batch)
+            if len(batch) > 1:
+                self._coalesced_queries += len(batch)
+            self._kernel_launches += result_batch.total_kernel_launches
+            self._shared_kernel_launches += result_batch.shared_kernel_launches
+        shared = perf_from_records(result_batch.init_record, result_batch.shared_record)
+        for position, request in enumerate(batch):
+            run = result_batch[request.query.task]
+            # Whichever query leads the batch carries the shared
+            # construction cost, mirroring the amortized backend path.
+            initialization = shared if position == 0 else PhasePerf()
+            request.outcome = RunOutcome(
+                query=request.query,
+                backend=self.name,
+                task=request.query.task,
+                result=shape_result(request.query, run.result),
+                perf=RunPerf(
+                    initialization=initialization,
+                    traversal=perf_from_records(run.traversal_record),
+                ),
+                raw=run,
+                details={
+                    "strategy": run.strategy.value,
+                    "batch_size": len(batch),
+                    "coalesced": len(batch) > 1,
+                    "memory_pool_bytes": result_batch.memory_pool_bytes,
+                    "result_cache": "miss" if self.config.cache_results else "off",
+                },
+            )
+
+    def _hit_outcome(self, query: Query, cached: _CachedResult) -> RunOutcome:
+        details = {"result_cache": "hit"}
+        if cached.strategy is not None:
+            details["strategy"] = cached.strategy
+        return RunOutcome(
+            query=query,
+            backend=self.name,
+            task=query.task,
+            result=cached.fresh_result(),
+            perf=RunPerf(),  # a cache hit launches no kernels
+            raw=None,
+            details=details,
+        )

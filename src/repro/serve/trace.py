@@ -1,0 +1,79 @@
+"""Synthetic request traces for exercising the serving layer.
+
+A serving workload is not a benchmark grid: requests repeat (users ask
+the same hot queries), mix tasks, and sprinkle per-query knobs.  The
+generator here produces a deterministic, seeded trace with exactly that
+shape so the CLI (``gtadoc serve-bench``), the serving benchmark and
+the serving example all replay the same kind of traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analytics.base import Task
+from repro.api.query import Query
+from repro.compression.compressor import CompressedCorpus
+
+__all__ = ["TraceConfig", "synthesize_trace"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape of a synthetic request trace."""
+
+    num_requests: int = 64
+    seed: int = 17
+    #: Probability that a request repeats an earlier query verbatim
+    #: (hot queries; these are what the result cache serves).
+    repeat_fraction: float = 0.35
+    #: Probability that a fresh query asks for a top-k cut.
+    top_k_fraction: float = 0.4
+    #: Probability that a fresh query restricts itself to a file subset.
+    file_subset_fraction: float = 0.2
+    #: Sequence lengths a sequence-count query may ask for (``None``
+    #: uses the engine default).
+    sequence_lengths: Tuple[Optional[int], ...] = (None, None, 4)
+    tasks: Tuple[Task, ...] = tuple(Task.all())
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        for fraction in (self.repeat_fraction, self.top_k_fraction, self.file_subset_fraction):
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError("trace fractions must be within [0, 1]")
+
+
+def synthesize_trace(
+    file_names: Sequence[str], config: Optional[TraceConfig] = None
+) -> List[Query]:
+    """A deterministic mixed-task trace over a corpus's files.
+
+    ``file_names`` may come from a raw or compressed corpus
+    (:attr:`CompressedCorpus.file_names`); the same names and config
+    always produce the same trace.
+    """
+    if isinstance(file_names, CompressedCorpus):  # convenience
+        file_names = file_names.file_names
+    config = config or TraceConfig()
+    rng = random.Random(config.seed)
+    trace: List[Query] = []
+    for _ in range(config.num_requests):
+        if trace and rng.random() < config.repeat_fraction:
+            trace.append(rng.choice(trace))
+            continue
+        task = rng.choice(config.tasks)
+        top_k = rng.choice((5, 10, 20)) if rng.random() < config.top_k_fraction else None
+        files = None
+        if len(file_names) > 1 and rng.random() < config.file_subset_fraction:
+            count = rng.randint(1, min(2, len(file_names)))
+            files = tuple(rng.sample(list(file_names), count))
+        sequence_length = (
+            rng.choice(config.sequence_lengths) if task.is_sequence_sensitive else None
+        )
+        trace.append(
+            Query(task=task, sequence_length=sequence_length, top_k=top_k, files=files)
+        )
+    return trace

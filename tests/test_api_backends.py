@@ -28,6 +28,8 @@ from repro.core.engine import GTadocRunResult
 from repro.core.strategy import TraversalStrategy
 
 ALL_BACKENDS = ("gtadoc", "cpu", "parallel", "distributed", "gpu_uncompressed", "reference")
+#: The serving layer joins the engines in the equivalence matrix.
+MATRIX_BACKENDS = ALL_BACKENDS + ("serve",)
 
 #: Keep the simulated cluster small so the matrix stays fast on tiny corpora.
 _BACKEND_OPTIONS = {
@@ -102,6 +104,55 @@ class TestQuery:
         assert Query(task=Task.SORT) in {Query(task=Task.SORT)}
 
 
+class TestQueryExtras:
+    """``extras`` is frozen so a Query stays a safe cache key."""
+
+    def test_extras_participate_in_equality_and_hash(self):
+        with_extras = Query(task=Task.SORT, extras={"trace": "abc"})
+        same = Query(task=Task.SORT, extras={"trace": "abc"})
+        other = Query(task=Task.SORT, extras={"trace": "xyz"})
+        assert with_extras == same and hash(with_extras) == hash(same)
+        assert with_extras != other
+        assert with_extras != Query(task=Task.SORT)
+
+    def test_extras_hash_is_insertion_order_independent(self):
+        forward = Query(task=Task.SORT, extras={"a": 1, "b": 2})
+        backward = Query(task=Task.SORT, extras={"b": 2, "a": 1})
+        assert forward == backward and hash(forward) == hash(backward)
+        assert {forward: "cached"}[backward] == "cached"
+
+    def test_extras_behave_as_a_mapping(self):
+        query = Query(task=Task.SORT, extras={"a": 1, "b": 2})
+        assert query.extras["a"] == 1
+        assert dict(query.extras) == {"a": 1, "b": 2}
+        assert len(query.extras) == 2 and set(query.extras) == {"a", "b"}
+        assert query.extras == {"a": 1, "b": 2}
+
+    def test_extras_cannot_be_mutated(self):
+        query = Query(task=Task.SORT, extras={"a": 1})
+        with pytest.raises(TypeError):
+            query.extras["a"] = 2  # type: ignore[index]
+
+    def test_replace_does_not_share_mutable_state(self):
+        from dataclasses import replace
+
+        source = {"a": 1}
+        query = Query(task=Task.SORT, extras=source)
+        moved = query.with_task("word_count")
+        narrowed = replace(query, top_k=3)
+        source["a"] = 99  # the caller's dict is not the query's storage
+        assert query.extras["a"] == 1
+        assert moved.extras["a"] == 1 and narrowed.extras["a"] == 1
+
+    def test_unhashable_extras_value_rejected_at_construction(self):
+        with pytest.raises(TypeError):
+            Query(task=Task.SORT, extras={"bad": []})
+
+    def test_non_string_extras_key_rejected(self):
+        with pytest.raises(TypeError):
+            Query(task=Task.SORT, extras={1: "x"})
+
+
 class TestShaping:
     def test_top_k_truncates_sort(self):
         shaped = shape_result(Query(task=Task.SORT, top_k=1), {"a": 2, "b": 5})
@@ -111,6 +162,40 @@ class TestShaping:
         result = {"w": [("f1", 9), ("f2", 1)]}
         shaped = shape_result(Query(task=Task.RANKED_INVERTED_INDEX, top_k=1), result)
         assert shaped == {"w": [("f1", 9)]}
+
+    def test_top_k_truncates_word_count(self):
+        shaped = shape_result(Query(task=Task.WORD_COUNT, top_k=2), {"a": 1, "b": 3, "c": 2})
+        assert shaped == {"b": 3, "c": 2}
+
+    def test_top_k_truncates_sequence_count(self):
+        result = {("a", "b"): 3, ("b", "c"): 1, ("c", "d"): 2}
+        shaped = shape_result(Query(task=Task.SEQUENCE_COUNT, top_k=1), result)
+        assert shaped == {("a", "b"): 3}
+
+    def test_top_k_truncates_inverted_index_postings(self):
+        result = {"w": ["c.txt", "a.txt", "b.txt"], "v": ["a.txt"]}
+        shaped = shape_result(Query(task=Task.INVERTED_INDEX, top_k=2), result)
+        # Postings normalize to name order first, then truncate.
+        assert shaped == {"w": ["a.txt", "b.txt"], "v": ["a.txt"]}
+
+    def test_top_k_truncates_term_vector_per_file(self):
+        result = {"f1": {"a": 1, "b": 5, "c": 5}, "f2": {"x": 2}}
+        shaped = shape_result(Query(task=Task.TERM_VECTOR, top_k=2), result)
+        # Highest counts win; ties break by word, mirroring the ranked index.
+        assert shaped == {"f1": {"b": 5, "c": 5}, "f2": {"x": 2}}
+
+    def test_top_k_covers_every_task(self, tiny_reference):
+        for task in Task.all():
+            full = shape_result(Query(task=task), tiny_reference.run(task))
+            cut = shape_result(Query(task=task, top_k=1), tiny_reference.run(task))
+            if task is Task.SORT:
+                assert len(cut) <= 1
+            elif task in (Task.WORD_COUNT, Task.SEQUENCE_COUNT):
+                assert len(cut) <= 1
+            else:
+                assert set(cut) == set(full)  # outer keys survive
+                for entry in cut.values():
+                    assert len(entry) <= 1
 
     def test_terms_filter_word_count(self):
         shaped = shape_result(Query(task=Task.WORD_COUNT, terms=("a",)), {"a": 1, "b": 2})
@@ -191,7 +276,7 @@ class TestRegistry:
 MATRIX_SEQUENCE_LENGTHS = (2, 4)
 
 
-@pytest.mark.parametrize("name", ALL_BACKENDS)
+@pytest.mark.parametrize("name", MATRIX_BACKENDS)
 @pytest.mark.parametrize("task", Task.all())
 def test_backend_matrix_matches_reference(backends, tiny_compressed, name, task):
     """Every backend agrees with the reference for every task, at two

@@ -341,3 +341,46 @@ class TestCli:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "word_count" in out
+
+    def test_serve_bench_replays_trace(self, capsys):
+        assert main(
+            [
+                "serve-bench",
+                "--dataset",
+                "D",
+                "--scale",
+                "0.05",
+                "--requests",
+                "24",
+                "--threads",
+                "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "result-cache hit rate" in out
+        assert "results match serial" in out and "NO" not in out
+        assert "launch reduction" in out
+
+    def test_serve_bench_without_serial_baseline(self, tmp_path, capsys):
+        compressed_path = tmp_path / "d.json"
+        main(["compress", "--dataset", "D", "--scale", "0.05", "--output", str(compressed_path)])
+        capsys.readouterr()
+        assert main(
+            [
+                "serve-bench",
+                "--compressed",
+                str(compressed_path),
+                "--requests",
+                "16",
+                "--no-serial-baseline",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served launches/query" in out
+        assert "serial launches/query" not in out
+
+    def test_serve_bench_rejects_bad_arguments(self, capsys):
+        assert main(["serve-bench", "--dataset", "D", "--requests", "0"]) == 2
+        assert "--requests" in capsys.readouterr().err
+        assert main(["serve-bench", "--dataset", "D", "--threads", "0"]) == 2
+        assert "--threads" in capsys.readouterr().err

@@ -1,0 +1,423 @@
+"""Serving-layer tests: caches, coalescing, concurrency, invalidation.
+
+The centrepiece is the concurrency suite: N worker threads submitting
+mixed queries through :class:`~repro.serve.AnalyticsService` must
+produce results bit-identical to serial per-query execution while
+launching strictly fewer kernels per query; the session LRU must respect
+its bound; and the result cache must never serve stale results across a
+corpus change.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analytics.base import Task
+from repro.api import Query, open_backend
+from repro.api.backends import GTadocBackend
+from repro.compression.compressor import compress_corpus
+from repro.core.engine import GTadoc
+from repro.core.session import (
+    FILE_WEIGHTS,
+    LOCAL_TABLES,
+    RULE_WEIGHTS,
+    DeviceSession,
+    GTadocConfig,
+)
+from repro.core.strategy import TraversalStrategy
+from repro.data.corpus import Corpus
+from repro.serve import (
+    AnalyticsService,
+    LRUCache,
+    ServiceConfig,
+    TraceConfig,
+    replay_trace,
+    synthesize_trace,
+)
+
+NUM_THREADS = 8
+
+
+# ----------------------------------------------------------------------------------------
+# LRU cache
+# ----------------------------------------------------------------------------------------
+
+class TestLRUCache:
+    def test_capacity_bound_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes recency: "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_stats_count_hits_misses_evictions_invalidations(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.put("b", 2)  # evicts "a"
+        cache.remove_where(lambda key: key == "b")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.evictions == 1 and stats.invalidations == 1
+        assert stats.hit_rate == 0.5
+        assert stats.size == 0 and stats.capacity == 1
+
+    def test_get_or_create_builds_once_under_concurrency(self):
+        cache = LRUCache(4)
+        builds = []
+        barrier = threading.Barrier(NUM_THREADS)
+        values = []
+
+        def worker() -> None:
+            barrier.wait()
+            value, _created = cache.get_or_create("key", lambda: builds.append(1) or object())
+            values.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(NUM_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1
+        assert all(value is values[0] for value in values)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+# ----------------------------------------------------------------------------------------
+# Corpus fingerprints (the session/result cache key)
+# ----------------------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_stable_across_recompression(self, tiny_corpus):
+        assert (
+            compress_corpus(tiny_corpus).fingerprint()
+            == compress_corpus(tiny_corpus).fingerprint()
+        )
+
+    def test_content_change_changes_fingerprint(self):
+        before = compress_corpus(Corpus.from_texts({"a.txt": "alpha beta alpha"}))
+        after = compress_corpus(Corpus.from_texts({"a.txt": "alpha beta gamma"}))
+        assert before.fingerprint() != after.fingerprint()
+
+    def test_display_name_does_not_participate(self):
+        texts = {"a.txt": "alpha beta alpha beta"}
+        one = compress_corpus(Corpus.from_texts(texts, name="first"))
+        two = compress_corpus(Corpus.from_texts(texts, name="second"))
+        assert one.fingerprint() == two.fingerprint()
+
+
+# ----------------------------------------------------------------------------------------
+# DeviceSession thread safety
+# ----------------------------------------------------------------------------------------
+
+class TestSessionThreadSafety:
+    def test_concurrent_state_builds_happen_once(self, tiny_compressed):
+        session = DeviceSession(tiny_compressed)
+        barrier = threading.Barrier(NUM_THREADS)
+        seen = []
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            key = (RULE_WEIGHTS, LOCAL_TABLES, FILE_WEIGHTS)[index % 3]
+            seen.append((key, id(session.state(key))))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(NUM_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every thread asking for a key got the same built object.
+        by_key = {}
+        for key, identity in seen:
+            by_key.setdefault(key, set()).add(identity)
+        assert all(len(identities) == 1 for identities in by_key.values())
+        # One drain collects all construction work; a second finds none.
+        init_record, shared_record = session.drain_new_records()
+        assert shared_record.num_launches > 0
+        init_again, shared_again = session.drain_new_records()
+        assert init_again.num_launches == 0 and shared_again.num_launches == 0
+
+    def test_concurrent_batches_serialize_and_charge_init_once(self, tiny_compressed):
+        engine = GTadoc(tiny_compressed)
+        batches = []
+
+        def worker() -> None:
+            batches.append(engine.run_batch([Task.WORD_COUNT, Task.SORT]))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        reference = GTadoc(tiny_compressed).run_batch([Task.WORD_COUNT, Task.SORT])
+        shared_total = sum(batch.shared_kernel_launches for batch in batches)
+        assert shared_total == reference.shared_kernel_launches
+        for batch in batches:
+            assert batch[Task.WORD_COUNT].result == reference[Task.WORD_COUNT].result
+            assert batch[Task.SORT].result == reference[Task.SORT].result
+
+
+# ----------------------------------------------------------------------------------------
+# Batch-level shared figures (run_batch attribution bugfix)
+# ----------------------------------------------------------------------------------------
+
+class TestBatchSharedFigures:
+    def test_batch_reports_scheduler_summary_once(self, tiny_compressed):
+        engine = GTadoc(tiny_compressed)
+        batch = engine.run_batch([Task.WORD_COUNT, Task.SORT])
+        assert batch.scheduler_summary["rules"] == engine.layout.num_rules
+        for result in batch.values():
+            assert result.scheduler_summary == {}
+
+    def test_single_run_keeps_its_own_summary(self, tiny_compressed):
+        outcome = GTadoc(tiny_compressed).run(Task.WORD_COUNT)
+        assert outcome.scheduler_summary["rules"] > 0
+
+    def test_non_config_sequence_length_pool_delta_is_marginal(self, few_files_compressed):
+        engine = GTadoc(few_files_compressed)
+        engine.run_batch([Task.WORD_COUNT], traversal=TraversalStrategy.BOTTOM_UP)
+        batch = engine.run_batch([Task.SEQUENCE_COUNT], sequence_length=5)
+        assert batch[Task.SEQUENCE_COUNT].memory_pool_bytes > 0
+        pool = engine.session.memory_pool
+        assert pool is not None and pool.check_no_overlap()
+        assert batch.memory_pool_bytes == pool.used_bytes
+
+    def test_off_config_lengths_do_not_starve_local_tables(self, many_files_compressed):
+        # An off-config sequence length must bring its own pool capacity:
+        # the local-table budget has to survive for a later bottom-up task.
+        engine = GTadoc(many_files_compressed)
+        engine.run_batch([Task.SEQUENCE_COUNT], sequence_length=20)
+        batch = engine.run_batch([Task.WORD_COUNT], traversal=TraversalStrategy.BOTTOM_UP)
+        reference = GTadoc(many_files_compressed).run(
+            Task.WORD_COUNT, traversal=TraversalStrategy.BOTTOM_UP
+        )
+        assert batch[Task.WORD_COUNT].result == reference.result
+        assert engine.session.memory_pool.check_no_overlap()
+
+
+# ----------------------------------------------------------------------------------------
+# AnalyticsService: the concurrency suite
+# ----------------------------------------------------------------------------------------
+
+class TestServiceConcurrency:
+    def test_mixed_concurrent_queries_bit_identical_to_serial(self, few_files_compressed):
+        trace = synthesize_trace(
+            few_files_compressed.file_names, TraceConfig(num_requests=32, seed=5)
+        )
+        report = replay_trace(few_files_compressed, trace, num_threads=NUM_THREADS)
+        assert report.results_match
+        # The acceptance criterion: strictly fewer kernel launches per
+        # query than serial per-query run() execution.
+        assert report.stats.kernel_launches < report.serial_launches
+        assert report.served_launches_per_query < report.serial_launches_per_query
+
+    def test_simultaneous_compatible_queries_coalesce(self, tiny_compressed):
+        service = AnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, coalesce_window=0.05),
+        )
+        tasks = Task.all()
+        barrier = threading.Barrier(len(tasks))
+        outcomes = {}
+
+        def worker(task: Task) -> None:
+            barrier.wait()
+            outcomes[task] = service.submit(Query(task=task))
+
+        threads = [threading.Thread(target=worker, args=(task,)) for task in tasks]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = service.stats()
+        assert stats.executed_queries == len(tasks)
+        assert stats.micro_batches < len(tasks)
+        assert stats.coalesced_queries >= 2
+        assert any(outcome.details["batch_size"] > 1 for outcome in outcomes.values())
+
+    def test_error_reaches_only_the_offending_caller(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        with pytest.raises(ValueError, match="unknown file"):
+            service.submit(Query(task=Task.WORD_COUNT, files=("missing.txt",)))
+        outcome = service.submit(Query(task=Task.WORD_COUNT))
+        assert outcome.result
+
+    def test_rejected_queries_do_not_skew_stats(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                service.submit(Query(task=Task.WORD_COUNT, files=("missing.txt",)))
+        service.submit(Query(task=Task.WORD_COUNT))
+        stats = service.stats()
+        assert stats.queries == 1
+        assert stats.result_cache.misses == 1
+        assert stats.queries == stats.executed_queries + stats.result_cache.hits
+
+    def test_idle_coalescing_groups_are_dropped(self, tiny_compressed):
+        service = AnalyticsService(
+            tiny_compressed, service_config=ServiceConfig(cache_results=False)
+        )
+        for task in (Task.WORD_COUNT, Task.SORT):
+            service.submit(Query(task=task))
+        service.submit(Query(task=Task.SEQUENCE_COUNT, sequence_length=4))
+        # Every leader retired with an empty queue; no group records linger.
+        assert service._coalescer._groups == {}
+
+    def test_uncontended_submit_pays_the_window_once(self, tiny_compressed):
+        import time
+
+        window = 0.05
+        service = AnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, coalesce_window=window),
+        )
+        service.submit(Query(task=Task.WORD_COUNT))  # warm the session
+        start = time.monotonic()
+        service.submit(Query(task=Task.SORT))
+        elapsed = time.monotonic() - start
+        assert elapsed < 2 * window  # one coalescing window, no post-drain wait
+
+    def test_raw_corpus_memo_is_bounded(self):
+        service = AnalyticsService(
+            service_config=ServiceConfig(corpus_memo_capacity=2)
+        )
+        corpora = [
+            Corpus.from_texts({"a.txt": f"alpha beta w{index} alpha"}) for index in range(4)
+        ]
+        for corpus in corpora:
+            service.submit(Query(task=Task.WORD_COUNT), source=corpus)
+        assert len(service._compressed_by_corpus) <= 2
+
+
+class TestServiceCaching:
+    def test_repeated_query_hits_result_cache(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        first = service.submit(Query(task=Task.SORT, top_k=3))
+        second = service.submit(Query(task=Task.SORT, top_k=3))
+        assert first.details["result_cache"] == "miss"
+        assert second.details["result_cache"] == "hit"
+        assert second.result == first.result
+        assert second.kernel_launches == 0
+        stats = service.stats()
+        assert stats.result_cache.hits == 1
+        assert stats.executed_queries == 1 and stats.queries == 2
+
+    def test_equal_queries_hit_regardless_of_construction(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        service.submit(Query(task="word_count", top_k=5, extras={"b": 2, "a": 1}))
+        again = service.submit(
+            Query(task=Task.WORD_COUNT, top_k=5, extras={"a": 1, "b": 2})
+        )
+        assert again.details["result_cache"] == "hit"
+
+    def test_cache_hits_are_isolated_from_caller_mutation(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        query = Query(task=Task.WORD_COUNT)
+        first = service.submit(query)
+        pristine = dict(first.result)
+        first.result["the"] = 10**9  # a badly behaved caller
+        second = service.submit(query)
+        assert second.details["result_cache"] == "hit"
+        assert second.result == pristine
+        second.result.clear()
+        assert service.submit(query).result == pristine
+
+    def test_misses_equal_executed_queries(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        for query in synthesize_trace(tiny_compressed.file_names, TraceConfig(num_requests=20)):
+            service.submit(query)
+        stats = service.stats()
+        assert stats.result_cache.misses == stats.executed_queries
+        assert stats.queries == stats.executed_queries + stats.result_cache.hits
+
+    def test_cache_hits_do_not_touch_the_session_lru(
+        self, tiny_compressed, single_file_compressed, few_files_compressed
+    ):
+        service = AnalyticsService(service_config=ServiceConfig(max_sessions=2))
+        query = Query(task=Task.WORD_COUNT)
+        service.submit(query, source=tiny_compressed)
+        service.submit(query, source=single_file_compressed)
+        service.submit(query, source=few_files_compressed)  # evicts tiny's session
+        resident = set(service._sessions.keys())
+        hit = service.submit(query, source=tiny_compressed)
+        assert hit.details["result_cache"] == "hit"
+        # The hit neither rebuilt tiny's session nor re-ranked the LRU.
+        assert set(service._sessions.keys()) == resident
+        assert service.stats().session_cache.misses == 3
+
+    def test_session_lru_respects_bound(
+        self, tiny_compressed, single_file_compressed, few_files_compressed
+    ):
+        service = AnalyticsService(service_config=ServiceConfig(max_sessions=2))
+        for compressed in (tiny_compressed, single_file_compressed, few_files_compressed):
+            service.submit(Query(task=Task.WORD_COUNT), source=compressed)
+        assert service.resident_sessions == 2
+        stats = service.stats()
+        assert stats.session_cache.evictions == 1
+        # The evicted corpus is still served correctly (state rebuilt).
+        outcome = service.submit(Query(task=Task.SORT), source=tiny_compressed)
+        serial = GTadocBackend(tiny_compressed, amortize=False).run(Query(task=Task.SORT))
+        assert outcome.result == serial.result
+
+    def test_engine_configs_key_separate_sessions(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        default = service.submit(Query(task=Task.SEQUENCE_COUNT))
+        longer = service.submit(
+            Query(task=Task.SEQUENCE_COUNT), engine_config=GTadocConfig(sequence_length=4)
+        )
+        assert service.resident_sessions == 2
+        assert default.result != longer.result
+
+
+class TestServiceInvalidation:
+    def test_changed_corpus_never_serves_stale_results(self):
+        before = compress_corpus(Corpus.from_texts({"a.txt": "alpha beta alpha"}))
+        after = compress_corpus(Corpus.from_texts({"a.txt": "alpha beta gamma gamma"}))
+        service = AnalyticsService()
+        old = service.submit(Query(task=Task.WORD_COUNT), source=before)
+        new = service.submit(Query(task=Task.WORD_COUNT), source=after)
+        assert old.result == {"alpha": 2, "beta": 1}
+        assert new.result == {"alpha": 1, "beta": 1, "gamma": 2}
+        assert new.details["result_cache"] == "miss"
+
+    def test_invalidate_drops_sessions_and_results(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        query = Query(task=Task.WORD_COUNT)
+        first = service.submit(query)
+        assert service.submit(query).details["result_cache"] == "hit"
+        dropped = service.invalidate(tiny_compressed)
+        assert dropped >= 2  # the session entry and the cached result
+        assert service.resident_sessions == 0
+        refreshed = service.submit(query)
+        assert refreshed.details["result_cache"] == "miss"
+        assert refreshed.result == first.result
+        stats = service.stats()
+        assert stats.session_cache.invalidations >= 1
+        assert stats.result_cache.invalidations >= 1
+
+
+# ----------------------------------------------------------------------------------------
+# The serving layer behind the backend registry
+# ----------------------------------------------------------------------------------------
+
+class TestServeBackend:
+    def test_open_backend_returns_a_service(self, tiny_compressed):
+        backend = open_backend("serve", tiny_compressed)
+        assert isinstance(backend, AnalyticsService)
+        capabilities = backend.capabilities()
+        assert capabilities.amortizes_batches and capabilities.compressed_domain
+
+    def test_serve_accepts_raw_corpus(self, tiny_corpus, tiny_compressed):
+        backend = open_backend("serve", tiny_corpus)
+        outcome = backend.run(Query(task=Task.WORD_COUNT))
+        serial = GTadocBackend(tiny_compressed, amortize=False).run(Query(task=Task.WORD_COUNT))
+        assert outcome.result == serial.result
