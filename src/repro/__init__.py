@@ -14,8 +14,9 @@ Python:
 * the baselines the paper compares against (sequential / parallel /
   distributed CPU TADOC, GPU uncompressed analytics) —
   :mod:`repro.baselines`,
-* the thread-safe serving layer (device-session LRU, query coalescing,
-  result caching for concurrent traffic) — :mod:`repro.serve`, and
+* the serving layer — threaded and asyncio front ends over one core
+  (device-session LRU, query coalescing, result caching for concurrent
+  traffic) — :mod:`repro.serve`, and
 * the evaluation harness regenerating every table and figure —
   :mod:`repro.bench` plus the ``benchmarks/`` directory.
 
@@ -47,9 +48,9 @@ from repro.core import (
     TraversalStrategy,
 )
 from repro.data import Corpus, Document, generate_dataset
-from repro.serve import AnalyticsService, ServiceConfig
+from repro.serve import AnalyticsService, AsyncAnalyticsService, ServiceConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -75,5 +76,6 @@ __all__ = [
     "Document",
     "generate_dataset",
     "AnalyticsService",
+    "AsyncAnalyticsService",
     "ServiceConfig",
 ]

@@ -81,3 +81,15 @@ def _serve_factory(source: CorpusSource, **options) -> AnalyticsBackend:
 
 # The thread-safe serving layer (session LRU + coalescing + result cache).
 register_backend("serve", _serve_factory)
+
+
+def _serve_async_factory(source: CorpusSource, **options) -> AnalyticsBackend:
+    # Imported lazily: the serving layer builds on this package.
+    from repro.serve.aio import AsyncServeBackend
+
+    return AsyncServeBackend(source, **options)
+
+
+# The asyncio serving front end (event-driven coalescing) behind a sync
+# adapter hosting it on a dedicated event-loop thread.
+register_backend("serve_async", _serve_async_factory)

@@ -19,15 +19,17 @@ Four sub-commands cover the CompressDirect-style workflow:
     Run the Figure 9 speedup grid for selected datasets/platforms and
     print the resulting table.
 ``gtadoc serve-bench``
-    Replay a synthetic mixed-query request trace through the
-    thread-safe serving layer (:mod:`repro.serve`) and report kernel
-    launches per query, result-cache hit rate and coalescing statistics
-    against serial per-query execution.
+    Replay a synthetic mixed-query request trace through the serving
+    layer (:mod:`repro.serve`) — thread-based by default, or through
+    the asyncio front end with ``--async`` — and report kernel launches
+    per query, result-cache hit rate and coalescing statistics against
+    serial per-query execution.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -42,6 +44,17 @@ from repro.data.loaders import load_corpus_dir
 from repro.perf.platforms import get_platform, list_platforms
 
 __all__ = ["main", "build_parser"]
+
+
+def _nonnegative_ms(text: str) -> float:
+    """argparse type: a finite millisecond value that must not be negative."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(f"must be finite and non-negative (got {value})")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,8 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--threads", type=int, default=8, help="concurrent worker threads")
     serve.add_argument("--seed", type=int, default=17, help="trace randomness seed")
     serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="replay through the asyncio front end (event-driven coalescing windows)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=32,
+        help="max in-flight requests for --async replays",
+    )
+    serve.add_argument(
         "--coalesce-window-ms",
-        type=float,
+        type=_nonnegative_ms,
         default=2.0,
         help="how long a micro-batch leader waits for compatible queries",
     )
@@ -293,15 +318,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.serve import ServiceConfig, TraceConfig, replay_trace, synthesize_trace
+    from repro.serve import (
+        ServiceConfig,
+        TraceConfig,
+        replay_trace,
+        replay_trace_async,
+        synthesize_trace,
+    )
 
     try:
         if args.requests < 1:
             raise ValueError(f"--requests must be a positive integer (got {args.requests})")
         if args.threads < 1:
             raise ValueError(f"--threads must be a positive integer (got {args.threads})")
-        if args.coalesce_window_ms < 0:
-            raise ValueError("--coalesce-window-ms must be non-negative")
+        if args.concurrency < 1:
+            raise ValueError(f"--concurrency must be a positive integer (got {args.concurrency})")
         service_config = ServiceConfig(
             max_sessions=args.max_sessions,
             coalesce_window=args.coalesce_window_ms / 1000.0,
@@ -316,17 +347,29 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     trace = synthesize_trace(
         compressed.file_names, TraceConfig(num_requests=args.requests, seed=args.seed)
     )
-    report = replay_trace(
-        compressed,
-        trace,
-        num_threads=args.threads,
-        service_config=service_config,
-        serial_baseline=not args.no_serial_baseline,
-    )
+    if args.use_async:
+        report = replay_trace_async(
+            compressed,
+            trace,
+            concurrency=args.concurrency,
+            service_config=service_config,
+            serial_baseline=not args.no_serial_baseline,
+        )
+        concurrency_row = ("max in-flight requests", report.num_threads)
+    else:
+        report = replay_trace(
+            compressed,
+            trace,
+            num_threads=args.threads,
+            service_config=service_config,
+            serial_baseline=not args.no_serial_baseline,
+        )
+        concurrency_row = ("worker threads", report.num_threads)
     stats = report.stats
     rows = [
         ("requests", report.num_requests),
-        ("worker threads", report.num_threads),
+        ("replay mode", report.mode),
+        concurrency_row,
         ("engine micro-batches", stats.micro_batches),
         ("mean batch size", f"{stats.mean_batch_size:.2f}"),
         ("coalesced queries", stats.coalesced_queries),

@@ -1,11 +1,17 @@
-"""Serving layer: thread-safe concurrent query serving over G-TADOC.
+"""Serving layer: concurrent query serving over G-TADOC.
 
-:class:`AnalyticsService` fronts the unified query API for concurrent
-traffic: a bounded LRU of device sessions (keyed by corpus fingerprint
-plus engine config), coalescing of compatible in-flight queries into
-``run_batch`` micro-batches, and a ``Query``-keyed result cache with
-fingerprint invalidation.  The service is also registered as the
-``"serve"`` backend, so ``open_backend("serve", corpus)`` returns one.
+Two front ends share one implementation core
+(:class:`~repro.serve.service.ServingCore` — session LRU keyed by
+corpus fingerprint plus engine config, coalescing of compatible
+in-flight queries into ``run_batch`` micro-batches, a ``Query``-keyed
+result cache with byte/TTL bounds, and epoch-guarded fingerprint
+invalidation):
+
+* :class:`AnalyticsService` — thread-based, blocking ``submit`` (the
+  ``"serve"`` backend);
+* :class:`AsyncAnalyticsService` — asyncio, ``await submit`` with
+  event-driven coalescing windows and a bounded executor for engine
+  work (the ``"serve_async"`` backend, via :class:`AsyncServeBackend`).
 
 Quick start::
 
@@ -14,24 +20,45 @@ Quick start::
     service = AnalyticsService(compressed)
     outcome = service.submit(Query(task="word_count", top_k=10))
     print(service.stats().launches_per_query)
+
+or, on an event loop::
+
+    from repro.serve import AsyncAnalyticsService
+
+    service = AsyncAnalyticsService(compressed)
+    outcome = await service.submit(Query(task="word_count", top_k=10))
 """
 
-from repro.serve.caches import CacheStats, LRUCache
-from repro.serve.coalescer import CoalescedRequest, QueryCoalescer
-from repro.serve.replay import ReplayReport, replay_trace
-from repro.serve.service import AnalyticsService, ServiceConfig, ServiceStats
+from repro.serve.aio import (
+    AsyncAnalyticsService,
+    AsyncCoalescedRequest,
+    AsyncQueryCoalescer,
+    AsyncServeBackend,
+)
+from repro.serve.caches import CacheStats, LRUCache, approx_size_bytes
+from repro.serve.coalescer import BatchSlot, CoalescedRequest, QueryCoalescer
+from repro.serve.replay import ReplayReport, replay_trace, replay_trace_async
+from repro.serve.service import AnalyticsService, ServiceConfig, ServiceStats, ServingCore
 from repro.serve.trace import TraceConfig, synthesize_trace
 
 __all__ = [
     "AnalyticsService",
+    "AsyncAnalyticsService",
+    "AsyncServeBackend",
+    "ServingCore",
     "ServiceConfig",
     "ServiceStats",
     "CacheStats",
     "LRUCache",
+    "approx_size_bytes",
     "QueryCoalescer",
+    "AsyncQueryCoalescer",
+    "BatchSlot",
     "CoalescedRequest",
+    "AsyncCoalescedRequest",
     "TraceConfig",
     "synthesize_trace",
     "ReplayReport",
     "replay_trace",
+    "replay_trace_async",
 ]

@@ -7,19 +7,53 @@ combinations stay resident) and a larger LRU of query results.  Both
 need the same machinery — bounded capacity, recency ordering, hit/miss/
 eviction/invalidation counters, safe concurrent access — which lives
 here.
+
+Beyond the entry-count bound, a cache may carry
+
+* a **byte budget** (``max_weight_bytes``): every entry is inserted with
+  a weight (the result cache weighs entries by approximate result size,
+  see :func:`approx_size_bytes`) and the least recently used entries are
+  evicted until the total weight fits the budget.  An entry heavier than
+  the whole budget is never retained.
+* a **TTL** (``ttl`` seconds): entries older than the TTL are dropped on
+  access (counted as *expirations*, separate from capacity evictions),
+  so republished corpora stop serving stale results even when nobody
+  calls ``invalidate``.
+
+Both knobs surface in :class:`CacheStats` (``weight_bytes``,
+``weight_capacity``, ``expirations``, ``ttl``).
 """
 
 from __future__ import annotations
 
+import sys
 import threading
+import time
 from collections import OrderedDict
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, Callable, List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
-__all__ = ["CacheStats", "LRUCache"]
+__all__ = ["CacheStats", "LRUCache", "approx_size_bytes"]
 
-#: Sentinel distinguishing "not cached" from a cached ``None``.
-_MISSING = object()
+
+def approx_size_bytes(value: Any) -> int:
+    """Approximate deep in-memory size of a (result-shaped) object.
+
+    Walks mappings and sequences of scalars — the shapes task results
+    take — summing ``sys.getsizeof``.  Shared references are counted
+    each time they appear and cycles are not supported (results are
+    plain data): this is a cache-weighing heuristic, not an exact
+    measurement.
+    """
+    size = sys.getsizeof(value)
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            size += approx_size_bytes(key) + approx_size_bytes(item)
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            size += approx_size_bytes(item)
+    return size
 
 
 @dataclass(frozen=True)
@@ -32,6 +66,14 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Entries dropped because they outlived the cache's TTL.
+    expirations: int = 0
+    #: Sum of resident entry weights (equals ``size`` for unweighted caches).
+    weight_bytes: int = 0
+    #: The byte budget (``None`` = entry-count bound only).
+    weight_capacity: Optional[int] = None
+    #: Seconds an entry stays servable (``None`` = no TTL).
+    ttl: Optional[float] = None
 
     @property
     def lookups(self) -> int:
@@ -44,76 +86,194 @@ class CacheStats:
         return self.hits / lookups if lookups else 0.0
 
 
+class _Entry:
+    """One cached value plus its weight and insertion stamp."""
+
+    __slots__ = ("value", "weight", "stamp")
+
+    def __init__(self, value: Any, weight: int, stamp: float) -> None:
+        self.value = value
+        self.weight = weight
+        self.stamp = stamp
+
+
 class LRUCache:
     """A bounded, thread-safe LRU mapping with hit/miss/eviction counters.
 
     ``get`` and ``get_or_create`` count hits and misses; inserting past
-    ``capacity`` evicts the least recently used entry (counted as an
-    eviction); ``remove_where`` drops matching entries (counted as
-    invalidations).  All operations hold one internal lock, so the cache
-    may be shared freely between worker threads.
+    ``capacity`` (or past the optional ``max_weight_bytes`` budget)
+    evicts least recently used entries (counted as evictions);
+    ``remove_where`` drops matching entries (counted as invalidations);
+    entries older than the optional ``ttl`` are collected lazily on
+    access (counted as expirations).  All operations hold one internal
+    lock, so the cache may be shared freely between worker threads.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        max_weight_bytes: Optional[int] = None,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
+        if max_weight_bytes is not None and max_weight_bytes < 1:
+            raise ValueError("byte budget must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive")
         self.capacity = int(capacity)
-        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._max_weight_bytes = max_weight_bytes
+        self._ttl = ttl
+        self._clock = clock
+        self._entries: "OrderedDict[Any, _Entry]" = OrderedDict()
+        self._weight = 0
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._expirations = 0
 
     # -- lookups -----------------------------------------------------------------------
     def get(self, key: Any, default: Any = None) -> Any:
-        """The cached value (marking it most recent), or ``default`` on a miss."""
+        """The cached value (marking it most recent), or ``default`` on a miss.
+
+        An entry past its TTL counts as an expiration plus a miss.
+        """
         with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                self._drop(key, entry)
+                self._expirations += 1
+                entry = None
+            if entry is None:
                 self._misses += 1
                 return default
             self._entries.move_to_end(key)
             self._hits += 1
-            return value
+            return entry.value
 
     def get_or_create(self, key: Any, factory: Callable[[], Any]) -> Tuple[Any, bool]:
         """The cached value for ``key``, building it on a miss.
 
         Returns ``(value, created)``.  The factory runs under the cache
         lock, so concurrent callers never build the same entry twice.
+        Created entries carry unit weight (the session cache is bounded
+        by entry count only).
         """
         with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is not _MISSING:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                self._drop(key, entry)
+                self._expirations += 1
+                entry = None
+            if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return value, False
+                return entry.value, False
             self._misses += 1
             value = factory()
-            self._entries[key] = value
+            self._entries[key] = _Entry(value, 1, self._clock())
+            self._weight += 1
             self._evict_overflow()
             return value, True
 
-    def put(self, key: Any, value: Any) -> None:
+    def put(self, key: Any, value: Any, weight: int = 1) -> None:
         """Insert (or refresh) an entry without touching hit/miss counters."""
+        self.put_if(key, value, weight=weight)
+
+    def put_if(
+        self,
+        key: Any,
+        value: Any,
+        guard: Optional[Callable[[], bool]] = None,
+        weight: int = 1,
+    ) -> bool:
+        """Insert unless ``guard`` (evaluated under the cache lock) refuses.
+
+        The guard runs inside the same critical section as the insert,
+        so relative to a concurrent ``remove_where`` there is no window
+        for a stale write-back: either the insert lands first and the
+        remover sees it, or the guard sees whatever state the remover's
+        caller published before removing.  Returns whether the value was
+        inserted.  An entry heavier than the whole byte budget is
+        rejected up front — it could never be retained, and evicting
+        residents to make room for it would only flush the cache.
+
+        Expired entries are *not* swept here (that would put an
+        O(capacity) scan on every write): they are collected lazily on
+        access and by :meth:`stats`, and the LRU-first overflow eviction
+        reclaims the oldest — most likely expired — entries anyway.
+        """
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
+            if guard is not None and not guard():
+                return False
+            if self._max_weight_bytes is not None and weight > self._max_weight_bytes:
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._weight -= old.weight
+            self._entries[key] = _Entry(value, max(0, int(weight)), self._clock())
+            self._weight += max(0, int(weight))
             self._evict_overflow()
+            return True
+
+    # -- bounds ------------------------------------------------------------------------
+    def _expired(self, entry: _Entry) -> bool:
+        return self._ttl is not None and (self._clock() - entry.stamp) > self._ttl
+
+    def _drop(self, key: Any, entry: _Entry) -> None:
+        del self._entries[key]
+        self._weight -= entry.weight
+
+    def _prune_expired(self) -> None:
+        if self._ttl is None:
+            return
+        doomed = [(key, entry) for key, entry in self._entries.items() if self._expired(entry)]
+        for key, entry in doomed:
+            self._drop(key, entry)
+            self._expirations += 1
 
     def _evict_overflow(self) -> None:
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _key, entry = self._entries.popitem(last=False)
+            self._weight -= entry.weight
+            self._evictions += 1
+        if self._max_weight_bytes is None:
+            return
+        while self._weight > self._max_weight_bytes and self._entries:
+            _key, entry = self._entries.popitem(last=False)
+            self._weight -= entry.weight
             self._evictions += 1
 
     # -- invalidation ------------------------------------------------------------------
+    def discard(self, key: Any, when: Optional[Callable[[Any], bool]] = None) -> bool:
+        """Remove ``key``'s entry, optionally only when its *value* matches.
+
+        ``when`` is evaluated under the cache lock, so callers can make
+        identity-precise removals ("drop this entry only if it is still
+        the object I saw") without racing concurrent replacements.
+        Returns whether an entry was removed (counted as an
+        invalidation).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            if when is not None and not when(entry.value):
+                return False
+            self._drop(key, entry)
+            self._invalidations += 1
+            return True
+
     def remove_where(self, predicate: Callable[[Any], bool]) -> int:
         """Drop every entry whose *key* matches; returns how many were dropped."""
         with self._lock:
             doomed = [key for key in self._entries if predicate(key)]
             for key in doomed:
-                del self._entries[key]
+                self._drop(key, self._entries[key])
             self._invalidations += len(doomed)
             return len(doomed)
 
@@ -122,6 +282,14 @@ class LRUCache:
         return self.remove_where(lambda key: True)
 
     # -- introspection ------------------------------------------------------------------
+    def __contains__(self, key: Any) -> bool:
+        """Whether a live (non-expired) entry exists, without touching any
+        counter or the recency order — a pure peek for callers deciding
+        whether a write-back is still needed."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -132,7 +300,9 @@ class LRUCache:
             return list(self._entries)
 
     def stats(self) -> CacheStats:
+        """Current counters (expired entries are collected first)."""
         with self._lock:
+            self._prune_expired()
             return CacheStats(
                 capacity=self.capacity,
                 size=len(self._entries),
@@ -140,4 +310,8 @@ class LRUCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 invalidations=self._invalidations,
+                expirations=self._expirations,
+                weight_bytes=self._weight,
+                weight_capacity=self._max_weight_bytes,
+                ttl=self._ttl,
             )

@@ -4,80 +4,157 @@ Concurrent queries that can execute against the same device-session
 state (same corpus, engine config, sequence length, file subset and
 traversal override) should not each pay a separate engine round trip:
 one ``run_batch`` serves them all, charging shared initialization and
-traversal-state construction once.  The coalescer implements the
+traversal-state construction once.  This module implements the
 batching discipline:
 
 * the first request for a compatibility group becomes the *leader*;
 * the leader waits one short coalescing window so concurrent followers
   can pile onto the group, then takes up to ``max_batch`` pending
   requests and executes them as one micro-batch;
-* followers block on their request's event and wake with the outcome
-  (or the batch's error) filled in;
+* followers block on their request's completion signal and wake with
+  the outcome (or the batch's error) filled in;
 * each leader executes exactly one micro-batch.  If more requests
   queued while it executed, leadership is handed to the head of the
-  queue (its thread wakes and drains the next batch immediately, no
-  second window), so a leader's latency is bounded by its own batch
-  and the group is empty when the last leader retires — at which point
-  the group record is dropped.
+  queue (it drains the next batch immediately, no second window), so a
+  leader's latency is bounded by its own batch and the group is empty
+  when the last leader retires — at which point the group record is
+  dropped.
 
-The coalescer knows nothing about engines or queries beyond the opaque
-group key — the serving layer supplies the execution function.
+The group/leader bookkeeping itself (:class:`CoalescerCore`) carries no
+synchronization, so the same discipline backs two front ends: the
+threaded :class:`QueryCoalescer` here (lock + condition, blocking
+waits) and the event-driven
+:class:`~repro.serve.aio.AsyncQueryCoalescer` (single-threaded event
+loop, ``asyncio`` futures).  Neither knows anything about engines or
+queries beyond the opaque group key — the serving layer supplies the
+execution function.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.api.query import Query
 
-__all__ = ["CoalescedRequest", "QueryCoalescer"]
+__all__ = ["BatchSlot", "CoalescedRequest", "CoalescerCore", "GroupState", "QueryCoalescer"]
 
 
-class CoalescedRequest:
-    """One in-flight query: the slot a micro-batch writes its outcome into."""
+class BatchSlot:
+    """One query's slot in a micro-batch: the executor writes the outcome here."""
 
-    __slots__ = ("query", "event", "outcome", "error", "batch_size", "promoted")
+    __slots__ = ("query", "outcome", "error", "batch_size")
 
     def __init__(self, query: Query) -> None:
         self.query = query
-        self.event = threading.Event()
         self.outcome: Any = None
         self.error: Optional[BaseException] = None
         #: Size of the micro-batch that served this request (1 = alone).
         self.batch_size: int = 0
+
+
+class CoalescedRequest(BatchSlot):
+    """One in-flight query of the threaded coalescer (blocking wait)."""
+
+    __slots__ = ("event", "promoted")
+
+    def __init__(self, query: Query) -> None:
+        super().__init__(query)
+        self.event = threading.Event()
         #: Set when a retiring leader hands this request's thread the lead.
         self.promoted: bool = False
 
 
-#: Executes one micro-batch, filling each request's ``outcome``.
-ExecuteFn = Callable[[List[CoalescedRequest]], None]
+#: Executes one micro-batch, filling each slot's ``outcome``.
+ExecuteFn = Callable[[List[BatchSlot]], None]
 
 
-class _Group:
+class GroupState:
     """Pending requests of one compatibility group plus leader state."""
 
     __slots__ = ("pending", "leader_active")
 
     def __init__(self) -> None:
-        self.pending: List[CoalescedRequest] = []
+        self.pending: List[BatchSlot] = []
         self.leader_active = False
 
 
+class CoalescerCore:
+    """Group bookkeeping shared by the threaded and asyncio coalescers.
+
+    The core carries **no synchronization**: the caller provides mutual
+    exclusion around every method (a lock for threads, event-loop
+    single-threadedness for asyncio).  It owns the invariants both
+    front ends rely on — one active leader per group, batches sliced
+    off the queue head, leadership handed to the queue head on retire,
+    empty groups dropped.
+    """
+
+    __slots__ = ("max_batch", "groups", "_group_factory")
+
+    def __init__(self, max_batch: int, group_factory: Type[GroupState] = GroupState) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+        self.groups: Dict[Any, GroupState] = {}
+        self._group_factory = group_factory
+
+    def enqueue(self, group_key: Any, request: BatchSlot) -> Tuple[GroupState, bool]:
+        """Queue ``request``; returns ``(group, became_leader)``."""
+        group = self.groups.get(group_key)
+        if group is None:
+            group = self.groups[group_key] = self._group_factory()
+        group.pending.append(request)
+        became_leader = not group.leader_active
+        if became_leader:
+            group.leader_active = True
+        return group, became_leader
+
+    def take_batch(self, group: GroupState) -> List[BatchSlot]:
+        """Slice the next micro-batch off the group's queue head."""
+        batch = group.pending[: self.max_batch]
+        del group.pending[: self.max_batch]
+        for slot in batch:
+            slot.batch_size = len(batch)
+        return batch
+
+    def finish(self, group_key: Any, group: GroupState) -> Optional[BatchSlot]:
+        """Retire the current leader.
+
+        If requests queued meanwhile, the queue head is marked promoted
+        and returned so the caller can wake it into the lead; otherwise
+        the group is dropped and ``None`` returned.
+        """
+        if group.pending:
+            successor = group.pending[0]
+            successor.promoted = True  # type: ignore[attr-defined]
+            return successor
+        group.leader_active = False
+        if self.groups.get(group_key) is group:
+            del self.groups[group_key]
+        return None
+
+
 class QueryCoalescer:
-    """Groups compatible in-flight requests into micro-batches."""
+    """Thread-based front end: blocking submits, sleeping window."""
 
     def __init__(self, window: float = 0.002, max_batch: int = 16) -> None:
         if window < 0:
             raise ValueError("coalescing window must be non-negative")
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
         self.window = float(window)
-        self.max_batch = int(max_batch)
+        self._core = CoalescerCore(max_batch)
         self._lock = threading.Lock()
         self._arrival = threading.Condition(self._lock)
-        self._groups: Dict[Any, _Group] = {}
+
+    @property
+    def max_batch(self) -> int:
+        return self._core.max_batch
+
+    @property
+    def _groups(self) -> Dict[Any, GroupState]:
+        """The live group records (exposed for tests/diagnostics)."""
+        return self._core.groups
 
     def submit(self, group_key: Any, request: CoalescedRequest, execute: ExecuteFn) -> None:
         """Run ``request`` through its group's micro-batching, blocking until done.
@@ -86,12 +163,8 @@ class QueryCoalescer:
         ``request.outcome`` is filled in on return.
         """
         with self._lock:
-            group = self._groups.setdefault(group_key, _Group())
-            group.pending.append(request)
-            became_leader = not group.leader_active
-            if became_leader:
-                group.leader_active = True
-            else:
+            group, became_leader = self._core.enqueue(group_key, request)
+            if not became_leader:
                 self._arrival.notify_all()
         if became_leader:
             self._lead_one_batch(group_key, group, execute, hold_window=True)
@@ -105,19 +178,16 @@ class QueryCoalescer:
             raise request.error
 
     def _lead_one_batch(
-        self, group_key: Any, group: _Group, execute: ExecuteFn, hold_window: bool
+        self, group_key: Any, group: GroupState, execute: ExecuteFn, hold_window: bool
     ) -> None:
         """Execute one micro-batch, then hand off leadership or retire."""
         if hold_window:
             self._wait_for_followers(group)
         with self._lock:
-            batch = group.pending[: self.max_batch]
-            del group.pending[: self.max_batch]
+            batch = self._core.take_batch(group)
             if not batch:  # pragma: no cover - a leader's own request is pending
-                self._retire(group_key, group)
+                self._core.finish(group_key, group)
                 return
-        for queued in batch:
-            queued.batch_size = len(batch)
         try:
             execute(batch)
         except BaseException as error:  # propagate to every waiter
@@ -125,28 +195,19 @@ class QueryCoalescer:
                 queued.error = error
         finally:
             for queued in batch:
-                queued.event.set()
+                queued.event.set()  # type: ignore[attr-defined]
             with self._lock:
-                if group.pending:
-                    successor = group.pending[0]
-                    successor.promoted = True
-                    successor.event.set()
-                else:
-                    self._retire(group_key, group)
+                successor = self._core.finish(group_key, group)
+                if successor is not None:
+                    successor.event.set()  # type: ignore[attr-defined]
 
-    def _retire(self, group_key: Any, group: _Group) -> None:
-        """Release leadership and drop the empty group (held lock required)."""
-        group.leader_active = False
-        if self._groups.get(group_key) is group:
-            del self._groups[group_key]
-
-    def _wait_for_followers(self, group: _Group) -> None:
+    def _wait_for_followers(self, group: GroupState) -> None:
         """Hold the coalescing window open (cut short once the batch is full)."""
         if self.window <= 0:
             return
         deadline = time.monotonic() + self.window
         with self._arrival:
-            while len(group.pending) < self.max_batch:
+            while len(group.pending) < self._core.max_batch:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break

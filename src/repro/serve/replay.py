@@ -1,19 +1,27 @@
 """Replay a request trace through the serving layer and measure it.
 
-One helper serves the CLI (``gtadoc serve-bench``), the serving
-benchmark and the serving example: replay a trace with N worker
-threads against an :class:`~repro.serve.service.AnalyticsService`,
-optionally replay the same trace serially with per-query
+One pair of helpers serves the CLI (``gtadoc serve-bench``), the
+serving benchmarks and the serving examples:
+
+* :func:`replay_trace` replays a trace with N worker threads against a
+  thread-based :class:`~repro.serve.service.AnalyticsService`;
+* :func:`replay_trace_async` replays the same kind of trace through an
+  :class:`~repro.serve.aio.AsyncAnalyticsService` on one event loop,
+  with a bounded number of requests in flight.
+
+Both optionally replay the trace serially with per-query
 :meth:`GTadoc.run` semantics (a fresh session per query — the paper's
-full per-query cost), and report launches-per-query plus cache/coalescing
-statistics side by side.
+full per-query cost), check the served results for bit-identity against
+it, and report launches-per-query plus cache/coalescing statistics side
+by side in one :class:`ReplayReport`.
 """
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api.backends import GTadocBackend
 from repro.api.outcome import RunOutcome
@@ -22,7 +30,7 @@ from repro.compression.compressor import CompressedCorpus
 from repro.core.session import GTadocConfig
 from repro.serve.service import AnalyticsService, ServiceConfig, ServiceStats
 
-__all__ = ["ReplayReport", "replay_trace"]
+__all__ = ["ReplayReport", "replay_trace", "replay_trace_async"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +38,7 @@ class ReplayReport:
     """Serving replay vs. serial per-query execution, side by side."""
 
     num_requests: int
+    #: Worker threads (threaded replay) or max in-flight requests (async).
     num_threads: int
     #: Outcomes in trace order, as served by the service.
     outcomes: List[RunOutcome]
@@ -40,6 +49,8 @@ class ReplayReport:
     serial_launches: Optional[int] = None
     #: Whether every served result equalled its serial counterpart.
     results_match: Optional[bool] = None
+    #: How the trace was driven: ``"threads"`` or ``"asyncio"``.
+    mode: str = "threads"
 
     @property
     def served_launches_per_query(self) -> float:
@@ -57,6 +68,24 @@ class ReplayReport:
         if self.serial_launches is None or self.serial_launches == 0:
             return None
         return 1.0 - self.stats.kernel_launches / self.serial_launches
+
+
+def _serial_comparison(
+    compressed: CompressedCorpus,
+    trace: Sequence[Query],
+    engine_config: Optional[GTadocConfig],
+    outcomes: Sequence[RunOutcome],
+) -> Tuple[int, bool]:
+    """Replay serially (fresh session per query) and check bit-identity."""
+    serial = GTadocBackend(compressed, config=engine_config, amortize=False)
+    launches = 0
+    match = True
+    for index, query in enumerate(trace):
+        reference = serial.run(query)
+        launches += reference.kernel_launches
+        if outcomes[index].result != reference.result:
+            match = False
+    return launches, match
 
 
 def replay_trace(
@@ -108,14 +137,9 @@ def replay_trace(
     serial_launches: Optional[int] = None
     results_match: Optional[bool] = None
     if serial_baseline:
-        serial = GTadocBackend(compressed, config=engine_config, amortize=False)
-        serial_launches = 0
-        results_match = True
-        for index, query in enumerate(trace):
-            reference = serial.run(query)
-            serial_launches += reference.kernel_launches
-            if outcomes[index].result != reference.result:
-                results_match = False
+        serial_launches, results_match = _serial_comparison(
+            compressed, trace, engine_config, outcomes
+        )
 
     return ReplayReport(
         num_requests=len(trace),
@@ -124,4 +148,68 @@ def replay_trace(
         stats=service.stats(),
         serial_launches=serial_launches,
         results_match=results_match,
+        mode="threads",
+    )
+
+
+def replay_trace_async(
+    compressed: CompressedCorpus,
+    trace: Sequence[Query],
+    *,
+    concurrency: int = 64,
+    engine_config: Optional[GTadocConfig] = None,
+    service_config: Optional[ServiceConfig] = None,
+    serial_baseline: bool = True,
+    max_workers: int = 4,
+) -> ReplayReport:
+    """Replay ``trace`` through a fresh asyncio service on one event loop.
+
+    Up to ``concurrency`` requests are in flight at once (far more than
+    a thread pool of the same size could hold), so compatible queries
+    pile onto the event-driven coalescing windows and micro-batches run
+    close to full.  With ``serial_baseline`` the serial per-query
+    comparison replay runs afterwards, exactly as in
+    :func:`replay_trace`.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    from repro.serve.aio import AsyncAnalyticsService
+
+    service = AsyncAnalyticsService(
+        compressed,
+        engine_config=engine_config,
+        service_config=service_config,
+        max_workers=max_workers,
+    )
+
+    async def replay() -> List[RunOutcome]:
+        gate = asyncio.Semaphore(concurrency)
+
+        async def serve(index: int) -> RunOutcome:
+            async with gate:
+                return await service.submit(trace[index])
+
+        return list(await asyncio.gather(*(serve(index) for index in range(len(trace)))))
+
+    try:
+        outcomes = asyncio.run(replay())
+        stats = service.stats()
+    finally:
+        service.close()
+
+    serial_launches: Optional[int] = None
+    results_match: Optional[bool] = None
+    if serial_baseline:
+        serial_launches, results_match = _serial_comparison(
+            compressed, trace, engine_config, outcomes
+        )
+
+    return ReplayReport(
+        num_requests=len(trace),
+        num_threads=concurrency,
+        outcomes=outcomes,
+        stats=stats,
+        serial_launches=serial_launches,
+        results_match=results_match,
+        mode="asyncio",
     )

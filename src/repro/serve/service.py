@@ -1,10 +1,12 @@
-"""The thread-safe serving layer: one service, many concurrent queries.
+"""The serving layer's implementation core and its threaded front end.
 
 TADOC compressed structures are built once and meant to serve many
 queries, and G-TADOC's Figure-3 split exists precisely so the
-initialization phase can be amortized across requests.
-:class:`AnalyticsService` is the subsystem that realises that shape for
-concurrent traffic:
+initialization phase can be amortized across requests.  Two front ends
+realise that shape for concurrent traffic — the thread-based
+:class:`AnalyticsService` here and the asyncio
+:class:`~repro.serve.aio.AsyncAnalyticsService` — and both are thin
+shells over one :class:`ServingCore`:
 
 * a bounded LRU of :class:`~repro.core.session.DeviceSession` entries,
   keyed by corpus :meth:`~repro.compression.compressor.CompressedCorpus.fingerprint`
@@ -16,16 +18,22 @@ concurrent traffic:
   grouped into one ``run_batch`` micro-batch, charging initialization
   and shared traversal-state construction once for the whole group;
 * a :class:`~repro.api.query.Query`-keyed result cache in front of the
-  engines, with hit/miss/eviction statistics and explicit
-  fingerprint-based invalidation for corpora that change;
+  engines — entry-count bounded, optionally byte-budgeted and
+  TTL-bounded (:class:`ServiceConfig`), with hit/miss/eviction/
+  expiration statistics and explicit fingerprint-based invalidation;
+* a per-fingerprint **epoch**: :meth:`ServingCore.invalidate` bumps the
+  fingerprint's epoch before dropping entries, and every cache
+  write-back is guarded on the epoch its query observed — an in-flight
+  query that raced an invalidation can never resurrect a stale entry in
+  the result cache or the session LRU;
 * per-session locking underneath (see
-  :attr:`~repro.core.session.DeviceSession.lock`), so the service's
-  worker threads produce results bit-identical to serial execution.
+  :attr:`~repro.core.session.DeviceSession.lock`), so worker threads
+  produce results bit-identical to serial execution.
 
-The service itself satisfies the
-:class:`~repro.api.backend.AnalyticsBackend` protocol and is registered
-as the ``"serve"`` backend, so it fronts the same registry every other
-engine sits behind.
+Both services satisfy the
+:class:`~repro.api.backend.AnalyticsBackend` protocol and are
+registered as the ``"serve"`` and ``"serve_async"`` backends, so they
+front the same registry every other engine sits behind.
 """
 
 from __future__ import annotations
@@ -44,10 +52,10 @@ from repro.compression.compressor import CompressedCorpus
 from repro.core.engine import GTadoc
 from repro.core.session import GTadocConfig
 from repro.data.corpus import Corpus
-from repro.serve.caches import CacheStats, LRUCache
-from repro.serve.coalescer import CoalescedRequest, QueryCoalescer
+from repro.serve.caches import CacheStats, LRUCache, approx_size_bytes
+from repro.serve.coalescer import BatchSlot, CoalescedRequest, QueryCoalescer
 
-__all__ = ["ServiceConfig", "ServiceStats", "AnalyticsService"]
+__all__ = ["ServiceConfig", "ServiceStats", "ServingCore", "AnalyticsService"]
 
 
 @dataclass(frozen=True)
@@ -56,7 +64,7 @@ class ServiceConfig:
 
     #: Bound on resident device sessions (distinct corpus/config pairs).
     max_sessions: int = 4
-    #: Bound on cached query results.
+    #: Bound on cached query results (entry count).
     result_cache_capacity: int = 1024
     #: Serve repeated identical queries from the result cache.
     cache_results: bool = True
@@ -68,6 +76,12 @@ class ServiceConfig:
     max_batch_size: int = 16
     #: Bound on memoized raw-corpus compressions (oldest dropped first).
     corpus_memo_capacity: int = 32
+    #: Byte budget on the result cache: entries are weighed by
+    #: approximate result size and evicted LRU-first past the budget
+    #: (``None`` = entry-count bound only).
+    result_cache_bytes: Optional[int] = None
+    #: Seconds a cached result stays servable (``None`` = no TTL).
+    result_cache_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -80,6 +94,10 @@ class ServiceConfig:
             raise ValueError("max_batch_size must be >= 1")
         if self.corpus_memo_capacity < 1:
             raise ValueError("corpus_memo_capacity must be >= 1")
+        if self.result_cache_bytes is not None and self.result_cache_bytes < 1:
+            raise ValueError("result_cache_bytes must be >= 1")
+        if self.result_cache_ttl is not None and self.result_cache_ttl <= 0:
+            raise ValueError("result_cache_ttl must be positive")
 
 
 @dataclass(frozen=True)
@@ -113,11 +131,17 @@ class ServiceStats:
 
 @dataclass
 class _SessionEntry:
-    """One resident corpus/config pair: compressed form + its engine."""
+    """One resident corpus/config pair: compressed form + its engine.
+
+    ``epoch`` records the fingerprint generation the entry was created
+    under; entries from a generation that has since been invalidated
+    are not allowed to stay resident (see :meth:`ServingCore._entry_for`).
+    """
 
     key: Tuple[str, GTadocConfig]
     compressed: CompressedCorpus
     engine: GTadoc
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,17 +164,41 @@ class _CachedResult:
         return copy.deepcopy(self.result)
 
 
-class AnalyticsService:
-    """Thread-safe serving front end over the G-TADOC engine.
+@dataclass
+class _PreparedQuery:
+    """The resolved front half of one submit: target, keys, epoch, cache probe."""
 
-    ``submit`` may be called concurrently from any number of worker
-    threads; results are bit-identical to serial per-query execution.
-    The service satisfies the :class:`~repro.api.backend.AnalyticsBackend`
-    protocol (``run``/``run_batch``/``capabilities``) and is registered
-    as the ``"serve"`` backend.
+    query: Query
+    compressed: CompressedCorpus
+    config: GTadocConfig
+    session_key: Tuple[str, GTadocConfig]
+    cache_key: Tuple[Tuple[str, GTadocConfig], Query]
+    epoch: int
+    cached: Optional[_CachedResult]
+
+    @property
+    def fingerprint(self) -> str:
+        return self.session_key[0]
+
+
+class ServingCore:
+    """Shared implementation of the sync and async serving front ends.
+
+    Owns everything that is not a waiting strategy: target resolution,
+    the session LRU, the result cache, per-fingerprint epochs, stats
+    accounting, micro-batch execution and outcome assembly.  The front
+    ends differ only in how a submit waits for its micro-batch — a
+    blocking leader/follower protocol (:class:`AnalyticsService`) or an
+    event-driven asyncio one
+    (:class:`~repro.serve.aio.AsyncAnalyticsService`).
+
+    All core state is thread-safe: the async front end dispatches
+    engine work to executor threads, so the shared pieces are locked
+    exactly as for the threaded service.
     """
 
     name = "serve"
+    description = "Thread-safe serving layer: session LRU, coalescing, result cache"
 
     def __init__(
         self,
@@ -162,9 +210,10 @@ class AnalyticsService:
         self.config = service_config or ServiceConfig()
         self._engine_config = engine_config or GTadocConfig()
         self._sessions = LRUCache(self.config.max_sessions)
-        self._results = LRUCache(self.config.result_cache_capacity)
-        self._coalescer = QueryCoalescer(
-            window=self.config.coalesce_window, max_batch=self.config.max_batch_size
+        self._results = LRUCache(
+            self.config.result_cache_capacity,
+            max_weight_bytes=self.config.result_cache_bytes,
+            ttl=self.config.result_cache_ttl,
         )
         self._stats_lock = threading.Lock()
         self._queries = 0
@@ -173,6 +222,11 @@ class AnalyticsService:
         self._coalesced_queries = 0
         self._kernel_launches = 0
         self._shared_kernel_launches = 0
+        # Fingerprint generations: bumped by invalidate() *before* entries
+        # are dropped, so in-flight write-backs guarded on an older epoch
+        # can never resurrect an invalidated entry.
+        self._epoch_lock = threading.Lock()
+        self._epochs: Dict[str, int] = {}
         # Raw corpora are compressed once and memoized per object (bounded;
         # oldest entries dropped first), so a caller may keep handing the
         # same Corpus to every submit without re-compressing.
@@ -182,63 +236,11 @@ class AnalyticsService:
             self._resolve_source(source) if source is not None else None
         )
 
-    # -- the query path ----------------------------------------------------------------
-    def submit(
-        self,
-        query: Union[Query, Task, str],
-        *,
-        source: Optional[CorpusSource] = None,
-        engine_config: Optional[GTadocConfig] = None,
-    ) -> RunOutcome:
-        """Answer one query, coalescing with compatible concurrent queries.
-
-        ``source`` picks the corpus (the service's default when omitted);
-        ``engine_config`` overrides the service's engine configuration
-        for this query's session.  Thread-safe.
-        """
-        query = as_query(query)
-        compressed, config = self._resolve_target(source, engine_config)
-        session_key = (compressed.fingerprint(), config)
-        # Unknown file names must fail the offending caller before it is
-        # counted as served (and, later, before it can poison a whole
-        # micro-batch).
-        _file_indices_for(compressed.file_names, query.files)
-        with self._stats_lock:
-            self._queries += 1
-
-        cache_key = (session_key, query)
-        if self.config.cache_results:
-            cached = self._results.get(cache_key)
-            if cached is not None:
-                # A pure hit neither builds nor touches a session entry.
-                return self._hit_outcome(query, cached)
-
-        entry = self._entry_for(session_key, compressed, config)
-        request = CoalescedRequest(query)
-        group_key = (entry.key, query.sequence_length, query.files, query.traversal)
-        self._coalescer.submit(
-            group_key, request, lambda batch: self._execute_batch(entry, batch)
-        )
-        outcome = request.outcome
-        if self.config.cache_results:
-            self._results.put(
-                cache_key,
-                _CachedResult.of(outcome.result, outcome.details.get("strategy")),
-            )
-        return outcome
-
-    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
-        """:class:`AnalyticsBackend` alias for :meth:`submit`."""
-        return self.submit(query)
-
-    def run_batch(self, queries: Iterable[Union[Query, Task, str]]) -> List[RunOutcome]:
-        """Serve queries in order (concurrency comes from caller threads)."""
-        return [self.submit(query) for query in queries]
-
+    # -- the protocol surface ----------------------------------------------------------
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
             name=self.name,
-            description="Thread-safe serving layer: session LRU, coalescing, result cache",
+            description=self.description,
             device="gpu",
             compressed_domain=True,
             native_sequence_length=True,
@@ -253,10 +255,14 @@ class AnalyticsService:
 
         Call this when a corpus's content changes under a reused name:
         the stale fingerprint's entries are removed so no query can be
-        answered from outdated device state or results.  Returns the
-        number of entries dropped.
+        answered from outdated device state or results.  The
+        fingerprint's epoch is bumped first, so queries already in
+        flight cannot write their (pre-invalidation) results back
+        afterwards.  Returns the number of entries dropped.
         """
         fingerprint = self._resolve_source(source).fingerprint()
+        with self._epoch_lock:
+            self._epochs[fingerprint] = self._epochs.get(fingerprint, 0) + 1
         with self._corpus_lock:
             self._compressed_by_corpus = {
                 key: value
@@ -265,7 +271,15 @@ class AnalyticsService:
             }
         dropped = self._sessions.remove_where(lambda key: key[0] == fingerprint)
         dropped += self._results.remove_where(lambda key: key[0][0] == fingerprint)
+        self._close_windows_for(fingerprint)
         return dropped
+
+    def _close_windows_for(self, fingerprint: str) -> None:
+        """Invalidation hook: close open coalescing windows for the corpus.
+
+        The threaded coalescer's windows simply elapse; the asyncio
+        front end overrides this to wake waiting leaders immediately.
+        """
 
     def stats(self) -> ServiceStats:
         with self._stats_lock:
@@ -284,6 +298,94 @@ class AnalyticsService:
     def resident_sessions(self) -> int:
         """Device sessions currently held by the LRU."""
         return len(self._sessions)
+
+    # -- the shared query path ---------------------------------------------------------
+    def _prepare(
+        self,
+        query: Union[Query, Task, str],
+        source: Optional[CorpusSource],
+        engine_config: Optional[GTadocConfig],
+    ) -> _PreparedQuery:
+        """Resolve one query's target, validate it, count it, probe the cache."""
+        query = as_query(query)
+        compressed, config = self._resolve_target(source, engine_config)
+        session_key = (compressed.fingerprint(), config)
+        # Unknown file names must fail the offending caller before it is
+        # counted as served (and, later, before it can poison a whole
+        # micro-batch).
+        _file_indices_for(compressed.file_names, query.files)
+        with self._stats_lock:
+            self._queries += 1
+        cache_key = (session_key, query)
+        cached = self._results.get(cache_key) if self.config.cache_results else None
+        return _PreparedQuery(
+            query=query,
+            compressed=compressed,
+            config=config,
+            session_key=session_key,
+            cache_key=cache_key,
+            epoch=self._epoch_of(session_key[0]),
+            cached=cached,
+        )
+
+    def _epoch_of(self, fingerprint: str) -> int:
+        with self._epoch_lock:
+            return self._epochs.get(fingerprint, 0)
+
+    def _store_result(self, prepared: _PreparedQuery, outcome: RunOutcome) -> bool:
+        """Write one executed outcome back to the result cache.
+
+        The write is guarded on the epoch the query observed before
+        executing — evaluated under the cache lock — so a result
+        computed before an :meth:`invalidate` can never be written back
+        after it (the resurrection race).
+        """
+        if not self.config.cache_results:
+            return False
+        if prepared.cache_key in self._results:
+            # A coalesced peer already stored this identical (deterministic)
+            # result; skip the redundant deep copy and weighing.  A resident
+            # entry is never stale here: invalidation removes entries before
+            # any same-key write-back can observe them.
+            return False
+        entry = _CachedResult.of(outcome.result, outcome.details.get("strategy"))
+        # Weighing walks the whole result; only pay for it when a byte
+        # budget actually consumes the weight.
+        weight = (
+            approx_size_bytes(entry.result)
+            if self.config.result_cache_bytes is not None
+            else 1
+        )
+        return self._results.put_if(
+            prepared.cache_key,
+            entry,
+            guard=lambda: self._epoch_of(prepared.fingerprint) == prepared.epoch,
+            weight=weight,
+        )
+
+    def _group_key(self, entry: _SessionEntry, query: Query):
+        """Coalescing compatibility: same session state + traversal knobs."""
+        return (entry.key, query.sequence_length, query.files, query.traversal)
+
+    def _entry_for(self, prepared: _PreparedQuery) -> _SessionEntry:
+        key = prepared.session_key
+        entry, _created = self._sessions.get_or_create(
+            key,
+            lambda: _SessionEntry(
+                key=key,
+                compressed=prepared.compressed,
+                engine=GTadoc(prepared.compressed, config=prepared.config),
+                epoch=prepared.epoch,
+            ),
+        )
+        if entry.epoch < self._epoch_of(key[0]):
+            # Created for a generation that has since been invalidated:
+            # serve this in-flight query from it (its content is the one
+            # the query addressed), but do not let it stay resident.  The
+            # removal is identity-precise so a fresh post-invalidation
+            # session that raced into the same slot is left alone.
+            self._sessions.discard(key, when=lambda resident: resident is entry)
+        return entry
 
     # -- internals ---------------------------------------------------------------------
     def _resolve_source(self, source: CorpusSource) -> CompressedCorpus:
@@ -315,26 +417,12 @@ class AnalyticsService:
             compressed = self._resolve_source(source)
         return compressed, engine_config or self._engine_config
 
-    def _entry_for(
-        self,
-        key: Tuple[str, GTadocConfig],
-        compressed: CompressedCorpus,
-        config: GTadocConfig,
-    ) -> _SessionEntry:
-        entry, _created = self._sessions.get_or_create(
-            key,
-            lambda: _SessionEntry(
-                key=key, compressed=compressed, engine=GTadoc(compressed, config=config)
-            ),
-        )
-        return entry
-
-    def _execute_batch(self, entry: _SessionEntry, batch: List[CoalescedRequest]) -> None:
+    def _execute_batch(self, entry: _SessionEntry, batch: List[BatchSlot]) -> None:
         """Run one micro-batch against the entry's session and fill outcomes."""
         lead = batch[0].query
         indices = _file_indices_for(entry.compressed.file_names, lead.files)
         result_batch = entry.engine.run_batch(
-            [request.query.task for request in batch],
+            [slot.query.task for slot in batch],
             traversal=lead.traversal,
             sequence_length=lead.sequence_length,
             file_indices=indices,
@@ -347,16 +435,16 @@ class AnalyticsService:
             self._kernel_launches += result_batch.total_kernel_launches
             self._shared_kernel_launches += result_batch.shared_kernel_launches
         shared = perf_from_records(result_batch.init_record, result_batch.shared_record)
-        for position, request in enumerate(batch):
-            run = result_batch[request.query.task]
+        for position, slot in enumerate(batch):
+            run = result_batch[slot.query.task]
             # Whichever query leads the batch carries the shared
             # construction cost, mirroring the amortized backend path.
             initialization = shared if position == 0 else PhasePerf()
-            request.outcome = RunOutcome(
-                query=request.query,
+            slot.outcome = RunOutcome(
+                query=slot.query,
                 backend=self.name,
-                task=request.query.task,
-                result=shape_result(request.query, run.result),
+                task=slot.query.task,
+                result=shape_result(slot.query, run.result),
                 perf=RunPerf(
                     initialization=initialization,
                     traversal=perf_from_records(run.traversal_record),
@@ -384,3 +472,135 @@ class AnalyticsService:
             raw=None,
             details=details,
         )
+
+    # -- direct batch grouping (single-caller run_batch) -------------------------------
+    def _plan_batch(
+        self,
+        queries: List[Union[Query, Task, str]],
+        source: Optional[CorpusSource],
+        engine_config: Optional[GTadocConfig],
+    ) -> Tuple[
+        List[_PreparedQuery],
+        List[Optional[RunOutcome]],
+        List[Tuple[_SessionEntry, List[int]]],
+    ]:
+        """Group a batch already in hand into micro-batches (no window needed).
+
+        Cache hits are answered in place; the remaining queries are
+        grouped by coalescing compatibility (first-seen group order,
+        original order within a group) and sliced into chunks of at most
+        ``max_batch_size``.  Same-task queries that differ only in
+        result shaping collapse inside the engine, so a grouped batch
+        launches strictly fewer kernels than the equivalent serial
+        submit loop whenever the batch repeats a task.
+        """
+        prepared = [self._prepare(query, source, engine_config) for query in queries]
+        outcomes: List[Optional[RunOutcome]] = [None] * len(prepared)
+        groups: Dict[object, Tuple[_SessionEntry, List[int]]] = {}
+        for index, prep in enumerate(prepared):
+            if prep.cached is not None:
+                outcomes[index] = self._hit_outcome(prep.query, prep.cached)
+                continue
+            entry = self._entry_for(prep)
+            key = self._group_key(entry, prep.query)
+            if key not in groups:
+                groups[key] = (entry, [])
+            groups[key][1].append(index)
+        chunks: List[Tuple[_SessionEntry, List[int]]] = []
+        limit = self.config.max_batch_size
+        for entry, indices in groups.values():
+            for start in range(0, len(indices), limit):
+                chunks.append((entry, indices[start : start + limit]))
+        return prepared, outcomes, chunks
+
+    def _run_chunk(
+        self,
+        prepared: List[_PreparedQuery],
+        outcomes: List[Optional[RunOutcome]],
+        entry: _SessionEntry,
+        indices: List[int],
+    ) -> None:
+        """Execute one planned micro-batch and fill its outcome slots."""
+        slots = [BatchSlot(prepared[index].query) for index in indices]
+        self._execute_batch(entry, slots)
+        for index, slot in zip(indices, slots):
+            outcomes[index] = slot.outcome
+            self._store_result(prepared[index], slot.outcome)
+
+
+class AnalyticsService(ServingCore):
+    """Thread-safe serving front end over the G-TADOC engine.
+
+    ``submit`` may be called concurrently from any number of worker
+    threads; results are bit-identical to serial per-query execution.
+    The service satisfies the :class:`~repro.api.backend.AnalyticsBackend`
+    protocol (``run``/``run_batch``/``capabilities``) and is registered
+    as the ``"serve"`` backend.
+    """
+
+    name = "serve"
+
+    def __init__(
+        self,
+        source: Optional[CorpusSource] = None,
+        *,
+        engine_config: Optional[GTadocConfig] = None,
+        service_config: Optional[ServiceConfig] = None,
+    ) -> None:
+        super().__init__(source, engine_config=engine_config, service_config=service_config)
+        self._coalescer = QueryCoalescer(
+            window=self.config.coalesce_window, max_batch=self.config.max_batch_size
+        )
+
+    # -- the query path ----------------------------------------------------------------
+    def submit(
+        self,
+        query: Union[Query, Task, str],
+        *,
+        source: Optional[CorpusSource] = None,
+        engine_config: Optional[GTadocConfig] = None,
+    ) -> RunOutcome:
+        """Answer one query, coalescing with compatible concurrent queries.
+
+        ``source`` picks the corpus (the service's default when omitted);
+        ``engine_config`` overrides the service's engine configuration
+        for this query's session.  Thread-safe.
+        """
+        prepared = self._prepare(query, source, engine_config)
+        if prepared.cached is not None:
+            # A pure hit neither builds nor touches a session entry.
+            return self._hit_outcome(prepared.query, prepared.cached)
+        entry = self._entry_for(prepared)
+        request = CoalescedRequest(prepared.query)
+        self._coalescer.submit(
+            self._group_key(entry, prepared.query),
+            request,
+            lambda batch: self._execute_batch(entry, batch),
+        )
+        outcome = request.outcome
+        self._store_result(prepared, outcome)
+        return outcome
+
+    def run(self, query: Union[Query, Task, str]) -> RunOutcome:
+        """:class:`AnalyticsBackend` alias for :meth:`submit`."""
+        return self.submit(query)
+
+    def run_batch(
+        self,
+        queries: Iterable[Union[Query, Task, str]],
+        *,
+        source: Optional[CorpusSource] = None,
+        engine_config: Optional[GTadocConfig] = None,
+    ) -> List[RunOutcome]:
+        """Serve a batch already in hand, coalescing it directly.
+
+        A single-threaded caller needs no coalescing window: compatible
+        queries from the iterable are grouped into micro-batches on the
+        spot, so the batch charges shared state per *group* (and
+        collapses repeated tasks inside the engine) instead of paying
+        one engine round trip per query.  Outcomes keep input order.
+        """
+        prepared, outcomes, chunks = self._plan_batch(list(queries), source, engine_config)
+        for entry, indices in chunks:
+            self._run_chunk(prepared, outcomes, entry, indices)
+        return outcomes

@@ -28,8 +28,8 @@ from repro.core.engine import GTadocRunResult
 from repro.core.strategy import TraversalStrategy
 
 ALL_BACKENDS = ("gtadoc", "cpu", "parallel", "distributed", "gpu_uncompressed", "reference")
-#: The serving layer joins the engines in the equivalence matrix.
-MATRIX_BACKENDS = ALL_BACKENDS + ("serve",)
+#: Both serving front ends join the engines in the equivalence matrix.
+MATRIX_BACKENDS = ALL_BACKENDS + ("serve", "serve_async")
 
 #: Keep the simulated cluster small so the matrix stays fast on tiny corpora.
 _BACKEND_OPTIONS = {
@@ -41,10 +41,15 @@ _BACKEND_OPTIONS = {
 @pytest.fixture(scope="module")
 def backends(tiny_compressed):
     """Every registered backend opened over the same compressed corpus."""
-    return {
+    opened = {
         name: open_backend(name, tiny_compressed, **_BACKEND_OPTIONS.get(name, {}))
         for name in available_backends()
     }
+    yield opened
+    for backend in opened.values():
+        close = getattr(backend, "close", None)
+        if callable(close):
+            close()  # the serve_async adapter owns a loop thread + executor
 
 
 # ----------------------------------------------------------------------------------------

@@ -384,3 +384,38 @@ class TestCli:
         assert "--requests" in capsys.readouterr().err
         assert main(["serve-bench", "--dataset", "D", "--threads", "0"]) == 2
         assert "--threads" in capsys.readouterr().err
+        assert main(["serve-bench", "--dataset", "D", "--async", "--concurrency", "0"]) == 2
+        assert "--concurrency" in capsys.readouterr().err
+
+    def test_serve_bench_rejects_negative_window_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-bench", "--dataset", "D", "--coalesce-window-ms", "-1"])
+        assert excinfo.value.code == 2
+        assert "--coalesce-window-ms" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["inf", "-inf", "nan", "bogus"])
+    def test_serve_bench_rejects_non_finite_windows(self, capsys, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-bench", "--dataset", "D", "--coalesce-window-ms", bad])
+        assert excinfo.value.code == 2
+        assert "--coalesce-window-ms" in capsys.readouterr().err
+
+    def test_serve_bench_async_replays_trace(self, capsys):
+        assert main(
+            [
+                "serve-bench",
+                "--dataset",
+                "D",
+                "--scale",
+                "0.05",
+                "--requests",
+                "16",
+                "--async",
+                "--concurrency",
+                "16",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "asyncio" in out
+        assert "max in-flight requests" in out
+        assert "results match serial" in out and "NO" not in out

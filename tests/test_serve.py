@@ -14,7 +14,7 @@ import threading
 
 import pytest
 
-from repro.analytics.base import Task
+from repro.analytics.base import Task, results_equal
 from repro.api import Query, open_backend
 from repro.api.backends import GTadocBackend
 from repro.compression.compressor import compress_corpus
@@ -33,6 +33,7 @@ from repro.serve import (
     LRUCache,
     ServiceConfig,
     TraceConfig,
+    approx_size_bytes,
     replay_trace,
     synthesize_trace,
 )
@@ -90,6 +91,126 @@ class TestLRUCache:
     def test_rejects_non_positive_capacity(self):
         with pytest.raises(ValueError):
             LRUCache(0)
+
+
+class TestLRUCacheByteBudget:
+    def test_budget_evicts_by_weight_lru_first(self):
+        cache = LRUCache(10, max_weight_bytes=100)
+        cache.put("a", "x", weight=60)
+        cache.put("b", "y", weight=60)  # over budget: evicts "a"
+        assert cache.get("a") is None and cache.get("b") == "y"
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.weight_bytes == 60
+        assert stats.weight_capacity == 100
+
+    def test_oversized_entry_is_rejected_without_flushing_residents(self):
+        cache = LRUCache(10, max_weight_bytes=100)
+        cache.put("a", "x", weight=40)
+        cache.put("b", "y", weight=40)
+        assert cache.put_if("big", "z", weight=1000) is False
+        # The uncacheable entry must not have evicted anything on its way out.
+        assert cache.get("a") == "x" and cache.get("b") == "y"
+        assert cache.get("big") is None
+        assert cache.stats().evictions == 0
+
+    def test_replacing_an_entry_releases_its_weight(self):
+        cache = LRUCache(10, max_weight_bytes=100)
+        cache.put("a", "x", weight=80)
+        cache.put("a", "y", weight=30)  # replacement, not accumulation
+        cache.put("b", "z", weight=60)  # 30 + 60 fits: nothing evicted
+        assert cache.get("a") == "y" and cache.get("b") == "z"
+        assert cache.stats().weight_bytes == 90
+        assert cache.stats().evictions == 0
+
+    def test_remove_where_releases_weight(self):
+        cache = LRUCache(10, max_weight_bytes=100)
+        cache.put("a", "x", weight=70)
+        cache.remove_where(lambda key: key == "a")
+        assert cache.stats().weight_bytes == 0
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            LRUCache(4, max_weight_bytes=0)
+
+
+class TestLRUCacheDiscard:
+    def test_discard_removes_and_counts_invalidation(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        assert cache.discard("k") is True
+        assert cache.discard("k") is False
+        assert len(cache) == 0
+        assert cache.stats().invalidations == 1
+
+    def test_discard_when_is_identity_precise(self):
+        cache = LRUCache(4)
+        first, second = object(), object()
+        cache.put("k", first)
+        cache.put("k", second)  # replaced: "first" is no longer resident
+        assert cache.discard("k", when=lambda value: value is first) is False
+        assert cache.get("k") is second
+        assert cache.discard("k", when=lambda value: value is second) is True
+        assert len(cache) == 0
+
+
+class TestLRUCacheTTL:
+    def test_expired_entries_miss_and_count_expirations(self):
+        now = [0.0]
+        cache = LRUCache(4, ttl=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        now[0] = 11.0
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.size == 0
+        assert stats.ttl == 10.0
+
+    def test_fresh_entries_survive(self):
+        now = [0.0]
+        cache = LRUCache(4, ttl=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        now[0] = 9.0
+        assert cache.get("a") == 1
+
+    def test_stats_collects_expired_entries(self):
+        now = [0.0]
+        cache = LRUCache(4, ttl=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        now[0] = 20.0
+        cache.put("b", 2)  # writes never scan for expiry (hot path)
+        stats = cache.stats()
+        assert stats.size == 1 and stats.expirations == 1
+
+    def test_rejects_non_positive_ttl(self):
+        with pytest.raises(ValueError):
+            LRUCache(4, ttl=0.0)
+
+    def test_contains_is_a_pure_peek(self):
+        now = [0.0]
+        cache = LRUCache(4, ttl=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        now[0] = 11.0
+        assert "a" not in cache  # expired entries do not count
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0  # no counter was touched
+
+
+class TestApproxSize:
+    def test_grows_with_content(self):
+        small = approx_size_bytes({"a": 1})
+        large = approx_size_bytes({f"word{i}": i for i in range(100)})
+        assert large > small > 0
+
+    def test_walks_nested_results(self):
+        flat = approx_size_bytes({"f": {}})
+        nested = approx_size_bytes({"f": {"w": 1, "x": 2}})
+        assert nested > flat
+        postings = approx_size_bytes({"w": [("file", 3)] * 10})
+        assert postings > approx_size_bytes({"w": []})
 
 
 # ----------------------------------------------------------------------------------------
@@ -403,6 +524,272 @@ class TestServiceInvalidation:
         stats = service.stats()
         assert stats.session_cache.invalidations >= 1
         assert stats.result_cache.invalidations >= 1
+
+
+# ----------------------------------------------------------------------------------------
+# run_batch coalescing (a batch already in hand needs no window)
+# ----------------------------------------------------------------------------------------
+
+class TestRunBatchCoalescing:
+    def test_batch_launches_strictly_fewer_kernels_than_serial_submits(self, tiny_compressed):
+        """The acceptance criterion: grouping the Table II task mix beats
+        the old submit-loop implementation on launches, not just batches."""
+        mix = [Query(task=task) for task in Task.all()] + [
+            Query(task=Task.SORT, top_k=3),
+            Query(task=Task.WORD_COUNT, top_k=5),
+            Query(task=Task.WORD_COUNT),
+        ]
+        grouped = AnalyticsService(
+            tiny_compressed, service_config=ServiceConfig(cache_results=False)
+        )
+        serial = AnalyticsService(
+            tiny_compressed, service_config=ServiceConfig(cache_results=False)
+        )
+        batch_outcomes = grouped.run_batch(mix)
+        serial_outcomes = [serial.submit(query) for query in mix]
+        assert grouped.stats().kernel_launches < serial.stats().kernel_launches
+        assert grouped.stats().micro_batches < serial.stats().micro_batches
+        for got, want in zip(batch_outcomes, serial_outcomes):
+            assert results_equal(got.task, got.result, want.result)
+
+    def test_batch_coalesces_even_with_the_result_cache_on(self, tiny_compressed):
+        # Same task, different shaping: three distinct cache keys, but one
+        # engine execution when grouped.
+        mix = [Query(task=Task.SORT, top_k=k) for k in (2, 3, 4)]
+        grouped = AnalyticsService(tiny_compressed)
+        serial = AnalyticsService(tiny_compressed)
+        grouped.run_batch(mix)
+        for query in mix:
+            serial.submit(query)
+        assert grouped.stats().micro_batches == 1
+        assert grouped.stats().kernel_launches < serial.stats().kernel_launches
+
+    def test_batch_groups_by_compatibility_and_preserves_order(self, few_files_compressed):
+        subset = (few_files_compressed.file_names[0],)
+        mix = [
+            Query(task=Task.WORD_COUNT),
+            Query(task=Task.SEQUENCE_COUNT, sequence_length=4),
+            Query(task=Task.INVERTED_INDEX, files=subset),
+            Query(task=Task.SORT),
+            Query(task=Task.SEQUENCE_COUNT, sequence_length=4, top_k=2),
+        ]
+        service = AnalyticsService(
+            few_files_compressed, service_config=ServiceConfig(cache_results=False)
+        )
+        outcomes = service.run_batch(mix)
+        assert [outcome.task for outcome in outcomes] == [query.task for query in mix]
+        # Three compatibility groups: default knobs, sequence_length=4
+        # (its two queries collapse to one engine execution), file subset.
+        assert service.stats().micro_batches == 3
+        serial = GTadocBackend(few_files_compressed, amortize=False)
+        for query, outcome in zip(mix, outcomes):
+            assert results_equal(query.task, outcome.result, serial.run(query).result)
+
+    def test_batch_respects_max_batch_size(self, tiny_compressed):
+        service = AnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, max_batch_size=2),
+        )
+        outcomes = service.run_batch([Query(task=task) for task in Task.all()])
+        assert service.stats().micro_batches == 3  # six queries, chunks of two
+        assert all(outcome.details["batch_size"] == 2 for outcome in outcomes)
+
+    def test_batch_serves_repeats_from_the_result_cache(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        service.submit(Query(task=Task.SORT, top_k=3))
+        outcomes = service.run_batch(
+            [Query(task=Task.SORT, top_k=3), Query(task=Task.WORD_COUNT)]
+        )
+        assert outcomes[0].details["result_cache"] == "hit"
+        assert outcomes[1].details["result_cache"] == "miss"
+
+    def test_unknown_file_fails_before_any_execution(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        with pytest.raises(ValueError, match="unknown file"):
+            service.run_batch(
+                [Query(task=Task.WORD_COUNT), Query(task=Task.SORT, files=("missing.txt",))]
+            )
+        assert service.stats().micro_batches == 0
+
+    def test_empty_batch_is_a_no_op(self, tiny_compressed):
+        service = AnalyticsService(tiny_compressed)
+        assert service.run_batch([]) == []
+        assert service.stats().queries == 0
+
+
+# ----------------------------------------------------------------------------------------
+# The invalidate/in-flight race (epoch-guarded write-backs)
+# ----------------------------------------------------------------------------------------
+
+class TestInvalidateInflightRace:
+    def test_inflight_result_is_not_resurrected_after_invalidate(self, tiny_compressed):
+        executing = threading.Barrier(2)
+        proceed = threading.Event()
+
+        class BlockingService(AnalyticsService):
+            def _execute_batch(self, entry, batch):
+                if not proceed.is_set():      # only the staged execution blocks
+                    executing.wait()  # announce: the miss is now executing
+                    proceed.wait()    # hold until the invalidation has run
+                super()._execute_batch(entry, batch)
+
+        service = BlockingService(tiny_compressed)
+        query = Query(task=Task.WORD_COUNT)
+        outcomes = []
+        worker = threading.Thread(target=lambda: outcomes.append(service.submit(query)))
+        worker.start()
+        executing.wait()
+        dropped = service.invalidate(tiny_compressed)
+        proceed.set()
+        worker.join()
+        # The in-flight query was answered (for the content it addressed)...
+        assert outcomes and outcomes[0].result
+        # ...but its write-back was dropped: the next identical query is a
+        # miss, not a resurrected pre-invalidation entry.
+        assert service.stats().result_cache.size == 0
+        after = service.submit(query)
+        assert after.details["result_cache"] == "miss"
+        assert after.result == outcomes[0].result  # content never changed
+        assert dropped >= 1  # the session entry created before the invalidate
+
+    def test_stale_epoch_session_is_not_left_resident(self, tiny_compressed):
+        reached = threading.Event()
+        gate = threading.Event()
+
+        class BlockingService(AnalyticsService):
+            def _entry_for(self, prepared):
+                if not reached.is_set():
+                    reached.set()   # epoch already read in _prepare
+                    gate.wait()     # invalidation runs before the session builds
+                return super()._entry_for(prepared)
+
+        service = BlockingService(tiny_compressed)
+        outcomes = []
+        worker = threading.Thread(
+            target=lambda: outcomes.append(service.submit(Query(task=Task.WORD_COUNT)))
+        )
+        worker.start()
+        reached.wait()
+        service.invalidate(tiny_compressed)
+        gate.set()
+        worker.join()
+        # The stale-epoch query was served, but the session it built under
+        # the invalidated generation is not allowed to stay resident.
+        assert outcomes and outcomes[0].result
+        assert service.resident_sessions == 0
+
+    def test_barrier_synchronized_submits_race_one_invalidate(self, tiny_compressed):
+        """Stress shape: several threads' misses execute while the corpus is
+        invalidated mid-flight; none may write back a stale entry."""
+        num_workers = 4
+        executing = threading.Barrier(num_workers + 1)
+        proceed = threading.Event()
+
+        class BlockingService(AnalyticsService):
+            def _execute_batch(self, entry, batch):
+                if not proceed.is_set():      # only the staged executions block
+                    executing.wait()
+                    proceed.wait()
+                super()._execute_batch(entry, batch)
+
+        # One coalescing group per task: distinct sequence lengths force
+        # distinct micro-batches, so every worker blocks in _execute_batch.
+        service = BlockingService(
+            tiny_compressed, service_config=ServiceConfig(coalesce_window=0.0)
+        )
+        queries = [
+            Query(task=Task.SEQUENCE_COUNT, sequence_length=length)
+            for length in range(2, 2 + num_workers)
+        ]
+        errors = []
+
+        def worker(query: Query) -> None:
+            try:
+                service.submit(query)
+            except BaseException as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(query,)) for query in queries]
+        for thread in threads:
+            thread.start()
+        executing.wait()  # all four micro-batches are in flight
+        service.invalidate(tiny_compressed)
+        proceed.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert service.stats().result_cache.size == 0
+        assert service.resident_sessions == 0
+        # Post-invalidation traffic rebuilds and caches normally again.
+        refreshed = service.submit(queries[0])
+        assert refreshed.details["result_cache"] == "miss"
+        assert service.submit(queries[0]).details["result_cache"] == "hit"
+
+
+# ----------------------------------------------------------------------------------------
+# Result-cache byte budget and TTL through ServiceConfig
+# ----------------------------------------------------------------------------------------
+
+class TestServiceResultCachePolicy:
+    def test_byte_budget_keeps_oversized_results_out(self, tiny_compressed):
+        service = AnalyticsService(
+            tiny_compressed, service_config=ServiceConfig(result_cache_bytes=1)
+        )
+        service.submit(Query(task=Task.WORD_COUNT))
+        again = service.submit(Query(task=Task.WORD_COUNT))
+        assert again.details["result_cache"] == "miss"  # nothing fits the budget
+        stats = service.stats().result_cache
+        assert stats.weight_capacity == 1
+        assert stats.size == 0
+
+    def test_byte_budget_bounds_resident_weight(self, tiny_compressed):
+        budget = 64 * 1024
+        service = AnalyticsService(
+            tiny_compressed, service_config=ServiceConfig(result_cache_bytes=budget)
+        )
+        for query in synthesize_trace(tiny_compressed.file_names, TraceConfig(num_requests=24)):
+            service.submit(query)
+        stats = service.stats().result_cache
+        assert 0 < stats.weight_bytes <= budget
+
+    def test_entries_are_weighed_by_result_size(self, few_files_compressed):
+        service = AnalyticsService(
+            few_files_compressed,
+            service_config=ServiceConfig(result_cache_bytes=10**9),
+        )
+        service.submit(Query(task=Task.SORT, top_k=1))
+        small = service.stats().result_cache.weight_bytes
+        service.submit(Query(task=Task.INVERTED_INDEX))
+        assert service.stats().result_cache.weight_bytes > small * 2
+
+    def test_weighing_is_skipped_without_a_budget(self, tiny_compressed):
+        # The default (unweighted) cache must not pay the deep result
+        # walk: entries carry unit weight.
+        service = AnalyticsService(tiny_compressed)
+        service.submit(Query(task=Task.INVERTED_INDEX))
+        stats = service.stats().result_cache
+        assert stats.weight_capacity is None
+        assert stats.weight_bytes == stats.size == 1
+
+    def test_ttl_expires_cached_results(self, tiny_compressed):
+        service = AnalyticsService(
+            tiny_compressed, service_config=ServiceConfig(result_cache_ttl=60.0)
+        )
+        assert service.stats().result_cache.ttl == 60.0
+        # Swap in a fake clock so the test does not sleep.
+        now = [0.0]
+        service._results = LRUCache(8, ttl=1.0, clock=lambda: now[0])
+        service.submit(Query(task=Task.SORT))
+        assert service.submit(Query(task=Task.SORT)).details["result_cache"] == "hit"
+        now[0] = 5.0
+        assert service.submit(Query(task=Task.SORT)).details["result_cache"] == "miss"
+        assert service.stats().result_cache.expirations == 1
+
+    def test_bad_policy_values_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(result_cache_bytes=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(result_cache_ttl=0.0)
 
 
 # ----------------------------------------------------------------------------------------

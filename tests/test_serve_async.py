@@ -1,0 +1,425 @@
+"""Asyncio serving tests: event-driven coalescing, executor dispatch, adapter.
+
+The centrepiece mirrors the threaded concurrency suite:
+:class:`~repro.serve.AsyncAnalyticsService` replaying the seeded mixed
+trace must produce results bit-identical to serial per-query execution
+while coalescing at least as well as the threaded service on the same
+trace.  The coalescer-level tests pin the event-driven behaviour — a
+window closes *early* when the micro-batch fills or the corpus is
+invalidated, instead of sleeping out its timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+
+import pytest
+
+from repro.analytics.base import Task, results_equal
+from repro.api import Query, open_backend
+from repro.api.backend import AnalyticsBackend
+from repro.api.backends import GTadocBackend
+from repro.serve import (
+    AsyncAnalyticsService,
+    AsyncServeBackend,
+    ServiceConfig,
+    TraceConfig,
+    replay_trace,
+    replay_trace_async,
+    synthesize_trace,
+)
+
+NUM_THREADS = 6
+
+
+# ----------------------------------------------------------------------------------------
+# Event-driven coalescing
+# ----------------------------------------------------------------------------------------
+
+class TestAsyncCoalescing:
+    def test_gathered_compatible_queries_share_one_micro_batch(self, tiny_compressed):
+        service = AsyncAnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, coalesce_window=0.05),
+        )
+        try:
+            async def drive():
+                return await asyncio.gather(
+                    *(service.submit(Query(task=task)) for task in Task.all())
+                )
+
+            outcomes = asyncio.run(drive())
+        finally:
+            service.close()
+        stats = service.stats()
+        assert stats.micro_batches == 1
+        assert stats.executed_queries == len(Task.all())
+        assert all(outcome.details["batch_size"] == len(Task.all()) for outcome in outcomes)
+        assert all(outcome.details["coalesced"] for outcome in outcomes)
+
+    def test_window_closes_early_when_batch_fills(self, tiny_compressed):
+        window = 5.0  # far longer than the test may take: must close by event
+        service = AsyncAnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(
+                cache_results=False, coalesce_window=window, max_batch_size=len(Task.all())
+            ),
+        )
+        try:
+            async def drive():
+                return await asyncio.gather(
+                    *(service.submit(Query(task=task)) for task in Task.all())
+                )
+
+            start = time.monotonic()
+            outcomes = asyncio.run(drive())
+            elapsed = time.monotonic() - start
+        finally:
+            service.close()
+        assert elapsed < window / 2, "a full batch must close the window early"
+        assert service.stats().micro_batches == 1
+        assert len(outcomes) == len(Task.all())
+
+    def test_invalidate_closes_an_open_window(self, tiny_compressed, tiny_reference):
+        window = 5.0
+        service = AsyncAnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, coalesce_window=window),
+        )
+        try:
+            async def drive():
+                pending = asyncio.create_task(service.submit(Query(task=Task.WORD_COUNT)))
+                await asyncio.sleep(0.05)  # the leader is holding its window open
+                service.invalidate(tiny_compressed)
+                return await asyncio.wait_for(pending, timeout=window / 2)
+
+            start = time.monotonic()
+            outcome = asyncio.run(drive())
+            elapsed = time.monotonic() - start
+        finally:
+            service.close()
+        assert elapsed < window / 2, "invalidation must close the open window"
+        # The in-flight query still answers for the content it addressed.
+        assert outcome.result == tiny_reference.run(Task.WORD_COUNT)
+
+    def test_sequential_submits_do_not_coalesce(self, tiny_compressed):
+        service = AsyncAnalyticsService(
+            tiny_compressed, service_config=ServiceConfig(cache_results=False)
+        )
+        try:
+            async def drive():
+                for task in (Task.WORD_COUNT, Task.SORT):
+                    await service.submit(Query(task=task))
+
+            asyncio.run(drive())
+        finally:
+            service.close()
+        stats = service.stats()
+        assert stats.micro_batches == 2
+        assert stats.coalesced_queries == 0
+        # Every leader retired with an empty queue; no group records linger.
+        assert service._coalescer._groups == {}
+
+    def test_error_reaches_only_the_offending_caller(self, tiny_compressed):
+        service = AsyncAnalyticsService(tiny_compressed)
+        try:
+            async def drive():
+                with pytest.raises(ValueError, match="unknown file"):
+                    await service.submit(Query(task=Task.WORD_COUNT, files=("missing.txt",)))
+                return await service.submit(Query(task=Task.WORD_COUNT))
+
+            outcome = asyncio.run(drive())
+        finally:
+            service.close()
+        assert outcome.result
+        assert service.stats().queries == 1
+
+    def test_async_run_batch_groups_directly(self, tiny_compressed):
+        service = AsyncAnalyticsService(
+            tiny_compressed, service_config=ServiceConfig(cache_results=False)
+        )
+        mix = [Query(task=task) for task in Task.all()] + [Query(task=Task.SORT, top_k=3)]
+        try:
+            outcomes = asyncio.run(service.run_batch(mix))
+        finally:
+            service.close()
+        assert [outcome.task for outcome in outcomes] == [query.task for query in mix]
+        assert service.stats().micro_batches == 1
+        serial = GTadocBackend(tiny_compressed, amortize=False)
+        for query, outcome in zip(mix, outcomes):
+            assert results_equal(query.task, outcome.result, serial.run(query).result)
+
+
+# ----------------------------------------------------------------------------------------
+# Cancellation safety (client timeouts are routine on an async front end)
+# ----------------------------------------------------------------------------------------
+
+class TestAsyncCancellation:
+    def test_cancelled_leader_does_not_wedge_the_group(self, tiny_compressed):
+        service = AsyncAnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, coalesce_window=0.5),
+        )
+        try:
+            async def drive():
+                leader = asyncio.create_task(service.submit(Query(task=Task.WORD_COUNT)))
+                await asyncio.sleep(0.05)  # the leader is holding its window open
+                leader.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await leader
+                # The group must keep serving new compatible queries.
+                return await asyncio.wait_for(
+                    service.submit(Query(task=Task.WORD_COUNT)), timeout=5.0
+                )
+
+            outcome = asyncio.run(drive())
+        finally:
+            service.close()
+        assert outcome.result
+        assert service._coalescer._groups == {}
+
+    def test_cancelled_leader_hands_followers_to_a_successor(self, tiny_compressed):
+        service = AsyncAnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, coalesce_window=0.5),
+        )
+        try:
+            async def drive():
+                leader = asyncio.create_task(service.submit(Query(task=Task.WORD_COUNT)))
+                await asyncio.sleep(0.05)
+                follower = asyncio.create_task(service.submit(Query(task=Task.SORT)))
+                await asyncio.sleep(0.05)
+                leader.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await leader
+                return await asyncio.wait_for(follower, timeout=5.0)
+
+            outcome = asyncio.run(drive())
+        finally:
+            service.close()
+        assert outcome.result  # served despite its leader being cancelled
+        assert service._coalescer._groups == {}
+
+    def test_successor_cancelled_between_promotion_and_resumption(self, tiny_compressed):
+        """The narrowest gap: a follower is promoted (its future resolved)
+        and then cancelled before its coroutine resumes; the group must
+        hand leadership on instead of wedging."""
+        from repro.serve import AsyncCoalescedRequest, AsyncQueryCoalescer
+
+        async def drive():
+            coalescer = AsyncQueryCoalescer(window=0.0, max_batch=1)
+            gate = asyncio.Event()
+            calls = []
+
+            async def execute(batch):
+                calls.append([slot.query.task for slot in batch])
+                if len(calls) == 1:
+                    await gate.wait()
+                for slot in batch:
+                    slot.outcome = slot.query.task
+
+            leader_request = AsyncCoalescedRequest(Query(task=Task.WORD_COUNT))
+            leader = asyncio.create_task(coalescer.submit("g", leader_request, execute))
+            await asyncio.sleep(0.01)  # the leader's batch is blocked in execute
+            follower_request = AsyncCoalescedRequest(Query(task=Task.SORT))
+            follower = asyncio.create_task(
+                coalescer.submit("g", follower_request, execute)
+            )
+            # Registered before the follower's first await, so it fires
+            # ahead of the task wakeup when promotion resolves the future:
+            # the cancellation lands exactly in the promotion gap.
+            follower_request.done.add_done_callback(lambda _f: follower.cancel())
+            await asyncio.sleep(0.01)  # the follower is queued and waiting
+            gate.set()  # leader drains, retires, promotes the follower
+            with pytest.raises(asyncio.CancelledError):
+                await follower
+            await leader
+            # The group must not be orphaned: a new request is serviceable.
+            fresh = AsyncCoalescedRequest(Query(task=Task.WORD_COUNT))
+            await asyncio.wait_for(coalescer.submit("g", fresh, execute), timeout=5.0)
+            assert fresh.outcome is Task.WORD_COUNT
+            assert coalescer._groups == {}
+
+        asyncio.run(drive())
+
+    def test_cancelled_follower_does_not_block_the_batch(self, tiny_compressed):
+        service = AsyncAnalyticsService(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, coalesce_window=0.3),
+        )
+        try:
+            async def drive():
+                leader = asyncio.create_task(service.submit(Query(task=Task.WORD_COUNT)))
+                await asyncio.sleep(0.05)
+                follower = asyncio.create_task(service.submit(Query(task=Task.SORT)))
+                await asyncio.sleep(0.05)
+                follower.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await follower
+                return await asyncio.wait_for(leader, timeout=5.0)
+
+            outcome = asyncio.run(drive())
+        finally:
+            service.close()
+        assert outcome.result
+        assert service._coalescer._groups == {}
+
+
+# ----------------------------------------------------------------------------------------
+# Trace replay: the acceptance criterion
+# ----------------------------------------------------------------------------------------
+
+class TestAsyncReplay:
+    def test_seeded_trace_bit_identical_and_coalesces_at_least_as_well(
+        self, few_files_compressed
+    ):
+        trace = synthesize_trace(
+            few_files_compressed.file_names, TraceConfig(num_requests=32, seed=5)
+        )
+        threaded = replay_trace(
+            few_files_compressed, trace, num_threads=NUM_THREADS, serial_baseline=False
+        )
+        report = replay_trace_async(few_files_compressed, trace, concurrency=len(trace))
+        assert report.mode == "asyncio"
+        assert report.results_match
+        assert report.stats.kernel_launches < report.serial_launches
+        assert report.served_launches_per_query < report.serial_launches_per_query
+        # Event-driven windows with the whole trace in flight must coalesce
+        # at least as well as the 6-thread service on the same trace.
+        assert report.stats.mean_batch_size >= threaded.stats.mean_batch_size
+
+    def test_concurrency_bound_is_validated(self, tiny_compressed):
+        with pytest.raises(ValueError):
+            replay_trace_async(tiny_compressed, [], concurrency=0)
+
+    def test_repeated_queries_hit_the_result_cache_across_bursts(self, tiny_compressed):
+        service = AsyncAnalyticsService(tiny_compressed)
+        query = Query(task=Task.SORT, top_k=3)
+        try:
+            async def drive():
+                first = await service.submit(query)
+                second = await service.submit(query)
+                return first, second
+
+            first, second = asyncio.run(drive())
+        finally:
+            service.close()
+        assert first.details["result_cache"] == "miss"
+        assert second.details["result_cache"] == "hit"
+        assert second.result == first.result
+
+
+# ----------------------------------------------------------------------------------------
+# The sync adapter (the registered "serve_async" backend)
+# ----------------------------------------------------------------------------------------
+
+class TestAsyncServeBackend:
+    def test_open_backend_returns_the_adapter(self, tiny_compressed):
+        backend = open_backend("serve_async", tiny_compressed)
+        try:
+            assert isinstance(backend, AsyncServeBackend)
+            assert isinstance(backend, AnalyticsBackend)
+            capabilities = backend.capabilities()
+            assert capabilities.name == "serve_async"
+            assert capabilities.amortizes_batches and capabilities.compressed_domain
+        finally:
+            backend.close()
+
+    def test_adapter_matches_serial_execution(self, tiny_compressed):
+        backend = open_backend("serve_async", tiny_compressed)
+        try:
+            outcome = backend.run(Query(task=Task.WORD_COUNT))
+            serial = GTadocBackend(tiny_compressed, amortize=False).run(
+                Query(task=Task.WORD_COUNT)
+            )
+            assert outcome.backend == "serve_async"
+            assert outcome.result == serial.result
+        finally:
+            backend.close()
+
+    def test_adapter_run_batch_coalesces(self, tiny_compressed):
+        backend = open_backend(
+            "serve_async", tiny_compressed, service_config=ServiceConfig(cache_results=False)
+        )
+        try:
+            outcomes = backend.run_batch(
+                [Query(task=Task.SORT, top_k=2), Query(task=Task.SORT, top_k=4)]
+            )
+            assert [outcome.details["batch_size"] for outcome in outcomes] == [2, 2]
+            assert backend.stats().micro_batches == 1
+        finally:
+            backend.close()
+
+    def test_concurrent_sync_callers_coalesce_through_the_loop(self, tiny_compressed):
+        backend = AsyncServeBackend(
+            tiny_compressed,
+            service_config=ServiceConfig(cache_results=False, coalesce_window=0.05),
+        )
+        tasks = Task.all()
+        barrier = threading.Barrier(len(tasks))
+        outcomes = {}
+
+        def worker(task: Task) -> None:
+            barrier.wait()
+            outcomes[task] = backend.submit(Query(task=task))
+
+        try:
+            threads = [threading.Thread(target=worker, args=(task,)) for task in tasks]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = backend.stats()
+        finally:
+            backend.close()
+        assert stats.executed_queries == len(tasks)
+        assert stats.micro_batches < len(tasks)
+        assert stats.coalesced_queries >= 2
+        assert any(outcome.details["batch_size"] > 1 for outcome in outcomes.values())
+
+    def test_closed_adapter_refuses_work(self, tiny_compressed):
+        backend = AsyncServeBackend(tiny_compressed)
+        backend.run(Query(task=Task.WORD_COUNT))
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.run(Query(task=Task.SORT))
+
+    def test_close_unblocks_inflight_sync_callers(self, tiny_compressed):
+        backend = AsyncServeBackend(
+            tiny_compressed, service_config=ServiceConfig(cache_results=False)
+        )
+        started = threading.Event()
+        hold = threading.Event()
+        original = backend.service._execute_batch
+
+        def slow_execute(entry, batch):
+            started.set()
+            hold.wait()
+            original(entry, batch)
+
+        backend.service._execute_batch = slow_execute
+        failures = []
+
+        def caller() -> None:
+            try:
+                backend.submit(Query(task=Task.WORD_COUNT))
+            except BaseException as error:
+                failures.append(error)
+
+        worker = threading.Thread(target=caller)
+        worker.start()
+        started.wait()  # the caller's engine work is in flight
+        releaser = threading.Timer(0.2, hold.set)  # lets close() drain the executor
+        releaser.start()
+        backend.close()  # must cancel the in-flight call, not strand it
+        worker.join(timeout=5.0)
+        releaser.join()
+        assert not worker.is_alive(), "in-flight caller was left blocked by close()"
+        assert len(failures) == 1
+        assert isinstance(
+            failures[0], (asyncio.CancelledError, concurrent.futures.CancelledError)
+        )
