@@ -1,0 +1,114 @@
+"""Sharded serving: spreading corpora across a shard pool.
+
+Run with::
+
+    python examples/sharded_serving.py
+
+One serving core holds every device session, so its LRU caps how many
+corpora stay warm.  The shard pool routes each corpus to a shard by
+rendezvous-hashed fingerprint — every shard its own serving core on its
+own executor (one modelled device each) — replicates corpora that turn
+hot, and moves a minimal set of sessions when the pool is resized.  The
+asyncio front end doubles as the pool's client: one event loop fans a
+whole burst of queries to the owning shards without holding a thread
+per request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import Corpus, compress_corpus
+from repro.api import Query
+from repro.serve import (
+    AsyncAnalyticsService,
+    ServiceConfig,
+    ShardedAnalyticsService,
+    ShardedServiceConfig,
+)
+
+
+def build_corpora() -> dict:
+    """Three small 'tenant' corpora with distinct fingerprints."""
+    tenants = {}
+    for name, topic in (
+        ("logs", "request served in time cache hit on index user session opened"),
+        ("tickets", "incident opened incident resolved escalation paged on call"),
+        ("wiki", "design document reviewed merge request approved release notes"),
+    ):
+        text = f"{topic} " * 6
+        corpus = Corpus.from_texts(
+            {f"{name}_{i}.txt": text + f"entry {i}" for i in range(3)}, name=name
+        )
+        tenants[name] = compress_corpus(corpus)
+    return tenants
+
+
+def main() -> None:
+    tenants = build_corpora()
+    service = ShardedAnalyticsService(
+        sharded_config=ShardedServiceConfig(
+            num_shards=2,
+            replication_factor=2,
+            hot_query_share=0.6,
+            min_queries_for_replication=6,
+        ),
+        service_config=ServiceConfig(max_sessions=2, cache_results=False),
+    )
+
+    # Rendezvous routing: each corpus has one deterministic owner shard.
+    for name, compressed in tenants.items():
+        print(f"{name:8s} -> shard {service.shard_for(compressed)}")
+        outcome = service.submit(Query(task="word_count", top_k=3), source=compressed)
+        assert outcome.result
+
+    # Hammer one tenant until it crosses the replication threshold: its
+    # queries then round-robin across two replica shards.
+    hot = tenants["logs"]
+    for _ in range(20):
+        service.submit(Query(task="sort", top_k=5), source=hot)
+    stats = service.stats()
+    assert service.is_replicated(hot), "the hot corpus should have been promoted"
+    print(
+        f"\nhot tenant replicated across shards {service.owners_for(hot)} "
+        f"({stats.replica_promotions} promotion(s), "
+        f"queries per shard {'/'.join(str(n) for n in stats.routed_queries)})"
+    )
+
+    # Growing the pool moves only the corpora whose rendezvous winner
+    # changed — sessions for everything else stay where they are.
+    moved = service.resize(3)
+    print(f"resized pool 2 -> 3 shards, moved {moved} session(s)")
+
+    # The asyncio front end as shard client: one event loop, the whole
+    # burst in flight, each query answered on its owning shard's executor.
+    client = AsyncAnalyticsService(router=service)
+
+    async def burst() -> None:
+        queries = [
+            (name, Query(task="inverted_index", top_k=2)) for name in tenants
+        ] + [(name, Query(task="term_vector", top_k=2)) for name in tenants]
+        outcomes = await asyncio.gather(
+            *(client.submit(query, source=tenants[name]) for name, query in queries)
+        )
+        assert all(outcome.result for outcome in outcomes)
+        print(f"async burst: {len(outcomes)} queries fanned across the pool")
+
+    try:
+        asyncio.run(burst())
+    finally:
+        client.close()
+
+    stats = service.stats()
+    print(
+        f"\npool totals: {stats.queries} queries, "
+        f"{stats.kernel_launches} kernel launches "
+        f"({stats.launches_per_query:.2f}/query), "
+        f"max {stats.max_resident_sessions} session(s) on any shard, "
+        f"{stats.network_seconds * 1000:.2f} ms modelled placement network"
+    )
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -93,3 +93,15 @@ def _serve_async_factory(source: CorpusSource, **options) -> AnalyticsBackend:
 # The asyncio serving front end (event-driven coalescing) behind a sync
 # adapter hosting it on a dedicated event-loop thread.
 register_backend("serve_async", _serve_async_factory)
+
+
+def _serve_sharded_factory(source: CorpusSource, **options) -> AnalyticsBackend:
+    # Imported lazily: the serving layer builds on this package.
+    from repro.serve.sharding import ShardedAnalyticsService
+
+    return ShardedAnalyticsService(source, **options)
+
+
+# The fingerprint-routed shard pool (rendezvous routing, hot-corpus
+# replication) — each shard a serving core on its own executor.
+register_backend("serve_sharded", _serve_sharded_factory)

@@ -57,6 +57,17 @@ def _nonnegative_ms(text: str) -> float:
     return value
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer that must be >= 1 (rejected at parse time)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer (got {value})")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gtadoc",
@@ -136,6 +147,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=_nonnegative_ms,
         default=2.0,
         help="how long a micro-batch leader waits for compatible queries",
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help=(
+            "replay through a fingerprint-routed shard pool of this many shards "
+            "(combine with --async to drive it from one event loop)"
+        ),
+    )
+    serve.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=2,
+        help="shards a hot corpus fans out across in a --shards replay",
     )
     serve.add_argument(
         "--max-sessions", type=int, default=4, help="bound on resident device sessions"
@@ -323,6 +349,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         TraceConfig,
         replay_trace,
         replay_trace_async,
+        replay_trace_sharded,
         synthesize_trace,
     )
 
@@ -347,7 +374,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     trace = synthesize_trace(
         compressed.file_names, TraceConfig(num_requests=args.requests, seed=args.seed)
     )
-    if args.use_async:
+    if args.shards:
+        report = replay_trace_sharded(
+            compressed,
+            trace,
+            num_shards=args.shards,
+            replicas=args.replicas,
+            num_threads=args.threads,
+            service_config=service_config,
+            serial_baseline=not args.no_serial_baseline,
+            use_async=args.use_async,
+            concurrency=args.concurrency,
+        )
+        concurrency_row = (
+            "max in-flight requests" if args.use_async else "worker threads",
+            report.num_threads,
+        )
+    elif args.use_async:
         report = replay_trace_async(
             compressed,
             trace,
@@ -366,6 +409,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         concurrency_row = ("worker threads", report.num_threads)
     stats = report.stats
+    hit_rate = (
+        stats.result_cache_hit_rate if args.shards else stats.result_cache.hit_rate
+    )
     rows = [
         ("requests", report.num_requests),
         ("replay mode", report.mode),
@@ -373,10 +419,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ("engine micro-batches", stats.micro_batches),
         ("mean batch size", f"{stats.mean_batch_size:.2f}"),
         ("coalesced queries", stats.coalesced_queries),
-        ("result-cache hit rate", f"{stats.result_cache.hit_rate * 100:.1f}%"),
+        ("result-cache hit rate", f"{hit_rate * 100:.1f}%"),
         ("served kernel launches", stats.kernel_launches),
         ("served launches/query", f"{report.served_launches_per_query:.2f}"),
     ]
+    if args.shards:
+        rows.extend(
+            [
+                ("shards", report.num_shards),
+                ("queries per shard", "/".join(str(n) for n in stats.routed_queries)),
+                ("sessions per shard", "/".join(str(n) for n in stats.resident_sessions)),
+                ("replica promotions", stats.replica_promotions),
+                ("replica demotions", stats.replica_demotions),
+                ("placement network", f"{stats.network_seconds * 1000:.3f} ms"),
+            ]
+        )
     if report.serial_launches is not None:
         rows.extend(
             [

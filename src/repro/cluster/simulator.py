@@ -56,21 +56,44 @@ class ClusterSimulator:
         return assignment
 
     def execute(
-        self, partition_counters: Sequence[CostCounter], result_entries_per_partition: Sequence[int]
+        self,
+        partition_counters: Sequence[CostCounter],
+        result_entries_per_partition: Sequence[int],
+        *,
+        include_empty_nodes: bool = True,
     ) -> List[NodeExecution]:
-        """Place partitions on nodes and attribute their work and shuffle traffic."""
+        """Place partitions on nodes and attribute their work and shuffle traffic.
+
+        A partition sends its partial result to the driver only when it
+        actually produced entries: empty partitions charge neither bytes
+        nor a network message (there is nothing to shuffle), so phases
+        whose partitions return nothing — initialization, filtered
+        queries with empty partitions — do not inflate the latency term
+        of the cost model with phantom messages.
+
+        When there are fewer partitions than nodes, the idle nodes
+        still appear in the returned list (empty ``partition_indices``,
+        zero counters) so callers can report per-node utilisation
+        against the full cluster; pass ``include_empty_nodes=False`` to
+        list only the nodes that executed work — e.g. when reusing this
+        accounting for per-query placement cost, where idle devices are
+        not part of the transaction.
+        """
         if len(partition_counters) != len(result_entries_per_partition):
             raise ValueError("counters and result sizes must align")
         assignment = self.assign_partitions(len(partition_counters))
         executions: List[NodeExecution] = []
         for node_index, partitions in assignment.items():
+            if not partitions and not include_empty_nodes:
+                continue
             execution = NodeExecution(node_index=node_index, partition_indices=partitions)
             for partition in partitions:
                 execution.counter.merge(partition_counters[partition])
                 entries = result_entries_per_partition[partition]
-                execution.counter.charge_network(
-                    bytes_sent=wc.RESULT_ENTRY_BYTES * entries, messages=1.0
-                )
+                if entries > 0:
+                    execution.counter.charge_network(
+                        bytes_sent=wc.RESULT_ENTRY_BYTES * entries, messages=1.0
+                    )
             executions.append(execution)
         return executions
 

@@ -37,8 +37,19 @@ from repro.serve.aio import (
 )
 from repro.serve.caches import CacheStats, LRUCache, approx_size_bytes
 from repro.serve.coalescer import BatchSlot, CoalescedRequest, QueryCoalescer
-from repro.serve.replay import ReplayReport, replay_trace, replay_trace_async
+from repro.serve.replay import (
+    ReplayReport,
+    replay_trace,
+    replay_trace_async,
+    replay_trace_sharded,
+)
 from repro.serve.service import AnalyticsService, ServiceConfig, ServiceStats, ServingCore
+from repro.serve.sharding import (
+    ShardedAnalyticsService,
+    ShardedServiceConfig,
+    ShardedStats,
+    rendezvous_rank,
+)
 from repro.serve.trace import TraceConfig, synthesize_trace
 
 __all__ = [
@@ -48,6 +59,10 @@ __all__ = [
     "ServingCore",
     "ServiceConfig",
     "ServiceStats",
+    "ShardedAnalyticsService",
+    "ShardedServiceConfig",
+    "ShardedStats",
+    "rendezvous_rank",
     "CacheStats",
     "LRUCache",
     "approx_size_bytes",
@@ -61,4 +76,5 @@ __all__ = [
     "ReplayReport",
     "replay_trace",
     "replay_trace_async",
+    "replay_trace_sharded",
 ]

@@ -34,7 +34,20 @@ from __future__ import annotations
 import asyncio
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Awaitable, Callable, Dict, Iterable, List, Optional, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.sharding import ShardedAnalyticsService
 
 from repro.analytics.base import Task
 from repro.api.backend import BackendCapabilities
@@ -271,6 +284,16 @@ class AsyncAnalyticsService(ServingCore):
 
     The service object itself must stay on one event loop at a time;
     use :class:`AsyncServeBackend` to share it with synchronous callers.
+
+    **Shard-router mode.**  Constructed with ``router=`` (a
+    :class:`~repro.serve.sharding.ShardedAnalyticsService`), the service
+    becomes the shard pool's async client: ``submit`` routes each query
+    to its owning shard and awaits the shard executor's work, so one
+    event loop fans any number of in-flight queries across the pool
+    without holding a caller thread per request.  Serving state
+    (session LRU, result cache, coalescing) then lives *in the shards*;
+    ``stats``/``invalidate``/``resident_sessions`` delegate to the
+    router, and closing this service does not close the router.
     """
 
     name = "serve_async"
@@ -283,10 +306,12 @@ class AsyncAnalyticsService(ServingCore):
         engine_config: Optional[GTadocConfig] = None,
         service_config: Optional[ServiceConfig] = None,
         max_workers: int = 4,
+        router: Optional["ShardedAnalyticsService"] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         super().__init__(source, engine_config=engine_config, service_config=service_config)
+        self._router = router
         self._coalescer = AsyncQueryCoalescer(
             window=self.config.coalesce_window, max_batch=self.config.max_batch_size
         )
@@ -306,6 +331,13 @@ class AsyncAnalyticsService(ServingCore):
         """Answer one query, coalescing with compatible in-flight queries."""
         loop = asyncio.get_running_loop()
         self._loop = loop
+        if self._router is not None:
+            return await self._router.submit_async(
+                query,
+                source=source,
+                engine_config=engine_config,
+                resolve_executor=self._executor,
+            )
         await self._warm_source(loop, source)
         prepared = self._prepare(query, source, engine_config)
         if prepared.cached is not None:
@@ -342,6 +374,13 @@ class AsyncAnalyticsService(ServingCore):
         """
         loop = asyncio.get_running_loop()
         self._loop = loop
+        if self._router is not None:
+            return await self._router.run_batch_async(
+                queries,
+                source=source,
+                engine_config=engine_config,
+                resolve_executor=self._executor,
+            )
         await self._warm_source(loop, source)
         prepared, outcomes, chunks = self._plan_batch(list(queries), source, engine_config)
         # Independent micro-batches overlap on the bounded executor
@@ -356,6 +395,24 @@ class AsyncAnalyticsService(ServingCore):
             )
         )
         return outcomes
+
+    # -- shard-router delegation -------------------------------------------------------
+    def stats(self):
+        """Service counters — the router's :class:`ShardedStats` in router mode."""
+        if self._router is not None:
+            return self._router.stats()
+        return super().stats()
+
+    def invalidate(self, source: CorpusSource) -> int:
+        if self._router is not None:
+            return self._router.invalidate(source)
+        return super().invalidate(source)
+
+    @property
+    def resident_sessions(self) -> int:
+        if self._router is not None:
+            return self._router.resident_sessions
+        return super().resident_sessions
 
     async def _warm_source(
         self, loop: asyncio.AbstractEventLoop, source: Optional[CorpusSource]

@@ -249,14 +249,23 @@ class LRUCache:
             self._evictions += 1
 
     # -- invalidation ------------------------------------------------------------------
-    def discard(self, key: Any, when: Optional[Callable[[Any], bool]] = None) -> bool:
+    def discard(
+        self,
+        key: Any,
+        when: Optional[Callable[[Any], bool]] = None,
+        *,
+        count_invalidation: bool = True,
+    ) -> bool:
         """Remove ``key``'s entry, optionally only when its *value* matches.
 
         ``when`` is evaluated under the cache lock, so callers can make
         identity-precise removals ("drop this entry only if it is still
         the object I saw") without racing concurrent replacements.
         Returns whether an entry was removed (counted as an
-        invalidation).
+        invalidation unless ``count_invalidation`` is false — removals
+        that are rebalancing rather than staleness, e.g. a shard resize
+        moving a session, must not read as data-invalidation events in
+        :class:`CacheStats`).
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -265,7 +274,8 @@ class LRUCache:
             if when is not None and not when(entry.value):
                 return False
             self._drop(key, entry)
-            self._invalidations += 1
+            if count_invalidation:
+                self._invalidations += 1
             return True
 
     def remove_where(self, predicate: Callable[[Any], bool]) -> int:

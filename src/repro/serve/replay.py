@@ -1,19 +1,26 @@
 """Replay a request trace through the serving layer and measure it.
 
-One pair of helpers serves the CLI (``gtadoc serve-bench``), the
-serving benchmarks and the serving examples:
+Three helpers serve the CLI (``gtadoc serve-bench``), the serving
+benchmarks and the serving examples:
 
 * :func:`replay_trace` replays a trace with N worker threads against a
   thread-based :class:`~repro.serve.service.AnalyticsService`;
 * :func:`replay_trace_async` replays the same kind of trace through an
   :class:`~repro.serve.aio.AsyncAnalyticsService` on one event loop,
-  with a bounded number of requests in flight.
+  with a bounded number of requests in flight;
+* :func:`replay_trace_sharded` replays a (possibly multi-corpus) trace
+  through a :class:`~repro.serve.sharding.ShardedAnalyticsService` —
+  threaded callers by default, or one event loop in the async
+  shard-router mode.
 
-Both optionally replay the trace serially with per-query
-:meth:`GTadoc.run` semantics (a fresh session per query — the paper's
-full per-query cost), check the served results for bit-identity against
-it, and report launches-per-query plus cache/coalescing statistics side
-by side in one :class:`ReplayReport`.
+A trace is a sequence of :class:`~repro.api.query.Query` objects, or —
+for multi-corpus serving — ``(source_index, Query)`` pairs indexing
+into a list of compressed corpora.  All replays optionally execute the
+same trace serially with per-query :meth:`GTadoc.run` semantics (a
+fresh session per query — the paper's full per-query cost), check the
+served results for bit-identity against that shared baseline, and
+report launches-per-query plus cache/coalescing statistics side by
+side in one :class:`ReplayReport`.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from __future__ import annotations
 import asyncio
 import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.api.backends import GTadocBackend
 from repro.api.outcome import RunOutcome
@@ -30,7 +37,10 @@ from repro.compression.compressor import CompressedCorpus
 from repro.core.session import GTadocConfig
 from repro.serve.service import AnalyticsService, ServiceConfig, ServiceStats
 
-__all__ = ["ReplayReport", "replay_trace", "replay_trace_async"]
+__all__ = ["ReplayReport", "replay_trace", "replay_trace_async", "replay_trace_sharded"]
+
+#: One trace entry: a bare query (source 0) or an explicit (source, query) pair.
+TraceItem = Union[Query, Tuple[int, Query]]
 
 
 @dataclass(frozen=True)
@@ -42,15 +52,21 @@ class ReplayReport:
     num_threads: int
     #: Outcomes in trace order, as served by the service.
     outcomes: List[RunOutcome]
-    #: Service counters for exactly this replay.
-    stats: ServiceStats
+    #: Service counters for exactly this replay — a
+    #: :class:`~repro.serve.service.ServiceStats` for single-service
+    #: replays, a :class:`~repro.serve.sharding.ShardedStats` for
+    #: sharded ones (both expose ``kernel_launches``).
+    stats: "ServiceStats"
     #: Total kernel launches of the serial per-query replay
     #: (``None`` when the serial baseline was skipped).
     serial_launches: Optional[int] = None
     #: Whether every served result equalled its serial counterpart.
     results_match: Optional[bool] = None
-    #: How the trace was driven: ``"threads"`` or ``"asyncio"``.
+    #: How the trace was driven: ``"threads"``, ``"asyncio"``,
+    #: ``"threads+sharded"`` or ``"asyncio+sharded"``.
     mode: str = "threads"
+    #: Shard count of a sharded replay (``None`` otherwise).
+    num_shards: Optional[int] = None
 
     @property
     def served_launches_per_query(self) -> float:
@@ -70,60 +86,83 @@ class ReplayReport:
         return 1.0 - self.stats.kernel_launches / self.serial_launches
 
 
+def _normalize_trace(
+    sources: Union[CompressedCorpus, Sequence[CompressedCorpus]],
+    trace: Sequence[TraceItem],
+) -> Tuple[List[CompressedCorpus], List[Tuple[int, Query]]]:
+    """Resolve a trace to explicit ``(source_index, Query)`` items."""
+    corpora = [sources] if isinstance(sources, CompressedCorpus) else list(sources)
+    if not corpora:
+        raise ValueError("a replay needs at least one compressed corpus")
+    items: List[Tuple[int, Query]] = []
+    for item in trace:
+        if isinstance(item, Query):
+            items.append((0, item))
+        else:
+            index, query = item
+            if not 0 <= index < len(corpora):
+                raise ValueError(f"trace names source {index} but only {len(corpora)} given")
+            items.append((int(index), query))
+    return corpora, items
+
+
 def _serial_comparison(
-    compressed: CompressedCorpus,
-    trace: Sequence[Query],
+    sources: Union[CompressedCorpus, Sequence[CompressedCorpus]],
+    trace: Sequence[TraceItem],
     engine_config: Optional[GTadocConfig],
     outcomes: Sequence[RunOutcome],
 ) -> Tuple[int, bool]:
-    """Replay serially (fresh session per query) and check bit-identity."""
-    serial = GTadocBackend(compressed, config=engine_config, amortize=False)
+    """Replay serially (fresh session per query) and check bit-identity.
+
+    This is the one shared baseline: every replay flavour — threaded,
+    asyncio and sharded — measures against exactly this per-query cost.
+    """
+    corpora, items = _normalize_trace(sources, trace)
+    serial = [
+        GTadocBackend(compressed, config=engine_config, amortize=False)
+        for compressed in corpora
+    ]
     launches = 0
     match = True
-    for index, query in enumerate(trace):
-        reference = serial.run(query)
+    for position, (index, query) in enumerate(items):
+        reference = serial[index].run(query)
         launches += reference.kernel_launches
-        if outcomes[index].result != reference.result:
+        if outcomes[position].result != reference.result:
             match = False
     return launches, match
 
 
-def replay_trace(
-    compressed: CompressedCorpus,
-    trace: Sequence[Query],
-    *,
-    num_threads: int = 8,
-    engine_config: Optional[GTadocConfig] = None,
-    service_config: Optional[ServiceConfig] = None,
-    serial_baseline: bool = True,
-) -> ReplayReport:
-    """Replay ``trace`` through a fresh service with ``num_threads`` workers.
+def _drive_threaded(
+    submit,
+    items: Sequence[Tuple[int, Query]],
+    num_threads: int,
+) -> List[RunOutcome]:
+    """Drain ``items`` with a pool of claiming worker threads.
 
-    With ``serial_baseline`` (the default) the same trace is also
-    executed serially — one fresh-session ``run()`` per query — and the
-    served results are checked for bit-identity against it.
+    Workers share a stop flag checked in the claim loop: the first
+    error stops every worker before it claims another query (instead of
+    letting the pool drain the rest of the trace against a failed
+    replay), and the original exception is re-raised unmasked in the
+    caller's thread.
     """
-    if num_threads < 1:
-        raise ValueError("num_threads must be >= 1")
-    service = AnalyticsService(
-        compressed, engine_config=engine_config, service_config=service_config
-    )
-    outcomes: List[Optional[RunOutcome]] = [None] * len(trace)
+    outcomes: List[Optional[RunOutcome]] = [None] * len(items)
     errors: List[BaseException] = []
     cursor = {"next": 0}
     cursor_lock = threading.Lock()
+    stop = threading.Event()
 
     def worker() -> None:
-        while True:
+        while not stop.is_set():
             with cursor_lock:
                 index = cursor["next"]
-                if index >= len(trace):
+                if index >= len(items):
                     return
                 cursor["next"] = index + 1
             try:
-                outcomes[index] = service.submit(trace[index])
+                outcomes[index] = submit(*items[index])
             except BaseException as error:  # surface in the caller's thread
                 errors.append(error)
+                stop.set()
                 return
 
     threads = [threading.Thread(target=worker) for _ in range(num_threads)]
@@ -133,18 +172,78 @@ def replay_trace(
         thread.join()
     if errors:
         raise errors[0]
+    return list(outcomes)
+
+
+def _drive_async(
+    submit,
+    corpora: Sequence[CompressedCorpus],
+    items: Sequence[Tuple[int, Query]],
+    concurrency: int,
+) -> List[RunOutcome]:
+    """Drain ``items`` on one event loop with a bounded in-flight window.
+
+    ``submit`` is an async callable ``(query, source=...)`` — the plain
+    asyncio service's or the shard-router client's — so both async
+    replay flavours share one driver.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+
+    async def replay() -> List[RunOutcome]:
+        gate = asyncio.Semaphore(concurrency)
+
+        async def serve(index: int, query: Query) -> RunOutcome:
+            async with gate:
+                return await submit(query, source=corpora[index])
+
+        return list(
+            await asyncio.gather(*(serve(index, query) for index, query in items))
+        )
+
+    return asyncio.run(replay())
+
+
+def replay_trace(
+    compressed: Union[CompressedCorpus, Sequence[CompressedCorpus]],
+    trace: Sequence[TraceItem],
+    *,
+    num_threads: int = 8,
+    engine_config: Optional[GTadocConfig] = None,
+    service_config: Optional[ServiceConfig] = None,
+    serial_baseline: bool = True,
+) -> ReplayReport:
+    """Replay ``trace`` through a fresh service with ``num_threads`` workers.
+
+    ``compressed`` may be one corpus or a list of them; multi-corpus
+    traces name their corpus per query with ``(source_index, Query)``
+    pairs.  With ``serial_baseline`` (the default) the same trace is
+    also executed serially — one fresh-session ``run()`` per query —
+    and the served results are checked for bit-identity against it.
+    """
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    corpora, items = _normalize_trace(compressed, trace)
+    service = AnalyticsService(
+        corpora[0], engine_config=engine_config, service_config=service_config
+    )
+    outcomes = _drive_threaded(
+        lambda index, query: service.submit(query, source=corpora[index]),
+        items,
+        num_threads,
+    )
 
     serial_launches: Optional[int] = None
     results_match: Optional[bool] = None
     if serial_baseline:
         serial_launches, results_match = _serial_comparison(
-            compressed, trace, engine_config, outcomes
+            corpora, items, engine_config, outcomes
         )
 
     return ReplayReport(
-        num_requests=len(trace),
+        num_requests=len(items),
         num_threads=num_threads,
-        outcomes=list(outcomes),
+        outcomes=outcomes,
         stats=service.stats(),
         serial_launches=serial_launches,
         results_match=results_match,
@@ -153,8 +252,8 @@ def replay_trace(
 
 
 def replay_trace_async(
-    compressed: CompressedCorpus,
-    trace: Sequence[Query],
+    compressed: Union[CompressedCorpus, Sequence[CompressedCorpus]],
+    trace: Sequence[TraceItem],
     *,
     concurrency: int = 64,
     engine_config: Optional[GTadocConfig] = None,
@@ -171,28 +270,17 @@ def replay_trace_async(
     comparison replay runs afterwards, exactly as in
     :func:`replay_trace`.
     """
-    if concurrency < 1:
-        raise ValueError("concurrency must be >= 1")
     from repro.serve.aio import AsyncAnalyticsService
 
+    corpora, items = _normalize_trace(compressed, trace)
     service = AsyncAnalyticsService(
-        compressed,
+        corpora[0],
         engine_config=engine_config,
         service_config=service_config,
         max_workers=max_workers,
     )
-
-    async def replay() -> List[RunOutcome]:
-        gate = asyncio.Semaphore(concurrency)
-
-        async def serve(index: int) -> RunOutcome:
-            async with gate:
-                return await service.submit(trace[index])
-
-        return list(await asyncio.gather(*(serve(index) for index in range(len(trace)))))
-
     try:
-        outcomes = asyncio.run(replay())
+        outcomes = _drive_async(service.submit, corpora, items, concurrency)
         stats = service.stats()
     finally:
         service.close()
@@ -201,15 +289,98 @@ def replay_trace_async(
     results_match: Optional[bool] = None
     if serial_baseline:
         serial_launches, results_match = _serial_comparison(
-            compressed, trace, engine_config, outcomes
+            corpora, items, engine_config, outcomes
         )
 
     return ReplayReport(
-        num_requests=len(trace),
+        num_requests=len(items),
         num_threads=concurrency,
         outcomes=outcomes,
         stats=stats,
         serial_launches=serial_launches,
         results_match=results_match,
         mode="asyncio",
+    )
+
+
+def replay_trace_sharded(
+    compressed: Union[CompressedCorpus, Sequence[CompressedCorpus]],
+    trace: Sequence[TraceItem],
+    *,
+    num_shards: int = 2,
+    replicas: int = 2,
+    num_threads: int = 8,
+    engine_config: Optional[GTadocConfig] = None,
+    service_config: Optional[ServiceConfig] = None,
+    sharded_config: Optional["ShardedServiceConfig"] = None,
+    serial_baseline: bool = True,
+    use_async: bool = False,
+    concurrency: int = 64,
+) -> ReplayReport:
+    """Replay ``trace`` through a fingerprint-routed shard pool.
+
+    Each of ``num_shards`` shards owns its own serving core (session
+    LRU, result cache, coalescer) on its own executor; queries route by
+    corpus fingerprint, and corpora hot enough to cross the replication
+    threshold fan out across ``replicas`` shards.  Threaded callers
+    drive the trace by default; with ``use_async`` one event loop fans
+    up to ``concurrency`` in-flight queries to the owning shards
+    through :class:`~repro.serve.aio.AsyncAnalyticsService`'s
+    shard-router mode.  The serial baseline is the same one every other
+    replay measures against.
+    """
+    from repro.serve.sharding import ShardedAnalyticsService, ShardedServiceConfig
+
+    corpora, items = _normalize_trace(compressed, trace)
+    if sharded_config is None:
+        sharded_config = ShardedServiceConfig(
+            num_shards=num_shards, replication_factor=replicas
+        )
+    service = ShardedAnalyticsService(
+        corpora[0],
+        engine_config=engine_config,
+        service_config=service_config,
+        sharded_config=sharded_config,
+    )
+    try:
+        if use_async:
+            from repro.serve.aio import AsyncAnalyticsService
+
+            client = AsyncAnalyticsService(router=service)
+            try:
+                outcomes = _drive_async(client.submit, corpora, items, concurrency)
+            finally:
+                client.close()
+            mode = "asyncio+sharded"
+            drivers = concurrency
+        else:
+            if num_threads < 1:
+                raise ValueError("num_threads must be >= 1")
+            outcomes = _drive_threaded(
+                lambda index, query: service.submit(query, source=corpora[index]),
+                items,
+                num_threads,
+            )
+            mode = "threads+sharded"
+            drivers = num_threads
+        stats = service.stats()
+    finally:
+        service.close()
+
+    serial_launches: Optional[int] = None
+    results_match: Optional[bool] = None
+    if serial_baseline:
+        serial_launches, results_match = _serial_comparison(
+            corpora, items, engine_config, outcomes
+        )
+
+    return ReplayReport(
+        num_requests=len(items),
+        num_threads=drivers,
+        outcomes=outcomes,
+        stats=stats,
+        serial_launches=serial_launches,
+        results_match=results_match,
+        mode=mode,
+        num_shards=sharded_config.num_shards,
     )

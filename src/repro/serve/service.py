@@ -55,7 +55,51 @@ from repro.data.corpus import Corpus
 from repro.serve.caches import CacheStats, LRUCache, approx_size_bytes
 from repro.serve.coalescer import BatchSlot, CoalescedRequest, QueryCoalescer
 
-__all__ = ["ServiceConfig", "ServiceStats", "ServingCore", "AnalyticsService"]
+__all__ = ["ServiceConfig", "ServiceStats", "ServingCore", "AnalyticsService", "CorpusMemo"]
+
+
+class CorpusMemo:
+    """Bounded, thread-safe memo of raw-corpus compressions.
+
+    Keyed by object identity: a caller may keep handing the same
+    :class:`~repro.data.corpus.Corpus` to every submit without paying a
+    re-compression.  Oldest entries are dropped first past ``capacity``.
+    Shared by the serving cores and the shard router so the memo
+    discipline cannot drift between them.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: Dict[int, Tuple[Corpus, CompressedCorpus]] = {}
+
+    def resolve(self, source: CorpusSource) -> CompressedCorpus:
+        if isinstance(source, CompressedCorpus):
+            return source
+        if isinstance(source, Corpus):
+            with self._lock:
+                memo = self._entries.get(id(source))
+                if memo is not None and memo[0] is source:
+                    return memo[1]
+                compressed = _as_compressed(source)
+                self._entries[id(source)] = (source, compressed)
+                while len(self._entries) > self._capacity:
+                    self._entries.pop(next(iter(self._entries)))
+                return compressed
+        raise TypeError(f"expected a Corpus or CompressedCorpus, got {type(source).__name__}")
+
+    def drop_fingerprint(self, fingerprint: str) -> None:
+        """Forget memoized compressions of an invalidated corpus."""
+        with self._lock:
+            self._entries = {
+                key: value
+                for key, value in self._entries.items()
+                if value[1].fingerprint() != fingerprint
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 @dataclass(frozen=True)
@@ -227,11 +271,7 @@ class ServingCore:
         # can never resurrect an invalidated entry.
         self._epoch_lock = threading.Lock()
         self._epochs: Dict[str, int] = {}
-        # Raw corpora are compressed once and memoized per object (bounded;
-        # oldest entries dropped first), so a caller may keep handing the
-        # same Corpus to every submit without re-compressing.
-        self._compressed_by_corpus: Dict[int, Tuple[Corpus, CompressedCorpus]] = {}
-        self._corpus_lock = threading.Lock()
+        self._corpus_memo = CorpusMemo(self.config.corpus_memo_capacity)
         self._default: Optional[CompressedCorpus] = (
             self._resolve_source(source) if source is not None else None
         )
@@ -263,12 +303,7 @@ class ServingCore:
         fingerprint = self._resolve_source(source).fingerprint()
         with self._epoch_lock:
             self._epochs[fingerprint] = self._epochs.get(fingerprint, 0) + 1
-        with self._corpus_lock:
-            self._compressed_by_corpus = {
-                key: value
-                for key, value in self._compressed_by_corpus.items()
-                if value[1].fingerprint() != fingerprint
-            }
+        self._corpus_memo.drop_fingerprint(fingerprint)
         dropped = self._sessions.remove_where(lambda key: key[0] == fingerprint)
         dropped += self._results.remove_where(lambda key: key[0][0] == fingerprint)
         self._close_windows_for(fingerprint)
@@ -298,6 +333,23 @@ class ServingCore:
     def resident_sessions(self) -> int:
         """Device sessions currently held by the LRU."""
         return len(self._sessions)
+
+    def session_keys(self) -> List[Tuple[str, GTadocConfig]]:
+        """Resident ``(fingerprint, config)`` keys, least recently used first.
+
+        The shard router walks these on resize to decide which sessions
+        changed owner under the new shard set.
+        """
+        return self._sessions.keys()
+
+    def drop_session(self, key: Tuple[str, GTadocConfig]) -> bool:
+        """Evict one resident session (a no-op if it is not resident).
+
+        Used when ownership of the session's corpus moves elsewhere —
+        rebalancing, not correctness: the result cache is left alone and
+        the removal is not counted as a cache invalidation.
+        """
+        return self._sessions.discard(key, count_invalidation=False)
 
     # -- the shared query path ---------------------------------------------------------
     def _prepare(
@@ -389,19 +441,7 @@ class ServingCore:
 
     # -- internals ---------------------------------------------------------------------
     def _resolve_source(self, source: CorpusSource) -> CompressedCorpus:
-        if isinstance(source, CompressedCorpus):
-            return source
-        if isinstance(source, Corpus):
-            with self._corpus_lock:
-                memo = self._compressed_by_corpus.get(id(source))
-                if memo is not None and memo[0] is source:
-                    return memo[1]
-                compressed = _as_compressed(source)
-                self._compressed_by_corpus[id(source)] = (source, compressed)
-                while len(self._compressed_by_corpus) > self.config.corpus_memo_capacity:
-                    self._compressed_by_corpus.pop(next(iter(self._compressed_by_corpus)))
-                return compressed
-        raise TypeError(f"expected a Corpus or CompressedCorpus, got {type(source).__name__}")
+        return self._corpus_memo.resolve(source)
 
     def _resolve_target(
         self, source: Optional[CorpusSource], engine_config: Optional[GTadocConfig]

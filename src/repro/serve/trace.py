@@ -37,6 +37,10 @@ class TraceConfig:
     #: uses the engine default).
     sequence_lengths: Tuple[Optional[int], ...] = (None, None, 4)
     tasks: Tuple[Task, ...] = tuple(Task.all())
+    #: Largest file subset a restricted query may name (capped at the
+    #: corpus size).  Multi-corpus serving traces raise this so subset
+    #: queries exercise more than two files.
+    max_subset_files: int = 2
 
     def __post_init__(self) -> None:
         if self.num_requests < 1:
@@ -44,6 +48,8 @@ class TraceConfig:
         for fraction in (self.repeat_fraction, self.top_k_fraction, self.file_subset_fraction):
             if not 0.0 <= fraction <= 1.0:
                 raise ValueError("trace fractions must be within [0, 1]")
+        if self.max_subset_files < 1:
+            raise ValueError("max_subset_files must be >= 1")
 
 
 def synthesize_trace(
@@ -60,20 +66,28 @@ def synthesize_trace(
     config = config or TraceConfig()
     rng = random.Random(config.seed)
     trace: List[Query] = []
+    # Repeats are drawn uniformly from the *distinct* fresh queries seen
+    # so far, never from the trace itself: sampling the trace would pick
+    # repeats-of-repeats, compounding weight onto whichever queries came
+    # first instead of modelling a stable set of hot queries.
+    distinct: List[Query] = []
+    seen: set = set()
     for _ in range(config.num_requests):
-        if trace and rng.random() < config.repeat_fraction:
-            trace.append(rng.choice(trace))
+        if distinct and rng.random() < config.repeat_fraction:
+            trace.append(rng.choice(distinct))
             continue
         task = rng.choice(config.tasks)
         top_k = rng.choice((5, 10, 20)) if rng.random() < config.top_k_fraction else None
         files = None
         if len(file_names) > 1 and rng.random() < config.file_subset_fraction:
-            count = rng.randint(1, min(2, len(file_names)))
+            count = rng.randint(1, min(config.max_subset_files, len(file_names)))
             files = tuple(rng.sample(list(file_names), count))
         sequence_length = (
             rng.choice(config.sequence_lengths) if task.is_sequence_sensitive else None
         )
-        trace.append(
-            Query(task=task, sequence_length=sequence_length, top_k=top_k, files=files)
-        )
+        query = Query(task=task, sequence_length=sequence_length, top_k=top_k, files=files)
+        trace.append(query)
+        if query not in seen:
+            seen.add(query)
+            distinct.append(query)
     return trace

@@ -28,13 +28,14 @@ from repro.core.engine import GTadocRunResult
 from repro.core.strategy import TraversalStrategy
 
 ALL_BACKENDS = ("gtadoc", "cpu", "parallel", "distributed", "gpu_uncompressed", "reference")
-#: Both serving front ends join the engines in the equivalence matrix.
-MATRIX_BACKENDS = ALL_BACKENDS + ("serve", "serve_async")
+#: All three serving front ends join the engines in the equivalence matrix.
+MATRIX_BACKENDS = ALL_BACKENDS + ("serve", "serve_async", "serve_sharded")
 
 #: Keep the simulated cluster small so the matrix stays fast on tiny corpora.
 _BACKEND_OPTIONS = {
     "parallel": {"num_threads": 2},
     "distributed": {"cluster": ClusterSpec(num_nodes=2), "partitions_per_node": 1},
+    "serve_sharded": {"num_shards": 2},
 }
 
 

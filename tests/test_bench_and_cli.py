@@ -419,3 +419,54 @@ class TestCli:
         assert "asyncio" in out
         assert "max in-flight requests" in out
         assert "results match serial" in out and "NO" not in out
+
+    def test_serve_bench_sharded_replays_trace(self, capsys):
+        assert main(
+            [
+                "serve-bench",
+                "--dataset",
+                "D",
+                "--scale",
+                "0.05",
+                "--requests",
+                "24",
+                "--threads",
+                "4",
+                "--shards",
+                "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "threads+sharded" in out
+        assert "queries per shard" in out
+        assert "results match serial" in out and "NO" not in out
+
+    def test_serve_bench_sharded_async_replays_trace(self, capsys):
+        assert main(
+            [
+                "serve-bench",
+                "--dataset",
+                "D",
+                "--scale",
+                "0.05",
+                "--requests",
+                "16",
+                "--shards",
+                "2",
+                "--async",
+                "--concurrency",
+                "16",
+                "--no-serial-baseline",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "asyncio+sharded" in out
+        assert "placement network" in out
+
+    @pytest.mark.parametrize("flag", ["--shards", "--replicas"])
+    @pytest.mark.parametrize("bad", ["0", "-1", "bogus"])
+    def test_serve_bench_rejects_bad_shard_counts_at_parse_time(self, capsys, flag, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-bench", "--dataset", "D", flag, bad])
+        assert excinfo.value.code == 2
+        assert flag in capsys.readouterr().err

@@ -416,7 +416,7 @@ class TestServiceConcurrency:
         ]
         for corpus in corpora:
             service.submit(Query(task=Task.WORD_COUNT), source=corpus)
-        assert len(service._compressed_by_corpus) <= 2
+        assert len(service._corpus_memo) <= 2
 
 
 class TestServiceCaching:
