@@ -10,7 +10,10 @@ results in exactly the canonical shapes defined in
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from repro.analytics.base import Task, TaskResult, normalize_result
 from repro.compression.dictionary import Dictionary
@@ -29,7 +32,8 @@ __all__ = [
 
 def decode_word_counts(counts: Dict[int, int], dictionary: Dictionary) -> Dict[str, int]:
     """Word-id counts -> word counts."""
-    return {dictionary.decode(word_id): count for word_id, count in counts.items() if count}
+    decode = dictionary.decode
+    return {decode(word_id): count for word_id, count in counts.items() if count}
 
 
 def decode_per_file_counts(
@@ -38,10 +42,11 @@ def decode_per_file_counts(
     dictionary: Dictionary,
 ) -> Dict[str, Dict[str, int]]:
     """Per-file word-id counts -> ``{file: {word: count}}``."""
+    decode = dictionary.decode
     decoded: Dict[str, Dict[str, int]] = {}
     for file_index, counts in enumerate(per_file):
         decoded[file_names[file_index]] = {
-            dictionary.decode(word_id): count for word_id, count in counts.items() if count
+            decode(word_id): count for word_id, count in counts.items() if count
         }
     return decoded
 
@@ -63,12 +68,15 @@ def per_file_counts_to_term_vector(term_vector: Dict[str, Dict[str, int]]) -> Di
 
 
 def per_file_counts_to_inverted_index(term_vector: Dict[str, Dict[str, int]]) -> Dict[str, List[str]]:
+    # Visiting files in name order makes every posting list come out
+    # already sorted, replacing one sort per word with one per call.
     index: Dict[str, List[str]] = {}
-    for file_name, counts in term_vector.items():
-        for word, count in counts.items():
+    setdefault = index.setdefault
+    for file_name in sorted(term_vector):
+        for word, count in term_vector[file_name].items():
             if count:
-                index.setdefault(word, []).append(file_name)
-    return {word: sorted(files) for word, files in index.items()}
+                setdefault(word, []).append(file_name)
+    return index
 
 
 def per_file_counts_to_ranked_inverted_index(
@@ -89,8 +97,23 @@ def decode_sequence_counts(
     counts: Dict[Tuple[int, ...], int], dictionary: Dictionary
 ) -> Dict[Tuple[str, ...], int]:
     """Word-id l-gram counts -> word l-gram counts."""
-    return {
-        tuple(dictionary.decode(word_id) for word_id in key): count
-        for key, count in counts.items()
-        if count
-    }
+    if not counts:
+        return {}
+    length = len(next(iter(counts)))
+    # One object-array gather decodes every gram at C speed — far
+    # cheaper than a per-word ``decode`` call on large gram tables.
+    words = getattr(dictionary, "_decode_array", None)
+    if words is None or len(words) != dictionary.num_words:
+        words = np.asarray(
+            [dictionary.decode(word_id) for word_id in range(dictionary.num_words)],
+            dtype=object,
+        )
+        try:
+            dictionary._decode_array = words  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+    ids = np.fromiter(
+        chain.from_iterable(counts), dtype=np.int64, count=len(counts) * length
+    )
+    grams = map(tuple, words[ids].reshape(len(counts), length).tolist())
+    return {gram: count for gram, count in zip(grams, counts.values()) if count}

@@ -14,10 +14,13 @@ returns comparable results.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
-from repro.analytics.base import Task, TaskResult, normalize_result
+import numpy as np
+
+from repro.analytics.base import Task, TaskResult, copy_normalized, normalize_result
 from repro.core.strategy import TraversalStrategy
 
 __all__ = ["FrozenExtras", "Query", "as_query", "shape_result"]
@@ -222,29 +225,47 @@ def _truncate_top_k(task: Task, result: TaskResult, top_k: int) -> TaskResult:
     """
     if task is Task.SORT:
         return result[:top_k]
+    # ``heapq.nsmallest`` with the same sort key returns exactly the
+    # first ``top_k`` entries of the full sort in O(n log k), which is
+    # far cheaper than sorting whole word/sequence tables per query.
+    rank = lambda item: (-item[1], item[0])  # noqa: E731
     if task in (Task.WORD_COUNT, Task.SEQUENCE_COUNT):
-        ordered = sorted(result.items(), key=lambda item: (-item[1], item[0]))[:top_k]
-        return dict(ordered)
+        if len(result) > 4096 and top_k * 8 < len(result):
+            # Large table, small cut: find the k-th largest count with a
+            # numpy partition and only rank the entries at or above it
+            # (a superset of the true top-k, ties included).
+            values = np.fromiter(result.values(), dtype=np.int64, count=len(result))
+            threshold = np.partition(values, len(values) - top_k)[len(values) - top_k]
+            candidates = [item for item in result.items() if item[1] >= threshold]
+            return dict(heapq.nsmallest(top_k, candidates, key=rank))
+        return dict(heapq.nsmallest(top_k, result.items(), key=rank))
     if task is Task.RANKED_INVERTED_INDEX:
         return {word: pairs[:top_k] for word, pairs in result.items()}
     if task is Task.INVERTED_INDEX:
         return {word: files[:top_k] for word, files in result.items()}
     if task is Task.TERM_VECTOR:
         return {
-            file_name: dict(sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:top_k])
+            file_name: dict(heapq.nsmallest(top_k, counts.items(), key=rank))
             for file_name, counts in result.items()
         }
     raise ValueError(f"unknown task: {task!r}")  # pragma: no cover - exhaustive over Task
 
 
-def shape_result(query: Query, result: TaskResult) -> TaskResult:
+def shape_result(query: Query, result: TaskResult, *, normalized: bool = False) -> TaskResult:
     """Apply the query's result-shaping knobs to a canonical result.
 
     Shaping is deterministic (results are normalized first), so two
     backends given the same query produce equal shaped results whenever
-    their raw results agree.
+    their raw results agree.  Callers that hand in a result which is
+    *already* canonical (every engine normalizes at its boundary) may
+    pass ``normalized=True`` to replace the re-normalization with a
+    cheap copy.
     """
-    shaped = normalize_result(query.task, result)
+    shaped = (
+        copy_normalized(query.task, result)
+        if normalized
+        else normalize_result(query.task, result)
+    )
     if query.terms is not None:
         shaped = _filter_terms(query.task, shaped, query.terms)
     if query.top_k is not None:

@@ -423,6 +423,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ("served kernel launches", stats.kernel_launches),
         ("served launches/query", f"{report.served_launches_per_query:.2f}"),
     ]
+    if report.elapsed_seconds is not None:
+        rows.append(("served wall-clock", f"{report.elapsed_seconds:.3f} s"))
+        if report.requests_per_second is not None:
+            rows.append(("served requests/s", f"{report.requests_per_second:.1f}"))
     if args.shards:
         rows.extend(
             [
@@ -443,6 +447,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 ("results match serial", "yes" if report.results_match else "NO"),
             ]
         )
+        if report.serial_elapsed_seconds is not None:
+            rows.append(("serial wall-clock", f"{report.serial_elapsed_seconds:.3f} s"))
+        if report.wall_clock_speedup is not None:
+            rows.append(("wall-clock speedup", f"{report.wall_clock_speedup:.1f}x"))
     print(
         format_table(
             ["statistic", "value"],

@@ -37,7 +37,15 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 from repro.analytics.base import Task, TaskResult, normalize_result
 from repro.compression.compressor import CompressedCorpus
 from repro.core.layout import DeviceRuleLayout
-from repro.core.plans import DEFAULT_PARAMS, QueryParams, TaskPlan, plan_for
+from repro.core.plans import (
+    DEFAULT_PARAMS,
+    QueryParams,
+    TaskPlan,
+    fused_execution_strategies,
+    fused_required_state,
+    plan_for,
+    run_fused_program,
+)
 from repro.core.session import BASE_INIT, DeviceSession, GTadocConfig
 from repro.core.strategy import StrategyDecision, TraversalStrategy, TraversalStrategySelector
 from repro.gpusim.device import GPUDevice
@@ -256,6 +264,85 @@ class GTadoc:
                 scheduler_summary=session.scheduler.summary(),
             )
 
+    def run_fused(
+        self,
+        tasks: Optional[Iterable[Union[Task, str]]] = None,
+        traversal: Optional[TraversalStrategy] = None,
+        session: Optional[DeviceSession] = None,
+        *,
+        sequence_length: Optional[int] = None,
+        file_indices: Optional[Iterable[int]] = None,
+    ) -> GTadocBatchResult:
+        """Serve several tasks from one fused traversal pass.
+
+        Where :meth:`run_batch` runs each task's marginal program
+        back-to-back, a fused batch walks the shared rule structure once
+        per result family: the per-file counts answer every
+        file-sensitive task and any co-batched corpus-wide task, so the
+        batch launches strictly fewer kernels whenever tasks share a
+        family.  Results are bit-identical to :meth:`run_batch`; the
+        fused kernels are recorded once, on the batch's first task, and
+        each task's ``strategy`` reports what its family primitive
+        actually executed (its own selector decision is kept in
+        ``strategy_decision``).
+        """
+        params = self._params(sequence_length, file_indices)
+        requested_tasks = Task.all() if tasks is None else tasks
+        task_list = [Task.from_name(t) if isinstance(t, str) else t for t in requested_tasks]
+        task_list = list(dict.fromkeys(task_list))
+        session = session if session is not None else self._session
+        with session.lock:
+            if params.filtered:
+                num_files = session.layout.num_files
+                for file_index in params.file_indices:
+                    if not 0 <= file_index < num_files:
+                        raise ValueError(
+                            f"file index {file_index} out of range (corpus has {num_files} files)"
+                        )
+            selector = TraversalStrategySelector(session.layout) if traversal is None else None
+            decisions: Dict[Task, Optional[StrategyDecision]] = {}
+            strategies: Dict[Task, TraversalStrategy] = {}
+            for task in task_list:
+                plan: TaskPlan = plan_for(task)
+                decision: Optional[StrategyDecision] = None
+                if selector is not None:
+                    decision = selector.select(task)
+                    strategy = decision.strategy
+                else:
+                    strategy = traversal
+                if plan.fixed_strategy is not None:
+                    strategy = plan.fixed_strategy
+                decisions[task] = decision
+                strategies[task] = strategy
+            executed = fused_execution_strategies(strategies)
+            session.ensure(BASE_INIT)
+            session.ensure(*fused_required_state(strategies, session.config, params))
+            fused = GpuRunRecord()
+            device = GPUDevice(record=fused, kernel_mode=session.config.kernel_mode)
+            pool_before = session.memory_pool_bytes
+            raw_results = run_fused_program(session, device, strategies, params)
+            results: Dict[Task, GTadocRunResult] = {}
+            for position, task in enumerate(task_list):
+                results[task] = GTadocRunResult(
+                    task=task,
+                    result=normalize_result(task, raw_results[task]),
+                    strategy=executed[task],
+                    strategy_decision=decisions[task],
+                    init_record=GpuRunRecord(),
+                    traversal_record=fused if position == 0 else GpuRunRecord(),
+                    memory_pool_bytes=(
+                        session.memory_pool_bytes - pool_before if position == 0 else 0
+                    ),
+                )
+            init_record, shared_record = session.drain_new_records()
+            return GTadocBatchResult(
+                results=results,
+                init_record=init_record,
+                shared_record=shared_record,
+                memory_pool_bytes=session.memory_pool_bytes,
+                scheduler_summary=session.scheduler.summary(),
+            )
+
     def run_all(self, traversal: Optional[TraversalStrategy] = None) -> GTadocBatchResult:
         """Run every task (evaluation order) as one batch.
 
@@ -310,6 +397,6 @@ class GTadoc:
         session.ensure(*plan.required_state(strategy, session.config, params))
 
         marginal = GpuRunRecord()
-        device = GPUDevice(record=marginal)
+        device = GPUDevice(record=marginal, kernel_mode=session.config.kernel_mode)
         raw = plan.traverse(session, device, strategy, params)
         return task, normalize_result(task, raw), strategy, decision, marginal

@@ -141,8 +141,14 @@ class DeviceRuleLayout:
 
     @property
     def average_rule_length(self) -> float:
-        non_root = self.rule_lengths[1:] or [0]
-        return sum(non_root) / max(1, len(non_root))
+        # Recomputed constantly by the scheduler's group sizing; the
+        # layout is immutable after construction, so compute once.
+        cached = self.__dict__.get("_average_rule_length")
+        if cached is None:
+            non_root = self.rule_lengths[1:] or [0]
+            cached = sum(non_root) / max(1, len(non_root))
+            self.__dict__["_average_rule_length"] = cached
+        return cached
 
     def estimated_local_table_entries(self) -> int:
         """Upper bound on the total number of local-table entries (pool sizing)."""

@@ -60,7 +60,16 @@ from repro.core.traversal import (
 from repro.core.sequence import sequence_counts
 from repro.gpusim.device import GPUDevice
 
-__all__ = ["QueryParams", "DEFAULT_PARAMS", "TaskPlan", "PLAN_REGISTRY", "plan_for"]
+__all__ = [
+    "QueryParams",
+    "DEFAULT_PARAMS",
+    "TaskPlan",
+    "PLAN_REGISTRY",
+    "plan_for",
+    "fused_execution_strategies",
+    "fused_required_state",
+    "run_fused_program",
+]
 
 
 @dataclass(frozen=True)
@@ -298,6 +307,157 @@ def _sequence_traverse(
         file_indices=params.file_indices,
     )
     return decode_sequence_counts(counts, session.compressed.dictionary)
+
+
+# ----------------------------------------------------------------------------------------
+# Cross-query fusion (serving micro-batches)
+# ----------------------------------------------------------------------------------------
+
+#: Tasks answered from corpus-wide word counts.
+_CORPUS_TASKS = (Task.WORD_COUNT, Task.SORT)
+#: Tasks answered from per-file word counts.
+_FILE_TASKS = (Task.INVERTED_INDEX, Task.TERM_VECTOR, Task.RANKED_INVERTED_INDEX)
+
+
+def _fused_families(tasks: List[Task]) -> Tuple[List[Task], List[Task], List[Task]]:
+    """Split ``tasks`` into (corpus-wide, file-sensitive, sequence) families."""
+    corpus = [task for task in tasks if task in _CORPUS_TASKS]
+    files = [task for task in tasks if task in _FILE_TASKS]
+    sequences = [task for task in tasks if task is Task.SEQUENCE_COUNT]
+    return corpus, files, sequences
+
+
+def fused_execution_strategies(
+    strategies: Dict[Task, TraversalStrategy],
+) -> Dict[Task, TraversalStrategy]:
+    """The strategy each task actually *executes* under in a fused pass.
+
+    A family's primitive runs once, under the strategy of the family's
+    first task, and every task served from that primitive reports the
+    primitive's strategy (each task's own selector decision is still
+    recorded separately).  Corpus-wide tasks co-batched with
+    file-sensitive tasks are derived from the per-file primitive, so
+    they adopt the file family's strategy.
+    """
+    corpus, files, _sequences = _fused_families(list(strategies))
+    executed = dict(strategies)
+    if files:
+        lead = strategies[files[0]]
+        for task in files + corpus:
+            executed[task] = lead
+    elif corpus:
+        lead = strategies[corpus[0]]
+        for task in corpus:
+            executed[task] = lead
+    return executed
+
+
+def fused_required_state(
+    strategies: Dict[Task, TraversalStrategy],
+    config: GTadocConfig,
+    params: QueryParams = DEFAULT_PARAMS,
+) -> Tuple[StateKey, ...]:
+    """Session state one fused pass over ``strategies`` consumes.
+
+    Only the primitives that actually run are required — e.g. a corpus
+    task derived from a co-batched per-file primitive never pulls in
+    the scalar rule weights.
+    """
+    corpus, files, sequences = _fused_families(list(strategies))
+    executed = fused_execution_strategies(strategies)
+    keys: List[StateKey] = []
+
+    def extend(new_keys: Tuple[StateKey, ...]) -> None:
+        for key in new_keys:
+            if key not in keys:
+                keys.append(key)
+
+    if files:
+        extend(_file_requires(executed[files[0]], config, params))
+    elif corpus:
+        extend(_corpus_requires(executed[corpus[0]], config, params))
+    if sequences:
+        extend(_sequence_requires(TraversalStrategy.TOP_DOWN, config, params))
+    return tuple(keys)
+
+
+def run_fused_program(
+    session: DeviceSession,
+    device: GPUDevice,
+    strategies: Dict[Task, TraversalStrategy],
+    params: QueryParams = DEFAULT_PARAMS,
+) -> Dict[Task, TaskResult]:
+    """Serve every task in ``strategies`` from one shared traversal pass.
+
+    Each result family's primitive runs exactly once on ``device``: the
+    per-file counts feed all file-sensitive tasks *and* (by host-side
+    aggregation) any co-batched corpus-wide tasks, the corpus-wide
+    reduce runs only when no per-file primitive is needed, and sequence
+    counting keeps its own head/tail pipeline.  Results are identical
+    to per-task execution; the caller attributes the fused record.
+    """
+    layout = session.layout
+    executed = fused_execution_strategies(strategies)
+    corpus_tasks, file_tasks, sequence_tasks = _fused_families(list(strategies))
+    results: Dict[Task, TaskResult] = {}
+
+    per_file: Optional[List[Dict[int, int]]] = None
+    if file_tasks or (corpus_tasks and params.filtered):
+        lead = file_tasks[0] if file_tasks else corpus_tasks[0]
+        if params.filtered:
+            per_file = _filtered_per_file_counts(session, device, executed[lead], params)
+        elif executed[lead] is TraversalStrategy.TOP_DOWN:
+            per_file = topdown_per_file_counts(
+                layout, session.scheduler, device, file_weights=session.state(FILE_WEIGHTS)
+            )
+        else:
+            per_file = bottomup_per_file_counts(
+                layout, device, local_tables=session.state(LOCAL_TABLES)
+            )
+
+    if corpus_tasks:
+        if per_file is not None:
+            indices = params.file_indices if params.filtered else range(len(per_file))
+            counts: Dict[int, int] = {}
+            for file_index in indices:
+                for word_id, count in per_file[file_index].items():
+                    counts[word_id] = counts.get(word_id, 0) + count
+            if not params.filtered:
+                # Host-side aggregation standing in for the corpus reduce kernel.
+                device.record.host_counter.charge(
+                    compute_ops=float(sum(len(file_counts) for file_counts in per_file)),
+                    memory_bytes=8.0 * len(per_file),
+                )
+        elif executed[corpus_tasks[0]] is TraversalStrategy.TOP_DOWN:
+            counts = topdown_word_count(
+                layout, session.scheduler, device, weights=session.state(RULE_WEIGHTS)
+            )
+        else:
+            counts = bottomup_word_count(layout, device, local_tables=session.state(LOCAL_TABLES))
+        word_counts = decode_word_counts(counts, session.compressed.dictionary)
+        for task in corpus_tasks:
+            results[task] = word_count_to_sort(word_counts) if task is Task.SORT else word_counts
+
+    if file_tasks:
+        if params.filtered:
+            term_vector = _decode_file_subset(session, per_file, params)
+        else:
+            term_vector = decode_per_file_counts(
+                per_file, session.compressed.file_names, session.compressed.dictionary
+            )
+        for task in file_tasks:
+            if task is Task.TERM_VECTOR:
+                results[task] = per_file_counts_to_term_vector(term_vector)
+            elif task is Task.INVERTED_INDEX:
+                results[task] = per_file_counts_to_inverted_index(term_vector)
+            else:
+                results[task] = per_file_counts_to_ranked_inverted_index(term_vector)
+
+    if sequence_tasks:
+        results[Task.SEQUENCE_COUNT] = _sequence_traverse(
+            session, device, TraversalStrategy.TOP_DOWN, params
+        )
+    return results
 
 
 PLAN_REGISTRY: Dict[Task, TaskPlan] = {

@@ -63,17 +63,26 @@ class FineGrainedScheduler:
         self.layout = layout
         self.oversize_threshold = oversize_threshold
         self.max_group_size = max_group_size
+        # Group sizes are a pure function of the (immutable) layout and
+        # the two thresholds; computed once, reused by every launch.
+        self._group_sizes: List[int] = []
 
     # -- group sizing -------------------------------------------------------------------
+    def _sizes(self) -> List[int]:
+        if not self._group_sizes:
+            limit = self.oversize_threshold * max(1.0, self.layout.average_rule_length)
+            sizes = []
+            for length in self.layout.rule_lengths:
+                if length <= limit:
+                    sizes.append(1)
+                else:
+                    sizes.append(min(int(length // limit) + 1, self.max_group_size))
+            self._group_sizes = sizes
+        return self._group_sizes
+
     def group_size_for(self, rule_id: int) -> int:
         """Number of threads allocated to ``rule_id``."""
-        length = self.layout.rule_lengths[rule_id]
-        average = max(1.0, self.layout.average_rule_length)
-        limit = self.oversize_threshold * average
-        if length <= limit:
-            return 1
-        group = int(length // limit) + 1
-        return min(group, self.max_group_size)
+        return self._sizes()[rule_id]
 
     def thread_assignments(self, rule_ids: Sequence[int]) -> List[ThreadAssignment]:
         """Build the flat thread -> (rule, slice) mapping for a kernel launch."""
@@ -143,7 +152,7 @@ class FineGrainedScheduler:
 
     def summary(self) -> Dict[str, float]:
         """Scheduling statistics (used by reports and tests)."""
-        groups = [self.group_size_for(rule_id) for rule_id in range(self.layout.num_rules)]
+        groups = self._sizes()[: self.layout.num_rules]
         return {
             "rules": float(self.layout.num_rules),
             "threads": float(sum(groups)),

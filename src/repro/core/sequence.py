@@ -300,6 +300,12 @@ def sequence_counts(
     """
     if sequence_length != buffers.sequence_length:
         raise ValueError("sequence_length does not match the prepared buffers")
+    if device.kernel_mode == "vector":
+        from repro.core import vectorized
+
+        return vectorized.sequence_counts_vec(
+            layout, scheduler, device, buffers, weights, sequence_length, file_indices
+        )
     allowed = frozenset(file_indices) if file_indices is not None else None
 
     local_counts: Dict[Tuple[int, ...], int] = {}

@@ -79,6 +79,16 @@ class GTadocConfig:
     #: Charge PCIe transfers of the compressed data (large datasets that do
     #: not fit in GPU memory; see §VI-A "Methodology").
     needs_pcie_transfer: bool = False
+    #: Kernel execution mode: ``"vector"`` runs the hot kernels as numpy
+    #: bulk array operations (:mod:`repro.core.vectorized`), ``"scalar"``
+    #: interprets every simulated thread in Python.  Results and recorded
+    #: :class:`~repro.perf.counters.KernelStats` are bit-identical; the
+    #: scalar path is kept for equivalence testing and as the reference.
+    kernel_mode: str = "vector"
+
+    def __post_init__(self) -> None:
+        if self.kernel_mode not in ("scalar", "vector"):
+            raise ValueError(f"kernel_mode must be 'scalar' or 'vector', got {self.kernel_mode!r}")
 
 
 @dataclass(frozen=True)
@@ -279,7 +289,7 @@ class DeviceSession:
             if key == LOCAL_TABLES:
                 self._ensure(BOTTOMUP_BOUNDS)
             record = GpuRunRecord()
-            device = GPUDevice(record=record)
+            device = GPUDevice(record=record, kernel_mode=self.config.kernel_mode)
             value = self._build(key, device)
             phase = "initialization" if key.kind in _INIT_PHASE_KINDS else "traversal"
             entry = _CachedState(key=key, value=value, record=record, phase=phase)
@@ -349,6 +359,12 @@ class DeviceSession:
         device.record.host_counter.charge(
             compute_ops=4.0 * layout.num_rules, memory_bytes=8.0 * layout.num_rules
         )
+
+        if device.kernel_mode == "vector":
+            from repro.core.vectorized import data_structure_prep
+
+            data_structure_prep(layout, device)
+            return True
 
         def prep_kernel(tid: int, ctx) -> None:
             rule_id = tid

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import vectorized
 from repro.core.layout import DeviceRuleLayout
 from repro.core.scheduler import FineGrainedScheduler
 from repro.gpusim.device import GPUDevice
@@ -52,6 +53,8 @@ def compute_rule_weights_topdown(layout: DeviceRuleLayout, device: GPUDevice) ->
     Returns ``weights[r]`` = number of times rule ``r`` occurs in the
     corpus expansion.  The root's weight is 1 by definition.
     """
+    if device.kernel_mode == "vector":
+        return vectorized.compute_rule_weights(layout, device)
     num_rules = layout.num_rules
     weights = [0] * num_rules
     weights[0] = 1
@@ -113,6 +116,8 @@ def topdown_word_count(
     """Corpus-wide word counts via the top-down traversal (Algorithm 1)."""
     if weights is None:
         weights = compute_rule_weights_topdown(layout, device)
+    if device.kernel_mode == "vector":
+        return vectorized.topdown_word_count_reduce(layout, scheduler, device, weights)
     table = DeviceHashTable.sized_for(layout.vocabulary_size)
 
     rule_ids = list(range(layout.num_rules))
@@ -146,6 +151,8 @@ def compute_file_weights_topdown(
     corpus has very many files (section VI-C).  The tables only depend
     on the DAG, so they are shared by every file-sensitive task.
     """
+    if device.kernel_mode == "vector":
+        return vectorized.compute_file_weights(layout, device)
     num_rules = layout.num_rules
     file_weights: List[Dict[int, int]] = [dict() for _ in range(num_rules)]
     cur_in_edges = [0] * num_rules
@@ -222,6 +229,10 @@ def topdown_per_file_counts(
     num_rules = layout.num_rules
     if file_weights is None:
         file_weights = compute_file_weights_topdown(layout, device)
+    if device.kernel_mode == "vector":
+        return vectorized.topdown_per_file_counts_vec(
+            layout, scheduler, device, file_weights, file_indices
+        )
 
     per_file_counts: List[Dict[int, int]] = [dict() for _ in range(layout.num_files)]
 
@@ -390,6 +401,11 @@ def prepare_bottomup(
     pass that sizes every rule's local table, and (when a memory pool is
     supplied) allocates those tables from the pool.  Returns the bounds.
     """
+    if device.kernel_mode == "vector":
+        bounds = vectorized.prepare_bottomup_vec(layout, device)
+        if memory_pool is not None:
+            allocate_local_tables(memory_pool, bounds)
+        return bounds
     num_rules = layout.num_rules
 
     def gen_parents_kernel(tid: int, ctx) -> None:
@@ -429,6 +445,8 @@ def build_local_tables_bottomup(
         bounds = prepare_bottomup(layout, device, memory_pool)
     elif memory_pool is not None:
         allocate_local_tables(memory_pool, bounds)
+    if device.kernel_mode == "vector":
+        return vectorized.build_local_tables_vec(layout, device), bounds
 
     local_tables: List[Dict[int, int]] = [dict() for _ in range(num_rules)]
     cur_out_edges = [0] * num_rules
@@ -490,6 +508,8 @@ def bottomup_word_count(
     """Corpus-wide word counts via the bottom-up traversal (Algorithm 2)."""
     if local_tables is None:
         local_tables, _bounds = build_local_tables_bottomup(layout, device, memory_pool)
+    if device.kernel_mode == "vector":
+        return vectorized.bottomup_word_count_reduce(layout, device, local_tables)
     table = DeviceHashTable.sized_for(layout.vocabulary_size)
 
     # Level-2 nodes: the root's direct children, with their root frequencies.
@@ -536,6 +556,10 @@ def bottomup_per_file_counts(
     """
     if local_tables is None:
         local_tables, _bounds = build_local_tables_bottomup(layout, device, memory_pool)
+    if device.kernel_mode == "vector":
+        return vectorized.bottomup_per_file_counts_reduce(
+            layout, device, local_tables, file_indices
+        )
     per_file_counts: List[Dict[int, int]] = [dict() for _ in range(layout.num_files)]
     targets = sorted(set(file_indices)) if file_indices is not None else None
 

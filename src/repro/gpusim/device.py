@@ -11,16 +11,26 @@ designed to mitigate (section IV-B).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional
+
+import numpy as np
 
 from repro.gpusim.context import ThreadContext
 from repro.perf.counters import GpuRunRecord, KernelStats
 from repro.perf.specs import GPUSpec
 
-__all__ = ["GPUDevice", "KernelLaunch"]
+__all__ = ["GPUDevice", "KernelLaunch", "DEFAULT_HISTORY_LIMIT"]
 
 KernelFunction = Callable[[int, ThreadContext], None]
+
+#: Default bound on :attr:`GPUDevice.launch_history`.  A long-lived serving
+#: session launches kernels indefinitely; the history is a diagnostic ring
+#: buffer, not an accounting structure (that is :class:`GpuRunRecord`), so
+#: only the most recent launches are kept.  Pass ``history_limit=None`` for
+#: an unbounded history.
+DEFAULT_HISTORY_LIMIT = 256
 
 
 @dataclass
@@ -46,13 +56,29 @@ class GPUDevice:
     record:
         Optional :class:`GpuRunRecord` that every launch appends to; the
         engine swaps records between phases.
+    kernel_mode:
+        ``"scalar"`` runs kernels thread by thread through
+        :meth:`launch`; ``"vector"`` tells kernel implementations to use
+        :meth:`launch_bulk` with numpy per-thread work vectors instead.
+        Both modes produce bit-identical results and :class:`KernelStats`.
+    history_limit:
+        Bound on :attr:`launch_history` (``None`` = unbounded).
     """
 
-    def __init__(self, spec: Optional[GPUSpec] = None, record: Optional[GpuRunRecord] = None) -> None:
+    def __init__(
+        self,
+        spec: Optional[GPUSpec] = None,
+        record: Optional[GpuRunRecord] = None,
+        kernel_mode: str = "scalar",
+        history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
+        if kernel_mode not in ("scalar", "vector"):
+            raise ValueError(f"unknown kernel_mode: {kernel_mode!r}")
         self.spec = spec
         self.warp_size = spec.warp_size if spec is not None else 32
         self.record = record if record is not None else GpuRunRecord()
-        self.launch_history: list = []
+        self.kernel_mode = kernel_mode
+        self.launch_history: "deque[KernelLaunch]" = deque(maxlen=history_limit)
 
     # -- record management -----------------------------------------------------------
     def set_record(self, record: GpuRunRecord) -> None:
@@ -117,6 +143,71 @@ class GPUDevice:
         launch = KernelLaunch(stats=stats)
         self.launch_history.append(launch)
         return launch
+
+    def launch_bulk(
+        self,
+        name: str,
+        num_threads: int,
+        thread_ops: Optional[np.ndarray] = None,
+        thread_memory_bytes: Optional[np.ndarray] = None,
+        thread_shared_bytes: Optional[np.ndarray] = None,
+        thread_atomic_ops: Optional[np.ndarray] = None,
+        atomic_conflicts: float = 0.0,
+        memory_bytes_per_thread: float = 0.0,
+    ) -> KernelLaunch:
+        """Record a kernel launch from per-thread work vectors (bulk kernels).
+
+        The vectorized kernel implementations compute their results with
+        numpy array operations and report per-thread work as float64
+        vectors of length ``num_threads``.  This method aggregates them
+        into the exact :class:`KernelStats` the scalar :meth:`launch`
+        loop would produce: per-warp serial ops are the per-warp maxima
+        of ``thread_ops`` (pad to a warp multiple, reshape into warp
+        blocks, max, sum), totals are plain sums.  All charged quantities
+        are integer-valued floats, so numpy summation is exact and
+        order-independent — the stats match the scalar path bit for bit.
+        """
+        if num_threads <= 0:
+            raise ValueError("a kernel launch needs at least one thread")
+        ops = self._as_thread_vector(thread_ops, num_threads)
+        memory = self._as_thread_vector(thread_memory_bytes, num_threads)
+        shared = self._as_thread_vector(thread_shared_bytes, num_threads)
+        atomics = self._as_thread_vector(thread_atomic_ops, num_threads)
+        pad = (-num_threads) % self.warp_size
+        if pad:
+            padded = np.concatenate([ops, np.zeros(pad, dtype=np.float64)])
+        else:
+            padded = ops
+        warp_serial_ops = float(padded.reshape(-1, self.warp_size).max(axis=1).sum())
+        memory_total = float(memory.sum())
+        if memory_bytes_per_thread:
+            memory_total += float(memory_bytes_per_thread) * num_threads
+        stats = KernelStats(
+            name=name,
+            num_threads=num_threads,
+            num_warps=(num_threads + self.warp_size - 1) // self.warp_size,
+            warp_serial_ops=warp_serial_ops,
+            total_thread_ops=float(ops.sum()),
+            memory_bytes=memory_total,
+            shared_memory_bytes=float(shared.sum()),
+            atomic_ops=float(atomics.sum()),
+            atomic_conflicts=float(atomic_conflicts),
+        )
+        self.record.add_kernel(stats)
+        launch = KernelLaunch(stats=stats)
+        self.launch_history.append(launch)
+        return launch
+
+    @staticmethod
+    def _as_thread_vector(vector: Optional[np.ndarray], num_threads: int) -> np.ndarray:
+        if vector is None:
+            return np.zeros(num_threads, dtype=np.float64)
+        out = np.asarray(vector, dtype=np.float64)
+        if out.shape != (num_threads,):
+            raise ValueError(
+                f"per-thread vector has shape {out.shape}, expected ({num_threads},)"
+            )
+        return out
 
     # -- host <-> device transfers ----------------------------------------------------------
     def transfer_to_device(self, num_bytes: float) -> None:

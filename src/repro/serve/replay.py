@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -67,6 +68,27 @@ class ReplayReport:
     mode: str = "threads"
     #: Shard count of a sharded replay (``None`` otherwise).
     num_shards: Optional[int] = None
+    #: Wall-clock seconds the served replay took (driving the whole
+    #: trace through the service, excluding setup and the baseline).
+    elapsed_seconds: Optional[float] = None
+    #: Wall-clock seconds of the serial per-query baseline replay
+    #: (``None`` when the baseline was skipped).
+    serial_elapsed_seconds: Optional[float] = None
+
+    @property
+    def requests_per_second(self) -> Optional[float]:
+        if self.elapsed_seconds is None or self.elapsed_seconds <= 0:
+            return None
+        return self.num_requests / self.elapsed_seconds
+
+    @property
+    def wall_clock_speedup(self) -> Optional[float]:
+        """Serial baseline seconds over served seconds (higher is better)."""
+        if self.elapsed_seconds is None or self.serial_elapsed_seconds is None:
+            return None
+        if self.elapsed_seconds <= 0:
+            return None
+        return self.serial_elapsed_seconds / self.elapsed_seconds
 
     @property
     def served_launches_per_query(self) -> float:
@@ -111,11 +133,13 @@ def _serial_comparison(
     trace: Sequence[TraceItem],
     engine_config: Optional[GTadocConfig],
     outcomes: Sequence[RunOutcome],
-) -> Tuple[int, bool]:
+) -> Tuple[int, bool, float]:
     """Replay serially (fresh session per query) and check bit-identity.
 
     This is the one shared baseline: every replay flavour — threaded,
     asyncio and sharded — measures against exactly this per-query cost.
+    Returns total launches, the bit-identity verdict, and the
+    wall-clock seconds the serial replay took.
     """
     corpora, items = _normalize_trace(sources, trace)
     serial = [
@@ -124,12 +148,14 @@ def _serial_comparison(
     ]
     launches = 0
     match = True
+    started = time.perf_counter()
     for position, (index, query) in enumerate(items):
         reference = serial[index].run(query)
         launches += reference.kernel_launches
         if outcomes[position].result != reference.result:
             match = False
-    return launches, match
+    elapsed = time.perf_counter() - started
+    return launches, match, elapsed
 
 
 def _drive_threaded(
@@ -227,16 +253,19 @@ def replay_trace(
     service = AnalyticsService(
         corpora[0], engine_config=engine_config, service_config=service_config
     )
+    started = time.perf_counter()
     outcomes = _drive_threaded(
         lambda index, query: service.submit(query, source=corpora[index]),
         items,
         num_threads,
     )
+    elapsed = time.perf_counter() - started
 
     serial_launches: Optional[int] = None
     results_match: Optional[bool] = None
+    serial_elapsed: Optional[float] = None
     if serial_baseline:
-        serial_launches, results_match = _serial_comparison(
+        serial_launches, results_match, serial_elapsed = _serial_comparison(
             corpora, items, engine_config, outcomes
         )
 
@@ -248,6 +277,8 @@ def replay_trace(
         serial_launches=serial_launches,
         results_match=results_match,
         mode="threads",
+        elapsed_seconds=elapsed,
+        serial_elapsed_seconds=serial_elapsed,
     )
 
 
@@ -280,15 +311,18 @@ def replay_trace_async(
         max_workers=max_workers,
     )
     try:
+        started = time.perf_counter()
         outcomes = _drive_async(service.submit, corpora, items, concurrency)
+        elapsed = time.perf_counter() - started
         stats = service.stats()
     finally:
         service.close()
 
     serial_launches: Optional[int] = None
     results_match: Optional[bool] = None
+    serial_elapsed: Optional[float] = None
     if serial_baseline:
-        serial_launches, results_match = _serial_comparison(
+        serial_launches, results_match, serial_elapsed = _serial_comparison(
             corpora, items, engine_config, outcomes
         )
 
@@ -300,6 +334,8 @@ def replay_trace_async(
         serial_launches=serial_launches,
         results_match=results_match,
         mode="asyncio",
+        elapsed_seconds=elapsed,
+        serial_elapsed_seconds=serial_elapsed,
     )
 
 
@@ -348,7 +384,9 @@ def replay_trace_sharded(
 
             client = AsyncAnalyticsService(router=service)
             try:
+                started = time.perf_counter()
                 outcomes = _drive_async(client.submit, corpora, items, concurrency)
+                elapsed = time.perf_counter() - started
             finally:
                 client.close()
             mode = "asyncio+sharded"
@@ -356,11 +394,13 @@ def replay_trace_sharded(
         else:
             if num_threads < 1:
                 raise ValueError("num_threads must be >= 1")
+            started = time.perf_counter()
             outcomes = _drive_threaded(
                 lambda index, query: service.submit(query, source=corpora[index]),
                 items,
                 num_threads,
             )
+            elapsed = time.perf_counter() - started
             mode = "threads+sharded"
             drivers = num_threads
         stats = service.stats()
@@ -369,8 +409,9 @@ def replay_trace_sharded(
 
     serial_launches: Optional[int] = None
     results_match: Optional[bool] = None
+    serial_elapsed: Optional[float] = None
     if serial_baseline:
-        serial_launches, results_match = _serial_comparison(
+        serial_launches, results_match, serial_elapsed = _serial_comparison(
             corpora, items, engine_config, outcomes
         )
 
@@ -383,4 +424,6 @@ def replay_trace_sharded(
         results_match=results_match,
         mode=mode,
         num_shards=sharded_config.num_shards,
+        elapsed_seconds=elapsed,
+        serial_elapsed_seconds=serial_elapsed,
     )

@@ -126,6 +126,12 @@ class ServiceConfig:
     result_cache_bytes: Optional[int] = None
     #: Seconds a cached result stays servable (``None`` = no TTL).
     result_cache_ttl: Optional[float] = None
+    #: Fuse micro-batches that mix distinct tasks into one shared
+    #: traversal pass (:meth:`~repro.core.engine.GTadoc.run_fused`):
+    #: each result family's primitive runs once for the whole batch, so
+    #: launches/query drops below the plain coalescing floor.  Results
+    #: stay bit-identical to per-query execution.
+    fuse_batches: bool = True
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -461,8 +467,14 @@ class ServingCore:
         """Run one micro-batch against the entry's session and fill outcomes."""
         lead = batch[0].query
         indices = _file_indices_for(entry.compressed.file_names, lead.files)
-        result_batch = entry.engine.run_batch(
-            [slot.query.task for slot in batch],
+        tasks = list(dict.fromkeys(slot.query.task for slot in batch))
+        # A batch mixing distinct tasks compiles into one fused traversal
+        # pass (family primitives run once); uniform batches already
+        # collapse to a single execution inside run_batch.
+        fused = self.config.fuse_batches and len(tasks) > 1
+        runner = entry.engine.run_fused if fused else entry.engine.run_batch
+        result_batch = runner(
+            tasks,
             traversal=lead.traversal,
             sequence_length=lead.sequence_length,
             file_indices=indices,
@@ -484,7 +496,7 @@ class ServingCore:
                 query=slot.query,
                 backend=self.name,
                 task=slot.query.task,
-                result=shape_result(slot.query, run.result),
+                result=shape_result(slot.query, run.result, normalized=True),
                 perf=RunPerf(
                     initialization=initialization,
                     traversal=perf_from_records(run.traversal_record),
@@ -494,6 +506,7 @@ class ServingCore:
                     "strategy": run.strategy.value,
                     "batch_size": len(batch),
                     "coalesced": len(batch) > 1,
+                    "fused": fused,
                     "memory_pool_bytes": result_batch.memory_pool_bytes,
                     "result_cache": "miss" if self.config.cache_results else "off",
                 },

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+import numpy as np
+
 from repro.gpusim.context import ThreadContext
-from repro.gpusim.device import GPUDevice
+from repro.gpusim.device import DEFAULT_HISTORY_LIMIT, GPUDevice
 from repro.perf.counters import GpuRunRecord
 from repro.perf.specs import GTX_1080
 
@@ -144,3 +146,30 @@ class TestKernelLaunch:
     def test_warp_size_follows_spec(self):
         device = GPUDevice(spec=GTX_1080)
         assert device.warp_size == 32
+
+
+class TestLaunchHistory:
+    def test_history_bounded_by_default(self):
+        device = GPUDevice()
+        for i in range(DEFAULT_HISTORY_LIMIT + 10):
+            device.launch(f"k{i}", lambda tid, ctx: None, 1)
+        assert len(device.launch_history) == DEFAULT_HISTORY_LIMIT
+        # The bound is a ring buffer: only the most recent launches survive.
+        names = [launch.stats.name for launch in device.launch_history]
+        assert names[0] == "k10"
+        assert names[-1] == f"k{DEFAULT_HISTORY_LIMIT + 9}"
+        # The record still counts every launch — only the history is bounded.
+        assert device.record.num_launches == DEFAULT_HISTORY_LIMIT + 10
+
+    def test_history_unbounded_when_limit_is_none(self):
+        device = GPUDevice(history_limit=None)
+        for i in range(DEFAULT_HISTORY_LIMIT + 10):
+            device.launch(f"k{i}", lambda tid, ctx: None, 1)
+        assert len(device.launch_history) == DEFAULT_HISTORY_LIMIT + 10
+
+    def test_bulk_launches_share_the_bound(self):
+        device = GPUDevice(history_limit=4)
+        for i in range(6):
+            device.launch_bulk(f"bulk{i}", 2, thread_ops=np.ones(2))
+        names = [launch.stats.name for launch in device.launch_history]
+        assert names == ["bulk2", "bulk3", "bulk4", "bulk5"]

@@ -618,6 +618,64 @@ class TestRunBatchCoalescing:
 
 
 # ----------------------------------------------------------------------------------------
+# Cross-query micro-batch fusion
+# ----------------------------------------------------------------------------------------
+
+class TestMicroBatchFusion:
+    """``ServiceConfig.fuse_batches`` compiles a mixed-task micro-batch
+    into one fused traversal pass: results stay bit-identical to plain
+    coalesced batching while launching strictly fewer kernels."""
+
+    MIX = [Query(task=task) for task in Task.all()] + [
+        Query(task=Task.SORT, top_k=3),
+        Query(task=Task.WORD_COUNT, top_k=5),
+    ]
+
+    def _service(self, compressed, fuse_batches):
+        return AnalyticsService(
+            compressed,
+            service_config=ServiceConfig(cache_results=False, fuse_batches=fuse_batches),
+        )
+
+    def test_fused_results_bit_identical_to_unfused(self, tiny_compressed):
+        fused = self._service(tiny_compressed, True).run_batch(self.MIX)
+        unfused = self._service(tiny_compressed, False).run_batch(self.MIX)
+        for got, want in zip(fused, unfused):
+            assert got.result == want.result, got.query.describe()
+
+    def test_fused_results_match_per_query_execution(self, tiny_compressed):
+        serial = GTadocBackend(tiny_compressed)
+        for outcome in self._service(tiny_compressed, True).run_batch(self.MIX):
+            assert results_equal(
+                outcome.task, outcome.result, serial.run(outcome.query).result
+            ), outcome.query.describe()
+
+    def test_fused_batches_launch_strictly_fewer_kernels(self, tiny_compressed):
+        fused = self._service(tiny_compressed, True)
+        unfused = self._service(tiny_compressed, False)
+        fused.run_batch(self.MIX)
+        unfused.run_batch(self.MIX)
+        assert fused.stats().kernel_launches < unfused.stats().kernel_launches
+        # Both route the same query stream into the same micro-batches.
+        assert fused.stats().micro_batches == unfused.stats().micro_batches
+
+    def test_mixed_task_batches_flag_fusion_in_details(self, tiny_compressed):
+        outcomes = self._service(tiny_compressed, True).run_batch(self.MIX)
+        assert all(outcome.details["fused"] for outcome in outcomes)
+
+    def test_uniform_batches_do_not_fuse(self, tiny_compressed):
+        # A single-task batch already collapses to one execution inside
+        # run_batch; there is nothing to fuse across.
+        mix = [Query(task=Task.SORT, top_k=k) for k in (2, 3)]
+        outcomes = self._service(tiny_compressed, True).run_batch(mix)
+        assert all(not outcome.details["fused"] for outcome in outcomes)
+
+    def test_fusion_off_flags_every_batch_unfused(self, tiny_compressed):
+        outcomes = self._service(tiny_compressed, False).run_batch(self.MIX)
+        assert all(not outcome.details["fused"] for outcome in outcomes)
+
+
+# ----------------------------------------------------------------------------------------
 # The invalidate/in-flight race (epoch-guarded write-backs)
 # ----------------------------------------------------------------------------------------
 
