@@ -21,6 +21,10 @@ Result shapes
 ``RANKED_INVERTED_INDEX``
     ``{word: [(file name, count), ...]}`` sorted by descending count,
     then file name.
+``RELATIONAL``
+    ``[(group value, (aggregate values...)), ...]`` sorted by group
+    value; a single ``(None, ...)`` entry when the query has no
+    ``group_by``.  The query spec travels in ``Query.extras``.
 """
 
 from __future__ import annotations
@@ -49,11 +53,17 @@ TaskResult = Union[
     Dict[str, Dict[str, int]],
     Dict[Tuple[str, ...], int],
     Dict[str, List[Tuple[str, int]]],
+    List[Tuple[Any, Tuple[Any, ...]]],
 ]
 
 
 class Task(str, enum.Enum):
-    """The six CompressDirect analytics tasks supported by G-TADOC."""
+    """The six CompressDirect analytics tasks, plus relational analytics.
+
+    :attr:`RELATIONAL` executes SELECT-style filter/group-by/aggregate
+    queries over typed per-file rows (see :mod:`repro.relational`); its
+    query spec is carried in ``Query.extras["relational"]``.
+    """
 
     WORD_COUNT = "word_count"
     SORT = "sort"
@@ -61,6 +71,7 @@ class Task(str, enum.Enum):
     TERM_VECTOR = "term_vector"
     SEQUENCE_COUNT = "sequence_count"
     RANKED_INVERTED_INDEX = "ranked_inverted_index"
+    RELATIONAL = "relational"
 
     @property
     def is_sequence_sensitive(self) -> bool:
@@ -74,7 +85,11 @@ class Task(str, enum.Enum):
 
     @classmethod
     def all(cls) -> List["Task"]:
-        """All tasks in the paper's evaluation order."""
+        """The six classic tasks in the paper's evaluation order.
+
+        :attr:`RELATIONAL` is excluded: it is parameterised by a query
+        spec, so there is no single default run for a plain batch.
+        """
         return [
             cls.WORD_COUNT,
             cls.SORT,
@@ -111,6 +126,13 @@ def normalize_result(task: Task, result: Any) -> TaskResult:
             word: sorted(pairs, key=lambda pair: (-pair[1], pair[0]))
             for word, pairs in dict(result).items()
         }
+    if task is Task.RELATIONAL:
+        entries = [(group, tuple(values)) for group, values in result]
+        if len(entries) > 1:
+            # A None group only ever occurs alone (no group_by), so the
+            # keys here are homogeneous and directly comparable.
+            entries.sort(key=lambda entry: entry[0])
+        return entries
     raise ValueError(f"unknown task: {task!r}")
 
 
@@ -123,7 +145,7 @@ def copy_normalized(task: Task, result: Any) -> TaskResult:
     re-sorting — on large inverted indexes that re-sort dominates the
     serving layer's result shaping.
     """
-    if task is Task.SORT:
+    if task in (Task.SORT, Task.RELATIONAL):
         return list(result)
     if task is Task.INVERTED_INDEX:
         return {word: list(files) for word, files in result.items()}

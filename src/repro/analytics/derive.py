@@ -82,14 +82,41 @@ def per_file_counts_to_inverted_index(term_vector: Dict[str, Dict[str, int]]) ->
 def per_file_counts_to_ranked_inverted_index(
     term_vector: Dict[str, Dict[str, int]],
 ) -> Dict[str, List[Tuple[str, int]]]:
-    ranked: Dict[str, List[Tuple[str, int]]] = {}
+    # One ``np.lexsort`` over the flattened (word, count, file) triples
+    # replaces a Python sort per word: entries are ordered by word in
+    # first-encounter order, then count descending, then file name
+    # ascending (via the file's rank in name order), and the sorted run
+    # is split at word boundaries.
+    word_codes: Dict[str, int] = {}
+    file_rank = {name: rank for rank, name in enumerate(sorted(term_vector))}
+    codes: List[int] = []
+    ranks: List[int] = []
+    cnts: List[int] = []
+    files: List[str] = []
     for file_name, counts in term_vector.items():
+        rank = file_rank[file_name]
         for word, count in counts.items():
             if count:
-                ranked.setdefault(word, []).append((file_name, count))
+                codes.append(word_codes.setdefault(word, len(word_codes)))
+                ranks.append(rank)
+                cnts.append(count)
+                files.append(file_name)
+    if not codes:
+        return {}
+    code_arr = np.asarray(codes, dtype=np.int64)
+    count_arr = np.asarray(cnts, dtype=np.int64)
+    order = np.lexsort((np.asarray(ranks, dtype=np.int64), -count_arr, code_arr))
+    sorted_codes = code_arr[order]
+    sorted_counts = count_arr[order].tolist()
+    sorted_files = [files[i] for i in order.tolist()]
+    boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+    starts = [0, *boundaries.tolist(), len(order)]
+    word_list = list(word_codes)
     return {
-        word: sorted(pairs, key=lambda pair: (-pair[1], pair[0]))
-        for word, pairs in ranked.items()
+        word_list[sorted_codes[start]]: list(
+            zip(sorted_files[start:end], sorted_counts[start:end])
+        )
+        for start, end in zip(starts, starts[1:])
     }
 
 

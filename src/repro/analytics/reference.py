@@ -75,9 +75,30 @@ class UncompressedAnalytics:
             for word, pairs in ranked.items()
         }
 
+    def relational(self, spec) -> List[Tuple[object, Tuple[object, ...]]]:
+        """SELECT-style filter/group-by/aggregate over per-file rows.
+
+        Each document is parsed into one typed row by scanning its
+        token stream with the same parse-state monoid the compressed
+        engines fold over the grammar, so results are bit-identical to
+        the compressed-domain path.
+        """
+        from repro.relational import compute as rc
+
+        rows = [rc.row_from_tokens(document.tokens, spec.schema) for document in self.corpus]
+        return rc.execute_relational(rows, spec)
+
     # -- dispatcher --------------------------------------------------------------------
-    def run(self, task: Task) -> TaskResult:
-        """Run ``task`` and return its canonical result."""
+    def run(self, task: Task, *, relational=None) -> TaskResult:
+        """Run ``task`` and return its canonical result.
+
+        ``relational`` is the :class:`~repro.relational.spec.RelationalQuery`
+        required by :attr:`Task.RELATIONAL`.
+        """
+        if task is Task.RELATIONAL:
+            if relational is None:
+                raise ValueError("the relational task needs a RelationalQuery spec")
+            return normalize_result(task, self.relational(relational))
         handlers = {
             Task.WORD_COUNT: self.word_count,
             Task.SORT: self.sort,

@@ -182,6 +182,7 @@ class GTadocBackend(_BackendBase):
                 traversal=query.traversal,
                 sequence_length=query.sequence_length,
                 file_indices=indices,
+                relational=query.relational,
             )
             run = batch[query.task]
             init = perf_from_records(batch.init_record, batch.shared_record)
@@ -193,6 +194,7 @@ class GTadocBackend(_BackendBase):
                 traversal=query.traversal,
                 sequence_length=query.sequence_length,
                 file_indices=indices,
+                relational=query.relational,
             )
             init = perf_from_records(run.init_record)
             traversal = perf_from_records(run.traversal_record)
@@ -239,7 +241,10 @@ class CpuTadocBackend(_BackendBase):
         query = as_query(query)
         indices = _file_indices_for(self.compressed.file_names, query.files)
         run = self.engine.run(
-            query.task, sequence_length=query.sequence_length, file_indices=indices
+            query.task,
+            sequence_length=query.sequence_length,
+            file_indices=indices,
+            relational=query.relational,
         )
         perf = RunPerf(
             initialization=perf_from_counters(run.init_counter),
@@ -311,7 +316,9 @@ class ParallelTadocBackend(_RawCorpusBackend):
     def run(self, query: Union[Query, Task, str]) -> RunOutcome:
         query = as_query(query)
         engine = self._engine_for(query)
-        run = engine.run(query.task, sequence_length=query.sequence_length)
+        run = engine.run(
+            query.task, sequence_length=query.sequence_length, relational=query.relational
+        )
         perf = RunPerf(
             initialization=perf_from_counters(*run.partition_init_counters),
             traversal=perf_from_counters(*run.partition_traversal_counters, run.merge_counter),
@@ -358,7 +365,9 @@ class DistributedTadocBackend(_RawCorpusBackend):
     def run(self, query: Union[Query, Task, str]) -> RunOutcome:
         query = as_query(query)
         engine = self._engine_for(query)
-        run = engine.run(query.task, sequence_length=query.sequence_length)
+        run = engine.run(
+            query.task, sequence_length=query.sequence_length, relational=query.relational
+        )
         perf = RunPerf(
             initialization=perf_from_counters(*run.per_node_init_counters()),
             traversal=perf_from_counters(
@@ -420,7 +429,7 @@ class GpuUncompressedBackend(_RawCorpusBackend):
 
     def run(self, query: Union[Query, Task, str]) -> RunOutcome:
         query = as_query(query)
-        run = self._analytics_for(query).run(query.task)
+        run = self._analytics_for(query).run(query.task, relational=query.relational)
         perf = RunPerf(traversal=perf_from_records(run.record))
         return self._outcome(query, run.result, perf, raw=run)
 
@@ -452,7 +461,9 @@ class ReferenceBackend(_RawCorpusBackend):
             query.sequence_length if query.sequence_length is not None else self.sequence_length
         )
         kwargs = {} if length is None else {"sequence_length": length}
-        result = UncompressedAnalytics(corpus, **kwargs).run(query.task)
+        result = UncompressedAnalytics(corpus, **kwargs).run(
+            query.task, relational=query.relational
+        )
         return self._outcome(query, result, RunPerf(), raw=result)
 
     def capabilities(self) -> BackendCapabilities:

@@ -22,8 +22,26 @@ import numpy as np
 
 from repro.analytics.base import Task, TaskResult, copy_normalized, normalize_result
 from repro.core.strategy import TraversalStrategy
+from repro.relational.spec import RelationalQuery
 
-__all__ = ["FrozenExtras", "Query", "as_query", "shape_result"]
+__all__ = ["FrozenExtras", "Query", "as_query", "shape_result", "known_extras_for"]
+
+#: Annotation keys every task accepts: free-form client-side labels
+#: (request tracing, cache partitioning).  No engine interprets them,
+#: but they participate in equality/hashing like any other extras.
+_COMMON_EXTRAS = frozenset({"tag", "trace"})
+
+#: Extras keys each task understands.  Registered tasks reject unknown
+#: keys at :class:`Query` construction, so a typo (or an extra aimed at
+#: a different task) fails with a clear error instead of being silently
+#: ignored or blowing up deep inside plan execution.
+_KNOWN_EXTRAS = {task: _COMMON_EXTRAS for task in Task}
+_KNOWN_EXTRAS[Task.RELATIONAL] = _COMMON_EXTRAS | {"relational"}
+
+
+def known_extras_for(task: Task) -> frozenset:
+    """The extras keys ``task`` accepts (annotations only for classic tasks)."""
+    return _KNOWN_EXTRAS.get(task, _COMMON_EXTRAS)
 
 
 class FrozenExtras(Mapping):
@@ -128,7 +146,11 @@ class Query:
         Force a DAG traversal direction on backends that expose one
         (the G-TADOC engine); others ignore it.
     extras:
-        Room for future knobs; backends may interpret or ignore them.
+        Task-specific knobs and client annotations.  Every task accepts
+        the annotation keys ``tag``/``trace`` (opaque labels no engine
+        interprets); :attr:`Task.RELATIONAL` additionally requires the
+        ``relational`` key carrying its :class:`RelationalQuery` spec.
+        Unknown keys raise :class:`ValueError` at construction.
     """
 
     task: Task
@@ -156,6 +178,33 @@ class Query:
             object.__setattr__(self, "traversal", TraversalStrategy(self.traversal))
         if not isinstance(self.extras, FrozenExtras):
             object.__setattr__(self, "extras", FrozenExtras(self.extras))
+        self._validate_extras()
+
+    def _validate_extras(self) -> None:
+        """Reject unknown extras and enforce per-task extras contracts."""
+        known = known_extras_for(self.task)
+        unknown = sorted(set(self.extras) - known)
+        if unknown:
+            allowed = sorted(known) if known else "none"
+            raise ValueError(
+                f"unknown extras {unknown} for task {self.task.value!r} "
+                f"(allowed extras: {allowed})"
+            )
+        if self.task is Task.RELATIONAL:
+            spec = self.extras.get("relational")
+            if not isinstance(spec, RelationalQuery):
+                raise ValueError(
+                    "relational queries need extras={'relational': RelationalQuery(...)}"
+                )
+            if self.terms is not None:
+                raise ValueError("relational queries do not support a terms filter")
+            if self.sequence_length is not None:
+                raise ValueError("relational queries do not take a sequence_length")
+
+    @property
+    def relational(self) -> Optional[RelationalQuery]:
+        """The relational spec carried in extras (``None`` for classic tasks)."""
+        return self.extras.get("relational")
 
     # -- convenience -----------------------------------------------------------------------
     @property
@@ -193,6 +242,27 @@ def as_query(query: Union[Query, Task, str]) -> Query:
 # ----------------------------------------------------------------------------------------
 # Uniform result shaping (term filter + top-k), applied by every backend
 # ----------------------------------------------------------------------------------------
+
+def _shape_relational(
+    result: TaskResult, spec: Optional[RelationalQuery], top_k: Optional[int]
+) -> TaskResult:
+    """Apply the relational spec's ordering and the query's ``top_k``.
+
+    ``order_by`` sorts descending by the named aggregate with ``None``
+    values last; a stable sort over the canonical (group-ascending)
+    order keeps ties in group order.  Without an ``order_by`` the
+    ``top_k`` cut keeps the first groups in canonical order.
+    """
+    shaped = list(result)
+    if spec is not None and spec.order_by is not None:
+        slot = spec.aggregate_labels.index(spec.order_by)
+        present = [entry for entry in shaped if entry[1][slot] is not None]
+        missing = [entry for entry in shaped if entry[1][slot] is None]
+        present.sort(key=lambda entry: entry[1][slot], reverse=True)
+        shaped = present + missing
+    if top_k is not None:
+        shaped = shaped[:top_k]
+    return shaped
 
 def _filter_terms(task: Task, result: TaskResult, terms: Tuple[str, ...]) -> TaskResult:
     allowed = set(terms)
@@ -266,6 +336,10 @@ def shape_result(query: Query, result: TaskResult, *, normalized: bool = False) 
         if normalized
         else normalize_result(query.task, result)
     )
+    if query.task is Task.RELATIONAL:
+        # Relational shaping is spec-driven (order_by + top_k); a terms
+        # filter is rejected at Query construction.
+        return _shape_relational(shaped, query.relational, query.top_k)
     if query.terms is not None:
         shaped = _filter_terms(query.task, shaped, query.terms)
     if query.top_k is not None:

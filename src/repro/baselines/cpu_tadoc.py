@@ -229,6 +229,34 @@ class CpuTadoc:
                 counts[key] = counts.get(key, 0) + 1
         return counts
 
+    def relational_rows(
+        self,
+        schema,
+        counter: CostCounter,
+        file_indices: Optional[Tuple[int, ...]] = None,
+    ) -> List["rc.RowValues"]:
+        """Typed per-file rows by recursive expansion ([2]'s approach).
+
+        The sequential baseline expands every considered file to its
+        word ids and parses the row with the shared monoid fold —
+        bit-identical values to the compressed-domain kernels, at a cost
+        proportional to the decompressed text.
+        """
+        from repro.relational import compute as rc
+
+        dictionary = self.compressed.dictionary
+        rows: List[rc.RowValues] = []
+        for file_index in self._file_index_range(file_indices):
+            ids = self._expand_file_ids(file_index, counter)
+            counter.charge(
+                compute_ops=wc.TOKEN_SCAN_OPS * len(ids),
+                memory_bytes=wc.TOKEN_SCAN_BYTES * len(ids),
+                hash_ops=float(len(schema.fields)),
+            )
+            tokens = [dictionary.decode(word_id) for word_id in ids]
+            rows.append(rc.row_from_tokens(tokens, schema))
+        return rows
+
     def _per_file_counts_by_expansion(
         self, counter: CostCounter, file_indices: Optional[Tuple[int, ...]] = None
     ) -> List[Dict[int, int]]:
@@ -253,12 +281,14 @@ class CpuTadoc:
         *,
         sequence_length: Optional[int] = None,
         file_indices: Optional[Tuple[int, ...]] = None,
+        relational=None,
     ) -> CpuTadocRunResult:
         """Run ``task`` sequentially on the compressed corpus.
 
         ``sequence_length`` overrides the engine default for this call;
         ``file_indices`` restricts the result to a subset of files (the
-        expansion-based tasks then only expand those files).
+        expansion-based tasks then only expand those files);
+        ``relational`` is the query spec for :attr:`Task.RELATIONAL`.
         """
         if isinstance(task, str):
             task = Task.from_name(task)
@@ -317,6 +347,21 @@ class CpuTadoc:
                 traversal_counter, length=sequence_length, file_indices=file_indices
             )
             result = decode_sequence_counts(counts, dictionary)
+        elif task is Task.RELATIONAL:
+            from repro.relational import compute as rc
+
+            if relational is None:
+                raise ValueError("the relational task needs a RelationalQuery spec")
+            rows = self.relational_rows(
+                relational.schema, traversal_counter, file_indices=file_indices
+            )
+            traversal_counter.charge(
+                compute_ops=(wc.MASK_CHECK_OPS + wc.WEIGHT_UPDATE_OPS * len(relational.predicate))
+                * len(rows),
+                memory_bytes=wc.RESULT_ENTRY_BYTES * len(rows),
+                hash_ops=float(len(rows)),
+            )
+            result = rc.execute_relational(rows, relational)
         else:  # pragma: no cover - exhaustive over Task
             raise ValueError(f"unknown task: {task!r}")
 

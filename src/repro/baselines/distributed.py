@@ -90,12 +90,25 @@ class DistributedTadoc:
             ]
         return self._engines
 
-    def run(self, task: Task, *, sequence_length: Optional[int] = None) -> DistributedRunResult:
-        """Run ``task`` across the cluster and merge the partial results."""
+    def run(
+        self,
+        task: Task,
+        *,
+        sequence_length: Optional[int] = None,
+        relational=None,
+    ) -> DistributedRunResult:
+        """Run ``task`` across the cluster and merge the partial results.
+
+        Relational partials are the parsed *rows* (shuffled to the
+        driver, which filters/aggregates once), keeping the result
+        bit-identical to the unpartitioned engines.
+        """
         if isinstance(task, str):
             task = Task.from_name(task)
         engines = self._partition_engines()
         simulator = ClusterSimulator(self.cluster)
+        if task is Task.RELATIONAL:
+            return self._run_relational(engines, simulator, relational)
 
         partials: List[TaskResult] = []
         init_counters: List[CostCounter] = []
@@ -117,6 +130,46 @@ class DistributedTadoc:
         return DistributedRunResult(
             task=task,
             result=normalize_result(task, merged),
+            node_init_executions=init_executions,
+            node_traversal_executions=traversal_executions,
+            shuffle_counter=shuffle,
+            merge_counter=merge_counter,
+        )
+
+    def _run_relational(
+        self, engines: List[CpuTadoc], simulator: ClusterSimulator, relational
+    ) -> DistributedRunResult:
+        from repro.relational import compute as rc
+
+        if relational is None:
+            raise ValueError("the relational task needs a RelationalQuery spec")
+        row_partials: List[List[rc.RowValues]] = []
+        init_counters: List[CostCounter] = []
+        traversal_counters: List[CostCounter] = []
+        partition_entries: List[int] = []
+        for engine in engines:
+            traversal_counter = CostCounter()
+            rows = engine.relational_rows(relational.schema, traversal_counter)
+            row_partials.append(rows)
+            init_counters.append(engine._init_phase())
+            traversal_counters.append(traversal_counter)
+            partition_entries.append(len(rows))
+
+        init_executions = simulator.execute(init_counters, [0] * len(init_counters))
+        traversal_executions = simulator.execute(traversal_counters, partition_entries)
+        shuffle = simulator.shuffle_counter(traversal_executions)
+
+        merge_counter = CostCounter()
+        merged_rows = rc.merge_row_partials(row_partials, merge_counter)
+        result = rc.execute_relational(merged_rows, relational)
+        merge_counter.charge(
+            compute_ops=float(len(merged_rows)),
+            memory_bytes=12.0 * rc.relational_result_entry_count(result),
+            hash_ops=float(len(merged_rows)),
+        )
+        return DistributedRunResult(
+            task=Task.RELATIONAL,
+            result=normalize_result(Task.RELATIONAL, result),
             node_init_executions=init_executions,
             node_traversal_executions=traversal_executions,
             shuffle_counter=shuffle,

@@ -124,15 +124,30 @@ class GpuUncompressedAnalytics:
                     atomic_fraction=1.0,
                 )
             )
+        elif task is Task.RELATIONAL:
+            # Decompress-then-scan: every query re-parses the full token
+            # stream into rows, filters them, and aggregates — four
+            # launches per query, with no state to amortize across
+            # repeats (contrast the compressed path's two warm kernels).
+            num_rows = max(1, len(self.corpus))
+            record.add_kernel(
+                self._scan_kernel("parseRowsKernel", tokens, wc.TOKEN_SCAN_OPS, atomic_fraction=0.0)
+            )
+            record.add_kernel(
+                self._scan_kernel("filterRowsKernel", num_rows, wc.MASK_CHECK_OPS + wc.WEIGHT_UPDATE_OPS, atomic_fraction=0.0)
+            )
+            record.add_kernel(
+                self._scan_kernel("aggregateKernel", num_rows, wc.HASH_UPDATE_OPS, atomic_fraction=1.0)
+            )
         record.host_counter.charge(compute_ops=1_000.0, memory_bytes=4_096.0)
         return record
 
     # -- public API ------------------------------------------------------------------------------
-    def run(self, task: Task) -> GpuUncompressedRunResult:
+    def run(self, task: Task, *, relational=None) -> GpuUncompressedRunResult:
         """Run ``task`` on the raw tokens; record the GPU work it implies."""
         if isinstance(task, str):
             task = Task.from_name(task)
-        result = self._reference.run(task)
+        result = self._reference.run(task, relational=relational)
         record = self._build_record(task)
         return GpuUncompressedRunResult(task=task, result=result, record=record)
 

@@ -74,11 +74,25 @@ class ParallelCpuTadoc:
             ]
         return self._engines
 
-    def run(self, task: Task, *, sequence_length: Optional[int] = None) -> ParallelRunResult:
-        """Run ``task`` on every partition and merge the partial results."""
+    def run(
+        self,
+        task: Task,
+        *,
+        sequence_length: Optional[int] = None,
+        relational=None,
+    ) -> ParallelRunResult:
+        """Run ``task`` on every partition and merge the partial results.
+
+        Relational queries merge at the *row* level: every partition
+        parses its files' rows, the driver concatenates them and
+        aggregates once, so float sums stay a single exactly-rounded
+        ``fsum`` — bit-identical to the unpartitioned engines.
+        """
         if isinstance(task, str):
             task = Task.from_name(task)
         engines = self._partition_engines()
+        if task is Task.RELATIONAL:
+            return self._run_relational(engines, relational)
         partials: List[TaskResult] = []
         outcome = ParallelRunResult(task=task, result={})
         for engine in engines:
@@ -91,6 +105,30 @@ class ParallelCpuTadoc:
             )
         merged = merge_partial_results(task, partials, outcome.merge_counter)
         outcome.result = normalize_result(task, merged)
+        return outcome
+
+    def _run_relational(self, engines: List[CpuTadoc], relational) -> ParallelRunResult:
+        from repro.relational import compute as rc
+
+        if relational is None:
+            raise ValueError("the relational task needs a RelationalQuery spec")
+        outcome = ParallelRunResult(task=Task.RELATIONAL, result=[])
+        row_partials: List[List[rc.RowValues]] = []
+        for engine in engines:
+            traversal_counter = CostCounter()
+            rows = engine.relational_rows(relational.schema, traversal_counter)
+            row_partials.append(rows)
+            outcome.partition_init_counters.append(engine._init_phase())
+            outcome.partition_traversal_counters.append(traversal_counter)
+            outcome.partition_result_entries.append(len(rows))
+        merged_rows = rc.merge_row_partials(row_partials, outcome.merge_counter)
+        result = rc.execute_relational(merged_rows, relational)
+        outcome.merge_counter.charge(
+            compute_ops=float(len(merged_rows)),
+            memory_bytes=12.0 * rc.relational_result_entry_count(result),
+            hash_ops=float(len(merged_rows)),
+        )
+        outcome.result = normalize_result(Task.RELATIONAL, result)
         return outcome
 
     def run_all(self) -> Dict[Task, ParallelRunResult]:

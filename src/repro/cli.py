@@ -13,6 +13,10 @@ Four sub-commands cover the CompressDirect-style workflow:
     per-query window for sequence count.  Passing several tasks (or
     ``--task all``) runs them as one batch; backends that amortize
     charge the initialization phase once.
+``gtadoc relational``
+    Run one SELECT-style relational query (filter / group-by /
+    aggregate over per-file rows) directly on a compressed corpus,
+    through any registered backend.
 ``gtadoc info``
     Print Table II style statistics of a compressed corpus.
 ``gtadoc bench``
@@ -110,6 +114,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query word-window length for sequence count",
     )
 
+    relational = subparsers.add_parser(
+        "relational",
+        help="run a SELECT-style filter/group-by/aggregate query on compressed data",
+    )
+    relational.add_argument(
+        "--compressed", required=True, help="path written by 'gtadoc compress'"
+    )
+    relational.add_argument(
+        "--delimiter",
+        default=None,
+        help="delimiter token for column-addressed schemas (omit for keyed schemas)",
+    )
+    relational.add_argument(
+        "--field",
+        action="append",
+        required=True,
+        metavar="NAME:TYPE:LOCATOR",
+        help=(
+            "schema field as name:type:locator — the locator is a column index "
+            "with --delimiter, else the key token whose follower is the value "
+            "(types: str, int, float); repeatable"
+        ),
+    )
+    relational.add_argument(
+        "--where",
+        action="append",
+        default=[],
+        metavar="FIELD:OP:VALUE",
+        help="ANDed predicate term (ops: eq, ne, lt, le, gt, ge); repeatable",
+    )
+    relational.add_argument("--group-by", default=None, help="field to group rows by")
+    relational.add_argument(
+        "--agg",
+        action="append",
+        default=[],
+        metavar="OP[:FIELD]",
+        help="aggregate column, e.g. count or avg:age (default: count); repeatable",
+    )
+    relational.add_argument(
+        "--order-by", default=None, help="aggregate label to order groups by (descending)"
+    )
+    relational.add_argument(
+        "--top-k", type=_positive_int, default=None, help="keep only the first k groups"
+    )
+    relational.add_argument(
+        "--files", default=None, help="comma-separated file names to restrict the query to"
+    )
+    relational.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="gtadoc",
+        help="analytics engine to serve the query (default: gtadoc)",
+    )
+
     info = subparsers.add_parser("info", help="print statistics of a compressed corpus")
     info.add_argument("--compressed", required=True)
 
@@ -171,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the serial per-query comparison replay (faster)",
     )
+    serve.add_argument(
+        "--relational-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of fresh trace requests that are relational queries",
+    )
 
     return parser
 
@@ -224,7 +288,12 @@ def _parse_tasks(raw: str) -> List[Task]:
         if name.lower() == "all":
             wants_all = True
         else:
-            tasks.append(Task.from_name(name))
+            task = Task.from_name(name)
+            if task is Task.RELATIONAL:
+                raise ValueError(
+                    "relational queries need a schema; use the 'gtadoc relational' subcommand"
+                )
+            tasks.append(task)
     if wants_all:
         return Task.all()
     return list(dict.fromkeys(tasks))
@@ -297,6 +366,102 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_relational_spec(args: argparse.Namespace):
+    """Build a :class:`RelationalQuery` from the subcommand's arguments.
+
+    Spec-level validation (unknown fields, bad ops, non-numeric sums)
+    stays in :mod:`repro.relational.spec`; this only translates the
+    ``name:type:locator`` / ``field:op:value`` / ``op[:field]`` argument
+    grammar and coerces predicate values to their field's type.
+    """
+    from repro.relational.spec import (
+        Aggregate,
+        Condition,
+        FieldSpec,
+        RelationalQuery,
+        RowSchema,
+    )
+
+    fields = []
+    for raw in args.field:
+        parts = raw.split(":", 2)
+        if len(parts) != 3:
+            raise ValueError(f"--field must look like name:type:locator (got {raw!r})")
+        name, field_type, locator = parts
+        if args.delimiter is not None:
+            try:
+                column = int(locator)
+            except ValueError:
+                raise ValueError(
+                    f"--field {name!r}: with --delimiter the locator is a column index "
+                    f"(got {locator!r})"
+                ) from None
+            fields.append(FieldSpec(name, field_type, column=column))
+        else:
+            fields.append(FieldSpec(name, field_type, key=locator))
+    schema = RowSchema(fields=tuple(fields), delimiter=args.delimiter)
+
+    coerce = {"str": str, "int": int, "float": float}
+    predicate = []
+    for raw in args.where:
+        parts = raw.split(":", 2)
+        if len(parts) != 3:
+            raise ValueError(f"--where must look like field:op:value (got {raw!r})")
+        field_name, op, value = parts
+        spec = schema.field(field_name)  # raises KeyError on unknown fields
+        try:
+            typed = coerce[spec.type](value)
+        except ValueError:
+            raise ValueError(
+                f"--where {raw!r}: value {value!r} is not a valid {spec.type}"
+            ) from None
+        predicate.append(Condition(field_name, op, typed))
+
+    aggregates = []
+    for raw in args.agg or ["count"]:
+        op, _, agg_field = raw.partition(":")
+        aggregates.append(Aggregate(op, agg_field or None))
+
+    return RelationalQuery(
+        schema=schema,
+        predicate=tuple(predicate),
+        group_by=args.group_by,
+        aggregates=tuple(aggregates),
+        order_by=args.order_by,
+    )
+
+
+def _cmd_relational(args: argparse.Namespace) -> int:
+    try:
+        spec = _parse_relational_spec(args)
+        files = None
+        if args.files:
+            files = tuple(name.strip() for name in args.files.split(",") if name.strip())
+        query = Query(
+            task=Task.RELATIONAL,
+            top_k=args.top_k,
+            files=files,
+            extras={"relational": spec},
+        )
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    compressed = load_compressed(args.compressed)
+    backend = open_backend(args.backend, compressed)
+    outcome = backend.run(query)
+    print(f"query: {spec.describe()}   backend: {outcome.backend}")
+    print(f"kernel launches: {outcome.kernel_launches}")
+    print(f"modelled ops: {outcome.ops:.0f}")
+    header = "\t".join(("group", *spec.aggregate_labels))
+    print(f"groups: {len(outcome.result)}")
+    print(f"  {header}")
+    for group, values in outcome.result:
+        cells = "\t".join("null" if value is None else str(value) for value in values)
+        print(f"  {group}\t{cells}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     compressed = load_compressed(args.compressed)
     stats = compressed.statistics()
@@ -360,6 +525,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             raise ValueError(f"--threads must be a positive integer (got {args.threads})")
         if args.concurrency < 1:
             raise ValueError(f"--concurrency must be a positive integer (got {args.concurrency})")
+        if not 0.0 <= args.relational_fraction <= 1.0:
+            raise ValueError(
+                f"--relational-fraction must be within [0, 1] (got {args.relational_fraction})"
+            )
         service_config = ServiceConfig(
             max_sessions=args.max_sessions,
             coalesce_window=args.coalesce_window_ms / 1000.0,
@@ -372,7 +541,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     else:
         compressed = compress_corpus(generate_dataset(args.dataset, scale=args.scale))
     trace = synthesize_trace(
-        compressed.file_names, TraceConfig(num_requests=args.requests, seed=args.seed)
+        compressed.file_names,
+        TraceConfig(
+            num_requests=args.requests,
+            seed=args.seed,
+            relational_fraction=args.relational_fraction,
+        ),
     )
     if args.shards:
         report = replay_trace_sharded(
@@ -471,6 +645,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "compress": _cmd_compress,
         "run": _cmd_run,
+        "relational": _cmd_relational,
         "info": _cmd_info,
         "bench": _cmd_bench,
         "serve-bench": _cmd_serve_bench,

@@ -50,6 +50,7 @@ from repro.core.session import BASE_INIT, DeviceSession, GTadocConfig
 from repro.core.strategy import StrategyDecision, TraversalStrategy, TraversalStrategySelector
 from repro.gpusim.device import GPUDevice
 from repro.perf.counters import GpuRunRecord
+from repro.relational.spec import RelationalQuery
 
 __all__ = ["GTadocConfig", "GTadocRunResult", "GTadocBatchResult", "GTadoc"]
 
@@ -173,6 +174,7 @@ class GTadoc:
         *,
         sequence_length: Optional[int] = None,
         file_indices: Optional[Iterable[int]] = None,
+        relational: Optional["RelationalQuery"] = None,
     ) -> GTadocRunResult:
         """Execute ``task`` and return its result plus per-phase work records.
 
@@ -183,10 +185,12 @@ class GTadoc:
         ``sequence_length`` overrides the configured length for this call
         only; ``file_indices`` restricts the task to a file subset (the
         traversal then performs only the marginal work for those files).
-        The unified front door for these per-query knobs is
+        ``relational`` carries the query spec required by
+        :attr:`~repro.analytics.base.Task.RELATIONAL`.  The unified
+        front door for these per-query knobs is
         :class:`repro.api.Query` via :func:`repro.api.open_backend`.
         """
-        params = self._params(sequence_length, file_indices)
+        params = self._params(sequence_length, file_indices, relational)
         session = self._session.fresh()
         task, result, strategy, decision, marginal = self._execute_task(
             session, task, traversal, params
@@ -214,6 +218,7 @@ class GTadoc:
         *,
         sequence_length: Optional[int] = None,
         file_indices: Optional[Iterable[int]] = None,
+        relational: Optional["RelationalQuery"] = None,
     ) -> GTadocBatchResult:
         """Execute several tasks against one shared session.
 
@@ -229,7 +234,7 @@ class GTadoc:
         (e.g. ``engine.session.fresh()``) to measure one batch in
         isolation.
         """
-        params = self._params(sequence_length, file_indices)
+        params = self._params(sequence_length, file_indices, relational)
         requested_tasks = Task.all() if tasks is None else tasks
         task_list = [Task.from_name(t) if isinstance(t, str) else t for t in requested_tasks]
         # Duplicates collapse to one execution (results are keyed by task),
@@ -272,6 +277,7 @@ class GTadoc:
         *,
         sequence_length: Optional[int] = None,
         file_indices: Optional[Iterable[int]] = None,
+        relational: Optional["RelationalQuery"] = None,
     ) -> GTadocBatchResult:
         """Serve several tasks from one fused traversal pass.
 
@@ -286,7 +292,7 @@ class GTadoc:
         actually executed (its own selector decision is kept in
         ``strategy_decision``).
         """
-        params = self._params(sequence_length, file_indices)
+        params = self._params(sequence_length, file_indices, relational)
         requested_tasks = Task.all() if tasks is None else tasks
         task_list = [Task.from_name(t) if isinstance(t, str) else t for t in requested_tasks]
         task_list = list(dict.fromkeys(task_list))
@@ -354,14 +360,17 @@ class GTadoc:
     # -- plan execution ------------------------------------------------------------------------
     @staticmethod
     def _params(
-        sequence_length: Optional[int], file_indices: Optional[Iterable[int]]
+        sequence_length: Optional[int],
+        file_indices: Optional[Iterable[int]],
+        relational: Optional["RelationalQuery"] = None,
     ) -> QueryParams:
         """Normalize per-query knobs into a :class:`QueryParams`."""
-        if sequence_length is None and file_indices is None:
+        if sequence_length is None and file_indices is None and relational is None:
             return DEFAULT_PARAMS
         return QueryParams(
             sequence_length=sequence_length,
             file_indices=tuple(file_indices) if file_indices is not None else None,
+            relational=relational,
         )
 
     def _execute_task(

@@ -48,15 +48,19 @@ from repro.core.session import (
     DeviceSession,
     GTadocConfig,
     StateKey,
+    relational_rows_key,
+    relational_tables_key,
     sequence_buffers_key,
 )
 from repro.core.strategy import TraversalStrategy
 from repro.core.traversal import (
     bottomup_per_file_counts,
     bottomup_word_count,
+    relational_filter_aggregate,
     topdown_per_file_counts,
     topdown_word_count,
 )
+from repro.relational.spec import RelationalQuery
 from repro.core.sequence import sequence_counts
 from repro.gpusim.device import GPUDevice
 
@@ -79,11 +83,13 @@ class QueryParams:
     ``sequence_length`` overrides the engine config for sequence-sensitive
     tasks (``None`` means "use the configured default"); ``file_indices``
     restricts the query to a subset of files so the traversal does only
-    the marginal work for those files.
+    the marginal work for those files; ``relational`` carries the query
+    spec for :attr:`~repro.analytics.base.Task.RELATIONAL`.
     """
 
     sequence_length: Optional[int] = None
     file_indices: Optional[Tuple[int, ...]] = None
+    relational: Optional[RelationalQuery] = None
 
     def __post_init__(self) -> None:
         if self.sequence_length is not None and self.sequence_length < 1:
@@ -92,6 +98,10 @@ class QueryParams:
             object.__setattr__(self, "file_indices", tuple(sorted(set(self.file_indices))))
             if not self.file_indices:
                 raise ValueError("file_indices must name at least one file")
+        if self.relational is not None and not isinstance(self.relational, RelationalQuery):
+            raise ValueError(
+                f"relational must be a RelationalQuery, got {type(self.relational).__name__}"
+            )
 
     def effective_sequence_length(self, config: GTadocConfig) -> int:
         return self.sequence_length if self.sequence_length is not None else config.sequence_length
@@ -310,6 +320,39 @@ def _sequence_traverse(
 
 
 # ----------------------------------------------------------------------------------------
+# Relational analytics (filter / group-by / aggregate on the grammar)
+# ----------------------------------------------------------------------------------------
+
+def _relational_spec(params: QueryParams) -> RelationalQuery:
+    if params.relational is None:
+        raise ValueError(
+            "the relational task needs a RelationalQuery spec "
+            "(pass relational=... / Query.extras['relational'])"
+        )
+    return params.relational
+
+
+def _relational_requires(
+    strategy: TraversalStrategy, config: GTadocConfig, params: QueryParams = DEFAULT_PARAMS
+) -> Tuple[StateKey, ...]:
+    schema = _relational_spec(params).schema
+    return (relational_tables_key(schema), relational_rows_key(schema))
+
+
+def _relational_traverse(
+    session: DeviceSession,
+    device: GPUDevice,
+    strategy: TraversalStrategy,
+    params: QueryParams = DEFAULT_PARAMS,
+) -> TaskResult:
+    spec = _relational_spec(params)
+    rows = session.state(relational_rows_key(spec.schema))
+    return relational_filter_aggregate(
+        session.layout, device, spec, rows, file_indices=params.file_indices
+    )
+
+
+# ----------------------------------------------------------------------------------------
 # Cross-query fusion (serving micro-batches)
 # ----------------------------------------------------------------------------------------
 
@@ -319,12 +362,15 @@ _CORPUS_TASKS = (Task.WORD_COUNT, Task.SORT)
 _FILE_TASKS = (Task.INVERTED_INDEX, Task.TERM_VECTOR, Task.RANKED_INVERTED_INDEX)
 
 
-def _fused_families(tasks: List[Task]) -> Tuple[List[Task], List[Task], List[Task]]:
-    """Split ``tasks`` into (corpus-wide, file-sensitive, sequence) families."""
+def _fused_families(
+    tasks: List[Task],
+) -> Tuple[List[Task], List[Task], List[Task], List[Task]]:
+    """Split ``tasks`` into (corpus, file, sequence, relational) families."""
     corpus = [task for task in tasks if task in _CORPUS_TASKS]
     files = [task for task in tasks if task in _FILE_TASKS]
     sequences = [task for task in tasks if task is Task.SEQUENCE_COUNT]
-    return corpus, files, sequences
+    relational = [task for task in tasks if task is Task.RELATIONAL]
+    return corpus, files, sequences, relational
 
 
 def fused_execution_strategies(
@@ -339,7 +385,7 @@ def fused_execution_strategies(
     file-sensitive tasks are derived from the per-file primitive, so
     they adopt the file family's strategy.
     """
-    corpus, files, _sequences = _fused_families(list(strategies))
+    corpus, files, _sequences, _relational = _fused_families(list(strategies))
     executed = dict(strategies)
     if files:
         lead = strategies[files[0]]
@@ -363,7 +409,7 @@ def fused_required_state(
     task derived from a co-batched per-file primitive never pulls in
     the scalar rule weights.
     """
-    corpus, files, sequences = _fused_families(list(strategies))
+    corpus, files, sequences, relational = _fused_families(list(strategies))
     executed = fused_execution_strategies(strategies)
     keys: List[StateKey] = []
 
@@ -378,6 +424,8 @@ def fused_required_state(
         extend(_corpus_requires(executed[corpus[0]], config, params))
     if sequences:
         extend(_sequence_requires(TraversalStrategy.TOP_DOWN, config, params))
+    if relational:
+        extend(_relational_requires(TraversalStrategy.BOTTOM_UP, config, params))
     return tuple(keys)
 
 
@@ -398,7 +446,9 @@ def run_fused_program(
     """
     layout = session.layout
     executed = fused_execution_strategies(strategies)
-    corpus_tasks, file_tasks, sequence_tasks = _fused_families(list(strategies))
+    corpus_tasks, file_tasks, sequence_tasks, relational_tasks = _fused_families(
+        list(strategies)
+    )
     results: Dict[Task, TaskResult] = {}
 
     per_file: Optional[List[Dict[int, int]]] = None
@@ -457,6 +507,11 @@ def run_fused_program(
         results[Task.SEQUENCE_COUNT] = _sequence_traverse(
             session, device, TraversalStrategy.TOP_DOWN, params
         )
+
+    if relational_tasks:
+        results[Task.RELATIONAL] = _relational_traverse(
+            session, device, TraversalStrategy.BOTTOM_UP, params
+        )
     return results
 
 
@@ -491,6 +546,14 @@ PLAN_REGISTRY: Dict[Task, TaskPlan] = {
         task=Task.RANKED_INVERTED_INDEX,
         requires=_file_requires,
         traverse=_make_file_traverse(Task.RANKED_INVERTED_INDEX),
+    ),
+    Task.RELATIONAL: TaskPlan(
+        task=Task.RELATIONAL,
+        requires=_relational_requires,
+        traverse=_relational_traverse,
+        # Parse states are built leaves-first over the grammar DAG and
+        # memoized per schema; there is no top-down formulation.
+        fixed_strategy=TraversalStrategy.BOTTOM_UP,
     ),
 }
 

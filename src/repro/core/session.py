@@ -40,7 +40,9 @@ from repro.core.layout import DeviceRuleLayout
 from repro.core.scheduler import DEFAULT_OVERSIZE_THRESHOLD, FineGrainedScheduler
 from repro.core.sequence import build_sequence_buffers, head_tail_upper_limit
 from repro.core.traversal import (
+    assemble_relational_rows,
     build_local_tables_bottomup,
+    build_relational_tables,
     compute_file_weights_topdown,
     compute_rule_weights_topdown,
     prepare_bottomup,
@@ -59,6 +61,8 @@ __all__ = [
     "RULE_WEIGHTS",
     "FILE_WEIGHTS",
     "sequence_buffers_key",
+    "relational_tables_key",
+    "relational_rows_key",
     "DeviceSession",
 ]
 
@@ -95,12 +99,13 @@ class GTadocConfig:
 class StateKey:
     """Identity of one piece of cached session state.
 
-    ``param`` disambiguates parameterised families (currently only the
-    per-length sequence buffers).
+    ``param`` disambiguates parameterised families: the sequence-length
+    of per-length head/tail buffers, or the (hashable, frozen)
+    :class:`~repro.relational.spec.RowSchema` of relational parse state.
     """
 
     kind: str
-    param: Optional[int] = None
+    param: Optional[Any] = None
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return self.kind if self.param is None else f"{self.kind}[{self.param}]"
@@ -121,6 +126,16 @@ FILE_WEIGHTS = StateKey("file_weights")
 def sequence_buffers_key(sequence_length: int) -> StateKey:
     """State key of the head/tail buffers for one sequence length."""
     return StateKey("sequence_buffers", int(sequence_length))
+
+
+def relational_tables_key(schema: Any) -> StateKey:
+    """State key of one schema's per-rule relational parse states."""
+    return StateKey("relational_tables", schema)
+
+
+def relational_rows_key(schema: Any) -> StateKey:
+    """State key of one schema's assembled per-file typed rows."""
+    return StateKey("relational_rows", schema)
 
 
 #: State built during the Figure-3 initialization phase; everything else
@@ -288,6 +303,8 @@ class DeviceSession:
             # construction order (bounds before tables, etc.).
             if key == LOCAL_TABLES:
                 self._ensure(BOTTOMUP_BOUNDS)
+            elif key.kind == "relational_rows":
+                self._ensure(relational_tables_key(key.param))
             record = GpuRunRecord()
             device = GPUDevice(record=record, kernel_mode=self.config.kernel_mode)
             value = self._build(key, device)
@@ -313,6 +330,15 @@ class DeviceSession:
             return compute_rule_weights_topdown(layout, device)
         if key == FILE_WEIGHTS:
             return compute_file_weights_topdown(layout, device)
+        if key.kind == "relational_tables":
+            return build_relational_tables(
+                layout, device, key.param, self.compressed.dictionary
+            )
+        if key.kind == "relational_rows":
+            states = self._states[relational_tables_key(key.param)].value
+            return assemble_relational_rows(
+                layout, device, key.param, states, self.compressed.dictionary
+            )
         if key.kind == "sequence_buffers":
             # The pool is provisioned for the configured sequence length;
             # other lengths size their requirement and grow the pool in one

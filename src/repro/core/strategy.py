@@ -96,6 +96,15 @@ class TraversalStrategySelector:
     # -- public API ------------------------------------------------------------------------
     def select(self, task: Task) -> StrategyDecision:
         """Choose the traversal strategy for ``task`` on this layout."""
+        if task is Task.RELATIONAL:
+            # Relational parse states compose leaves-first (a monoid over
+            # rule bodies) and are memoized per schema on the session, so
+            # only the bottom-up direction exists for this plan.
+            return StrategyDecision(
+                strategy=TraversalStrategy.BOTTOM_UP,
+                estimated_costs={},
+                reason="relational parse states are built bottom-up and memoized per schema",
+            )
         if task is Task.SEQUENCE_COUNT:
             # Sequence counting has its own head/tail pipeline; the DAG scan
             # it needs (rule weights) is a top-down pass.

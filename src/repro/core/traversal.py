@@ -40,6 +40,9 @@ __all__ = [
     "prepare_bottomup",
     "allocate_local_tables",
     "build_local_tables_bottomup",
+    "build_relational_tables",
+    "assemble_relational_rows",
+    "relational_filter_aggregate",
 ]
 
 
@@ -585,3 +588,202 @@ def bottomup_per_file_counts(
     num_threads = len(targets) if targets is not None else layout.num_files
     device.launch("reduceFileResultKernel", reduce_kernel, max(1, num_threads))
     return per_file_counts
+
+
+# ----------------------------------------------------------------------------------------
+# Relational analytics (compressed-domain rows; see repro.relational)
+# ----------------------------------------------------------------------------------------
+
+def build_relational_tables(
+    layout: DeviceRuleLayout, device: GPUDevice, schema, dictionary
+):
+    """Per-rule relational parse states via the bottom-up wavefront.
+
+    Every rule gets the :mod:`repro.relational.compute` parse-state
+    summary of its expansion, built leaves-first with the same
+    out-edge-counter readiness protocol Algorithm 2 uses for local word
+    tables.  The states depend only on the grammar and the schema, so a
+    session memoizes them per schema (like ``LOCAL_TABLES``) and every
+    relational query over that schema pays only marginal kernels.
+    """
+    from repro.relational import compute as rc
+
+    if device.kernel_mode == "vector":
+        return vectorized.build_relational_tables_vec(layout, device, schema, dictionary)
+    anchors = rc.anchor_ids(schema, dictionary)
+    caps = rc.schema_caps(schema)
+    num_anchors = len(anchors)
+    num_rules = layout.num_rules
+    states = [rc.empty_state(num_anchors) for _ in range(num_rules)]
+    cur_out_edges = [0] * num_rules
+    masks = [False] * num_rules
+
+    def init_mask_kernel(tid: int, ctx) -> None:
+        rule_id = tid
+        if rule_id >= num_rules:
+            return
+        ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=8.0)
+        masks[rule_id] = layout.num_out_edges[rule_id] == 0
+
+    device.launch("initRelationalMaskKernel", init_mask_kernel, num_rules)
+
+    stop = False
+    while not stop:
+        stop = True
+
+        def parse_kernel(tid: int, ctx) -> None:
+            nonlocal stop
+            rule_id = tid
+            if rule_id >= num_rules:
+                return
+            ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=4.0)
+            if not masks[rule_id]:
+                return
+            if rule_id == 0:
+                # Per-file states are assembled from the root segments,
+                # never at the root itself.
+                masks[0] = False
+                return
+            body = layout.rule_bodies[rule_id]
+            ctx.charge(
+                ops=wc.SYMBOL_VISIT_OPS * len(body),
+                memory_bytes=wc.SYMBOL_VISIT_BYTES * len(body),
+            )
+            for _child, _frequency in layout.subrules[rule_id]:
+                ctx.charge(ops=wc.EDGE_VISIT_OPS, memory_bytes=wc.EDGE_VISIT_BYTES)
+            states[rule_id] = rc.fold_symbol_states(body, states, anchors, caps)
+            for parent in layout.parents[rule_id]:
+                ctx.charge(ops=wc.WEIGHT_UPDATE_OPS, memory_bytes=8.0)
+                ctx.atomic_add(cur_out_edges, parent, 1)
+                if cur_out_edges[parent] == layout.num_out_edges[parent]:
+                    masks[parent] = True
+                    stop = False
+            masks[rule_id] = False
+
+        device.launch("relParseKernel", parse_kernel, num_rules)
+    return states
+
+
+def assemble_relational_rows(
+    layout: DeviceRuleLayout, device: GPUDevice, schema, states, dictionary
+):
+    """Typed per-file rows from the per-rule parse states (one launch).
+
+    One thread per file walks the file's root segment, combining
+    terminal-token states with the memoized states of the root's direct
+    sub-rules, then extracts and types the schema's fields — the
+    compressed-domain equivalent of parsing the decompressed file text.
+    """
+    from repro.relational import compute as rc
+
+    if device.kernel_mode == "vector":
+        return vectorized.assemble_relational_rows_vec(
+            layout, device, schema, states, dictionary
+        )
+    anchors = rc.anchor_ids(schema, dictionary)
+    caps = rc.schema_caps(schema)
+    num_fields = len(schema.fields)
+    rows = [None] * layout.num_files
+
+    def assemble_kernel(tid: int, ctx) -> None:
+        file_index = tid
+        if file_index >= layout.num_files:
+            return
+        start, end = layout.root_segments[file_index]
+        ctx.charge(
+            ops=wc.SYMBOL_VISIT_OPS * (end - start) + wc.HASH_UPDATE_OPS * num_fields,
+            memory_bytes=wc.SYMBOL_VISIT_BYTES * (end - start)
+            + wc.HASH_UPDATE_BYTES * num_fields,
+        )
+        state = rc.fold_symbol_states(
+            layout.root_symbols[start:end], states, anchors, caps
+        )
+        rows[file_index] = rc.typed_row(
+            rc.extract_symbols(state, schema), schema, decode=dictionary.decode
+        )
+
+    device.launch("relAssembleRowsKernel", assemble_kernel, max(1, layout.num_files))
+    return rows
+
+
+def relational_filter_aggregate(
+    layout: DeviceRuleLayout,
+    device: GPUDevice,
+    spec,
+    rows,
+    file_indices: Optional[Sequence[int]] = None,
+):
+    """Marginal per-query kernels: predicate filter + grouped aggregation.
+
+    With the per-file rows memoized on the session, a relational query
+    costs exactly two launches: ``relFilterKernel`` evaluates every
+    predicate term on every considered row (no short-circuit — the
+    charge is data-independent), and ``relAggregateKernel`` folds the
+    passing rows into per-group aggregate cells with one tracked atomic
+    per (group, aggregate) update, so contended groups surface as atomic
+    conflicts.  The result values come from the shared
+    :func:`repro.relational.compute.execute_relational`, which every
+    engine uses — results agree across backends by construction.
+    """
+    from repro.relational import compute as rc
+
+    if device.kernel_mode == "vector":
+        return vectorized.relational_filter_aggregate_vec(
+            layout, device, spec, rows, file_indices
+        )
+    schema = spec.schema
+    targets = (
+        sorted(set(file_indices)) if file_indices is not None else list(range(layout.num_files))
+    )
+    num_conditions = len(spec.predicate)
+    num_aggs = len(spec.aggregates)
+    group_index = schema.field_index(spec.group_by) if spec.group_by is not None else None
+    passed = [False] * layout.num_files
+
+    def filter_kernel(tid: int, ctx) -> None:
+        if tid >= len(targets):
+            return
+        file_index = targets[tid]
+        ctx.charge(
+            ops=wc.MASK_CHECK_OPS + wc.WEIGHT_UPDATE_OPS * num_conditions,
+            memory_bytes=4.0 + 8.0 * num_conditions,
+        )
+        passed[file_index] = rc.evaluate_predicate(rows[file_index], spec)
+
+    device.launch("relFilterKernel", filter_kernel, max(1, len(targets)))
+
+    # Host-side control: the group directory that maps group values to
+    # aggregate-cell slots (proportional to rows considered + groups).
+    slots: Dict = {}
+    for file_index in targets:
+        if not passed[file_index]:
+            continue
+        group = None if group_index is None else rows[file_index][group_index]
+        if group_index is not None and group is None:
+            continue
+        if group not in slots:
+            slots[group] = len(slots)
+    device.record.host_counter.charge(
+        compute_ops=2.0 * len(targets), memory_bytes=8.0 * max(1, len(slots))
+    )
+    cells = [0.0] * max(1, len(slots) * num_aggs)
+
+    def aggregate_kernel(tid: int, ctx) -> None:
+        if tid >= len(targets):
+            return
+        file_index = targets[tid]
+        ctx.charge(ops=wc.MASK_CHECK_OPS, memory_bytes=4.0)
+        if not passed[file_index]:
+            return
+        row = rows[file_index]
+        group = None if group_index is None else row[group_index]
+        if group_index is not None and group is None:
+            return
+        ctx.charge(ops=wc.HASH_UPDATE_OPS, memory_bytes=wc.HASH_UPDATE_BYTES)
+        base = slots[group] * num_aggs
+        for offset in range(num_aggs):
+            ctx.charge(ops=wc.WEIGHT_UPDATE_OPS, memory_bytes=8.0)
+            ctx.atomic_add(cells, base + offset, 1.0)
+
+    device.launch("relAggregateKernel", aggregate_kernel, max(1, len(targets)))
+    return rc.execute_relational([rows[file_index] for file_index in targets], spec)

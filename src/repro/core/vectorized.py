@@ -54,6 +54,9 @@ __all__ = [
     "bottomup_word_count_reduce",
     "bottomup_per_file_counts_reduce",
     "sequence_counts_vec",
+    "build_relational_tables_vec",
+    "assemble_relational_rows_vec",
+    "relational_filter_aggregate_vec",
 ]
 
 _I64 = np.int64
@@ -1398,3 +1401,212 @@ def _sequence_merge(
         atomic_conflicts=conflicts,
     )
     return dict(zip(row_tuples, out_vals.tolist()))
+
+
+# ----------------------------------------------------------------------------------------
+# Relational analytics (vector ports of the traversal.py relational kernels)
+# ----------------------------------------------------------------------------------------
+
+def build_relational_tables_vec(
+    layout: DeviceRuleLayout, device: GPUDevice, schema, dictionary
+):
+    """Bulk port of the ``relParseKernel`` wavefront.
+
+    The per-rule parse states themselves come from the same pure fold
+    (:func:`repro.relational.compute.fold_symbol_states`) the scalar
+    kernel uses; only the charge accounting is replayed as per-round
+    thread vectors, exactly mirroring :func:`build_local_tables_vec`.
+    """
+    from repro.relational import compute as rc
+
+    flat = flattened(layout)
+    n = flat.num_rules
+    device.launch_bulk(
+        "initRelationalMaskKernel",
+        n,
+        thread_ops=np.full(n, wc.MASK_CHECK_OPS, dtype=_F64),
+        thread_memory_bytes=np.full(n, 8.0, dtype=_F64),
+    )
+
+    anchors = rc.anchor_ids(schema, dictionary)
+    caps = rc.schema_caps(schema)
+    body_lengths = np.asarray(
+        [len(body) for body in layout.rule_bodies], dtype=_F64
+    )
+    states = [rc.empty_state(len(anchors)) for _ in range(n)]
+    cur_out = np.zeros(n, dtype=_I64)
+    pending = sorted(np.flatnonzero(flat.num_out == 0))
+    while True:
+        ops = np.full(n, wc.MASK_CHECK_OPS, dtype=_F64)
+        mem = np.full(n, 4.0, dtype=_F64)
+        atomics = np.zeros(n, dtype=_F64)
+        touch_counts = np.zeros(n, dtype=_I64)
+        heap = [int(r) for r in pending]
+        heapq.heapify(heap)
+        pending = []
+        hit_any = False
+        while heap:
+            r = heapq.heappop(heap)
+            if r == 0:
+                # Per-file states come from the root segments, never
+                # from the root rule itself.
+                continue
+            states[r] = rc.fold_symbol_states(
+                layout.rule_bodies[r], states, anchors, caps
+            )
+            slo, shi = int(flat.sr_off[r]), int(flat.sr_off[r + 1])
+            degree = shi - slo
+            plo, phi = int(flat.par_off[r]), int(flat.par_off[r + 1])
+            ps = flat.par_ids[plo:phi]
+            num_parents = phi - plo
+            if num_parents:
+                cur_out[ps] += 1
+                touch_counts[ps] += 1
+                newly = ps[cur_out[ps] == flat.num_out[ps]]
+            else:
+                newly = ()
+            ops[r] += (
+                wc.SYMBOL_VISIT_OPS * body_lengths[r]
+                + wc.EDGE_VISIT_OPS * degree
+                + (wc.WEIGHT_UPDATE_OPS + 1.0) * num_parents
+            )
+            mem[r] += (
+                wc.SYMBOL_VISIT_BYTES * body_lengths[r]
+                + wc.EDGE_VISIT_BYTES * degree
+                + 16.0 * num_parents
+            )
+            atomics[r] += float(num_parents)
+            for parent in newly:
+                hit_any = True
+                p = int(parent)
+                if p > r:
+                    heapq.heappush(heap, p)
+                else:
+                    pending.append(p)
+        conflicts = float(np.maximum(0, touch_counts - 1).sum())
+        device.launch_bulk(
+            "relParseKernel",
+            n,
+            thread_ops=ops,
+            thread_memory_bytes=mem,
+            thread_atomic_ops=atomics,
+            atomic_conflicts=conflicts,
+        )
+        if not hit_any:
+            break
+    return states
+
+
+def assemble_relational_rows_vec(
+    layout: DeviceRuleLayout, device: GPUDevice, schema, states, dictionary
+):
+    """Bulk port of ``relAssembleRowsKernel`` (one thread per file)."""
+    from repro.relational import compute as rc
+
+    anchors = rc.anchor_ids(schema, dictionary)
+    caps = rc.schema_caps(schema)
+    num_fields = len(schema.fields)
+    num_files = layout.num_files
+    num_threads = max(1, num_files)
+    seg_lengths = np.zeros(num_threads, dtype=_F64)
+    rows = [None] * num_files
+    for file_index, (start, end) in enumerate(layout.root_segments):
+        seg_lengths[file_index] = float(end - start)
+        state = rc.fold_symbol_states(
+            layout.root_symbols[start:end], states, anchors, caps
+        )
+        rows[file_index] = rc.typed_row(
+            rc.extract_symbols(state, schema), schema, decode=dictionary.decode
+        )
+    ops = wc.SYMBOL_VISIT_OPS * seg_lengths
+    mem = wc.SYMBOL_VISIT_BYTES * seg_lengths
+    if num_files:
+        ops[:num_files] += wc.HASH_UPDATE_OPS * num_fields
+        mem[:num_files] += wc.HASH_UPDATE_BYTES * num_fields
+    device.launch_bulk(
+        "relAssembleRowsKernel",
+        num_threads,
+        thread_ops=ops,
+        thread_memory_bytes=mem,
+    )
+    return rows
+
+
+def relational_filter_aggregate_vec(
+    layout: DeviceRuleLayout,
+    device: GPUDevice,
+    spec,
+    rows,
+    file_indices=None,
+):
+    """Bulk port of ``relFilterKernel`` + ``relAggregateKernel``."""
+    from repro.relational import compute as rc
+
+    schema = spec.schema
+    targets = (
+        sorted(set(file_indices))
+        if file_indices is not None
+        else list(range(layout.num_files))
+    )
+    num_targets = len(targets)
+    num_threads = max(1, num_targets)
+    num_conditions = len(spec.predicate)
+    num_aggs = len(spec.aggregates)
+    group_index = (
+        schema.field_index(spec.group_by) if spec.group_by is not None else None
+    )
+
+    passed = [rc.evaluate_predicate(rows[file_index], spec) for file_index in targets]
+    ops = np.zeros(num_threads, dtype=_F64)
+    mem = np.zeros(num_threads, dtype=_F64)
+    if num_targets:
+        ops[:num_targets] = wc.MASK_CHECK_OPS + wc.WEIGHT_UPDATE_OPS * num_conditions
+        mem[:num_targets] = 4.0 + 8.0 * num_conditions
+    device.launch_bulk(
+        "relFilterKernel",
+        num_threads,
+        thread_ops=ops,
+        thread_memory_bytes=mem,
+    )
+
+    # Host-side group directory (slot per distinct group, insertion order)
+    # and per-group contributing-row counts for conflict accounting.
+    slots: Dict = {}
+    group_sizes: List[int] = []
+    contributes = np.zeros(num_threads, dtype=bool)
+    for position, file_index in enumerate(targets):
+        if not passed[position]:
+            continue
+        group = None if group_index is None else rows[file_index][group_index]
+        if group_index is not None and group is None:
+            continue
+        slot = slots.get(group)
+        if slot is None:
+            slots[group] = len(slots)
+            group_sizes.append(0)
+            slot = slots[group]
+        group_sizes[slot] += 1
+        contributes[position] = True
+    device.record.host_counter.charge(
+        compute_ops=2.0 * num_targets, memory_bytes=8.0 * max(1, len(slots))
+    )
+
+    ops = np.zeros(num_threads, dtype=_F64)
+    mem = np.zeros(num_threads, dtype=_F64)
+    atomics = np.zeros(num_threads, dtype=_F64)
+    if num_targets:
+        ops[:num_targets] = wc.MASK_CHECK_OPS
+        mem[:num_targets] = 4.0
+    ops[contributes] += wc.HASH_UPDATE_OPS + (wc.WEIGHT_UPDATE_OPS + 1.0) * num_aggs
+    mem[contributes] += wc.HASH_UPDATE_BYTES + 16.0 * num_aggs
+    atomics[contributes] = float(num_aggs)
+    conflicts = float(num_aggs * sum(max(0, size - 1) for size in group_sizes))
+    device.launch_bulk(
+        "relAggregateKernel",
+        num_threads,
+        thread_ops=ops,
+        thread_memory_bytes=mem,
+        thread_atomic_ops=atomics,
+        atomic_conflicts=conflicts,
+    )
+    return rc.execute_relational([rows[file_index] for file_index in targets], spec)

@@ -1,0 +1,35 @@
+"""Compressed-domain relational analytics (SQL-style plan family).
+
+Corpus files become typed rows through a declarative
+:class:`~repro.relational.spec.RowSchema`, and
+:class:`~repro.relational.spec.RelationalQuery` describes SELECT-style
+filter / group-by / aggregate computations executed directly on the
+grammar — rule-level partial parse states are built bottom-up and
+memoized in the device session, so decompressed rows are never
+materialized.
+"""
+
+from repro.relational.spec import (
+    AGGREGATE_OPS,
+    CONDITION_OPS,
+    FIELD_TYPES,
+    Aggregate,
+    Condition,
+    FieldSpec,
+    RelationalQuery,
+    RowSchema,
+)
+from repro.relational.compute import execute_relational, row_from_tokens
+
+__all__ = [
+    "AGGREGATE_OPS",
+    "CONDITION_OPS",
+    "FIELD_TYPES",
+    "Aggregate",
+    "Condition",
+    "FieldSpec",
+    "RelationalQuery",
+    "RowSchema",
+    "execute_relational",
+    "row_from_tokens",
+]

@@ -1,0 +1,349 @@
+"""Pure relational computation shared by every engine.
+
+The compressed-domain kernels, the CPU baselines and the uncompressed
+reference all answer relational queries through the helpers in this
+module, so their results agree structurally — the engines differ only in
+*how the parse states are obtained* (bottom-up over the grammar DAG
+versus a direct token scan) and in the work they charge.
+
+Row parsing is a monoid over token segments.  A :data:`ParseState`
+summarises one contiguous token segment with exactly what field
+extraction needs:
+
+* the segment's first and last token,
+* per anchor token (the schema's delimiter, or each distinct key), the
+  capped list of *followers* — the tokens immediately following the
+  anchor's occurrences, in order.
+
+:func:`combine` is associative (a capped follower list is a prefix of
+the concatenation's follower list), so per-rule states computed
+bottom-up over the grammar compose into per-file states at the root
+exactly as a left-to-right scan of the decompressed tokens would —
+without ever materializing those tokens.
+
+Aggregation is order-independent by construction: counts and integer
+sums are exact, float sums and averages go through :func:`math.fsum`
+(exactly rounded, hence independent of summation order), and min/max
+are commutative — which is what makes results bit-identical across
+partitioned, distributed and fused executions.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.compression.grammar import is_rule_ref, rule_ref_id
+from repro.relational.spec import Aggregate, Condition, RelationalQuery, RowSchema
+
+__all__ = [
+    "ParseState",
+    "RowValues",
+    "empty_state",
+    "token_state",
+    "combine",
+    "fold_states",
+    "fold_symbol_states",
+    "anchor_ids",
+    "extract_symbols",
+    "parse_typed",
+    "typed_row",
+    "row_from_tokens",
+    "condition_matches",
+    "evaluate_predicate",
+    "execute_relational",
+    "merge_row_partials",
+    "relational_result_entry_count",
+]
+
+#: ``(first, last, followers-per-anchor)`` summary of one token segment.
+#: Symbols are word ids in the compressed domain and plain token strings
+#: in the uncompressed one; the monoid is generic over both.
+ParseState = Tuple[Optional[Hashable], Optional[Hashable], Tuple[Tuple[Hashable, ...], ...]]
+
+#: One parsed row: a typed value (or ``None``) per schema field.
+RowValues = Tuple[Optional[Any], ...]
+
+_OP_FUNCS = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+
+# ----------------------------------------------------------------------------------------
+# The parse-state monoid
+# ----------------------------------------------------------------------------------------
+
+def empty_state(num_anchors: int) -> ParseState:
+    return (None, None, ((),) * num_anchors)
+
+
+def token_state(symbol: Hashable, num_anchors: int) -> ParseState:
+    """The state of a single-token segment (a token has no followers)."""
+    return (symbol, symbol, ((),) * num_anchors)
+
+
+def combine(
+    left: ParseState,
+    right: ParseState,
+    anchors: Sequence[Hashable],
+    caps: Sequence[int],
+) -> ParseState:
+    """Concatenate two segment summaries (associative, identity = empty)."""
+    if left[0] is None:
+        return right
+    if right[0] is None:
+        return left
+    followers: List[Tuple[Hashable, ...]] = []
+    for index, anchor in enumerate(anchors):
+        cap = caps[index]
+        merged = left[2][index]
+        if len(merged) < cap:
+            # The left segment's trailing anchor occurrence finds its
+            # follower in the right segment's first token.
+            if left[1] == anchor:
+                merged = merged + (right[0],)
+            merged = (merged + right[2][index])[:cap]
+        followers.append(merged)
+    return (left[0], right[1], tuple(followers))
+
+
+def fold_states(
+    states: Iterable[ParseState], anchors: Sequence[Hashable], caps: Sequence[int]
+) -> ParseState:
+    """Left fold of :func:`combine` over a sequence of states."""
+    state = empty_state(len(anchors))
+    for other in states:
+        state = combine(state, other, anchors, caps)
+    return state
+
+
+def fold_symbol_states(
+    symbols: Iterable[int],
+    rule_states: Sequence[ParseState],
+    anchors: Sequence[Hashable],
+    caps: Sequence[int],
+) -> ParseState:
+    """Fold a grammar symbol sequence: terminals and (memoized) rule refs."""
+    num_anchors = len(anchors)
+    state = empty_state(num_anchors)
+    for symbol in symbols:
+        if is_rule_ref(symbol):
+            other = rule_states[rule_ref_id(symbol)]
+        else:
+            other = token_state(symbol, num_anchors)
+        state = combine(state, other, anchors, caps)
+    return state
+
+
+def anchor_ids(schema: RowSchema, dictionary) -> Tuple[int, ...]:
+    """The schema's anchor tokens as word ids (-1 for out-of-vocabulary)."""
+    return tuple(
+        dictionary.lookup(word) if word in dictionary else -1
+        for word in schema.anchor_words
+    )
+
+
+def schema_caps(schema: RowSchema) -> Tuple[int, ...]:
+    """Follower-list caps per anchor (how many followers extraction needs)."""
+    if schema.delimiter is not None:
+        return (schema.max_column,)
+    return (1,) * len(schema.anchor_words)
+
+
+# ----------------------------------------------------------------------------------------
+# Field extraction and typing
+# ----------------------------------------------------------------------------------------
+
+def extract_symbols(state: ParseState, schema: RowSchema) -> Tuple[Optional[Hashable], ...]:
+    """Per-field raw symbol (token id or token string), ``None`` if absent."""
+    first, _last, followers = state
+    anchor_index = {anchor: i for i, anchor in enumerate(schema.anchor_words)}
+    symbols: List[Optional[Hashable]] = []
+    for spec in schema.fields:
+        if schema.delimiter is not None:
+            if spec.column == 0:
+                symbols.append(first)
+            else:
+                following = followers[0]
+                symbols.append(
+                    following[spec.column - 1] if len(following) >= spec.column else None
+                )
+        else:
+            following = followers[anchor_index[spec.key]]
+            symbols.append(following[0] if following else None)
+    return tuple(symbols)
+
+
+def parse_typed(word: Optional[str], type_name: str) -> Optional[Any]:
+    """Parse one token into the field's declared type (``None`` on failure)."""
+    if word is None:
+        return None
+    if type_name == "str":
+        return word
+    try:
+        value = int(word) if type_name == "int" else float(word)
+    except ValueError:
+        return None
+    if value != value:  # NaN breaks ordering and equality; treat as missing
+        return None
+    return value
+
+
+def typed_row(
+    symbols: Tuple[Optional[Hashable], ...],
+    schema: RowSchema,
+    decode=None,
+) -> RowValues:
+    """Typed field values from raw symbols (``decode`` maps ids to words)."""
+    values: List[Optional[Any]] = []
+    for symbol, spec in zip(symbols, schema.fields):
+        word = None if symbol is None else (decode(symbol) if decode is not None else symbol)
+        values.append(parse_typed(word, spec.type))
+    return tuple(values)
+
+
+def row_from_tokens(tokens: Sequence[str], schema: RowSchema) -> RowValues:
+    """One file's row parsed directly from its (uncompressed) token stream.
+
+    Bit-identical to the grammar path: it folds the same monoid over
+    single-token states, just in the string domain.
+    """
+    anchors = schema.anchor_words
+    caps = schema_caps(schema)
+    state = fold_states(
+        (token_state(token, len(anchors)) for token in tokens), anchors, caps
+    )
+    return typed_row(extract_symbols(state, schema), schema)
+
+
+# ----------------------------------------------------------------------------------------
+# Predicate evaluation and aggregation
+# ----------------------------------------------------------------------------------------
+
+def condition_matches(value: Optional[Any], condition: Condition) -> bool:
+    """One condition on one field value (``None`` never matches)."""
+    if value is None:
+        return False
+    try:
+        return bool(_OP_FUNCS[condition.op](value, condition.value))
+    except TypeError:
+        # Cross-type ordered comparisons (e.g. a str field against a
+        # numeric literal) simply do not match.
+        return False
+
+
+def evaluate_predicate(row: RowValues, spec: RelationalQuery) -> bool:
+    """ANDed predicate over one row (all terms evaluated, no short-circuit)."""
+    schema = spec.schema
+    matches = [
+        condition_matches(row[schema.field_index(condition.field)], condition)
+        for condition in spec.predicate
+    ]
+    return all(matches)
+
+
+def _finalize_aggregate(aggregate: Aggregate, field_type: Optional[str], values: List[Any]) -> Any:
+    if aggregate.op == "count":
+        return len(values)
+    if aggregate.op == "sum":
+        if field_type == "int":
+            return sum(values)
+        return math.fsum(values)
+    if aggregate.op == "min":
+        return min(values) if values else None
+    if aggregate.op == "max":
+        return max(values) if values else None
+    # avg
+    if not values:
+        return None
+    return math.fsum(float(value) for value in values) / len(values)
+
+
+def execute_relational(
+    rows: Iterable[RowValues], spec: RelationalQuery
+) -> List[Tuple[Optional[Any], Tuple[Any, ...]]]:
+    """Filter, group and aggregate ``rows`` into the canonical result shape.
+
+    Returns ``[(group value, (aggregate values...)), ...]`` sorted by
+    group value.  Without a ``group_by`` there is exactly one entry with
+    group ``None`` (SQL semantics: aggregates over zero rows still
+    produce a row).  Rows whose group value is ``None`` are excluded
+    from grouping; ``sum``/``min``/``max``/``avg`` skip ``None`` field
+    values while ``count`` counts every passing row.
+    """
+    schema = spec.schema
+    conditions = [
+        (condition, schema.field_index(condition.field)) for condition in spec.predicate
+    ]
+    group_index = schema.field_index(spec.group_by) if spec.group_by is not None else None
+    agg_plan: List[Tuple[Aggregate, Optional[int], Optional[str]]] = []
+    for aggregate in spec.aggregates:
+        if aggregate.field is None:
+            agg_plan.append((aggregate, None, None))
+        else:
+            agg_plan.append(
+                (aggregate, schema.field_index(aggregate.field), schema.field(aggregate.field).type)
+            )
+
+    groups: Dict[Any, List[List[Any]]] = {}
+    for row in rows:
+        passes = [condition_matches(row[index], condition) for condition, index in conditions]
+        if not all(passes):
+            continue
+        if group_index is None:
+            group = None
+        else:
+            group = row[group_index]
+            if group is None:
+                continue
+        buckets = groups.get(group)
+        if buckets is None:
+            buckets = groups[group] = [[] for _ in agg_plan]
+        for slot, (aggregate, index, _type) in enumerate(agg_plan):
+            if index is None:
+                buckets[slot].append(1)
+            else:
+                value = row[index]
+                if value is not None:
+                    buckets[slot].append(value)
+
+    def finalize(buckets: List[List[Any]]) -> Tuple[Any, ...]:
+        return tuple(
+            _finalize_aggregate(aggregate, field_type, buckets[slot])
+            for slot, (aggregate, _index, field_type) in enumerate(agg_plan)
+        )
+
+    if group_index is None:
+        buckets = groups.get(None, [[] for _ in agg_plan])
+        return [(None, finalize(buckets))]
+    return [(group, finalize(groups[group])) for group in sorted(groups)]
+
+
+# ----------------------------------------------------------------------------------------
+# Partitioned execution (parallel / distributed baselines)
+# ----------------------------------------------------------------------------------------
+
+def merge_row_partials(partials: Sequence[List[RowValues]], counter=None) -> List[RowValues]:
+    """Concatenate per-partition row lists (charging the merge counter).
+
+    Row-level merging keeps aggregation order-independent: the driver
+    aggregates the full row multiset once, so float sums are a single
+    exactly-rounded :func:`math.fsum` rather than a sum of partial sums.
+    """
+    merged: List[RowValues] = []
+    for rows in partials:
+        if counter is not None and rows:
+            counter.charge(compute_ops=2.0 * len(rows), memory_bytes=12.0 * len(rows))
+        merged.extend(rows)
+    return merged
+
+
+def relational_result_entry_count(result: List[Tuple[Any, Tuple[Any, ...]]]) -> int:
+    """Result entries shuffled/merged for a relational result (group rows)."""
+    return len(result)

@@ -1,0 +1,245 @@
+"""Declarative relational schemas and SELECT-style query specs.
+
+The relational subsystem treats every corpus file as one *row*.  A
+:class:`RowSchema` declares how typed field values are parsed out of a
+file's token stream — either *delimited* (a delimiter token splits the
+stream into columns) or *keyed* (a field's value is the token following
+its key token) — and a :class:`RelationalQuery` describes a SELECT-style
+computation over those rows: an ANDed predicate, an optional group-by
+field, and a tuple of aggregates (count/sum/min/max/avg) with optional
+ordering.
+
+Every class here is a frozen, hashable dataclass: a relational spec
+travels through ``Query.extras`` and participates in query equality and
+hashing, so it can key result caches and serving coalescing groups the
+same way the rest of the query does.  All validation happens at
+construction so an unusable spec fails before it reaches an engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "FIELD_TYPES",
+    "CONDITION_OPS",
+    "AGGREGATE_OPS",
+    "FieldSpec",
+    "RowSchema",
+    "Condition",
+    "Aggregate",
+    "RelationalQuery",
+]
+
+#: Supported field value types (parse failures yield ``None``).
+FIELD_TYPES = ("str", "int", "float")
+#: Supported predicate comparison operators.
+CONDITION_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+#: Supported aggregate operators.
+AGGREGATE_OPS = ("count", "sum", "min", "max", "avg")
+#: Aggregates that require a numeric field.
+_NUMERIC_AGGS = ("sum", "avg")
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One typed field of a row schema.
+
+    ``column`` locates the field in delimited schemas (column 0 is the
+    file's first token, column ``c`` >= 1 is the token following the
+    ``c``-th delimiter occurrence); ``key`` locates it in keyed schemas
+    (the token following the first occurrence of the key token).
+    """
+
+    name: str
+    type: str = "str"
+    column: Optional[int] = None
+    key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("field name must be a non-empty string")
+        if self.type not in FIELD_TYPES:
+            raise ValueError(
+                f"field {self.name!r}: type must be one of {FIELD_TYPES}, got {self.type!r}"
+            )
+        if self.column is not None and self.column < 0:
+            raise ValueError(f"field {self.name!r}: column must be >= 0")
+        if self.key is not None and not self.key:
+            raise ValueError(f"field {self.name!r}: key must be a non-empty token")
+        if (self.column is None) == (self.key is None):
+            raise ValueError(
+                f"field {self.name!r}: exactly one of column/key must be set"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.type in ("int", "float")
+
+
+@dataclass(frozen=True)
+class RowSchema:
+    """How one file's token stream becomes a typed row.
+
+    With a ``delimiter`` token the schema is *delimited* and every field
+    must carry a ``column``; without one it is *keyed* and every field
+    must carry a ``key``.  Field names are unique.
+    """
+
+    fields: Tuple[FieldSpec, ...]
+    delimiter: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fields", tuple(self.fields))
+        if not self.fields:
+            raise ValueError("a row schema needs at least one field")
+        names = [spec.name for spec in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in schema: {names}")
+        if self.delimiter is not None and not self.delimiter:
+            raise ValueError("delimiter must be a non-empty token")
+        for spec in self.fields:
+            if self.delimiter is not None and spec.column is None:
+                raise ValueError(
+                    f"delimited schema: field {spec.name!r} must use column addressing"
+                )
+            if self.delimiter is None and spec.key is None:
+                raise ValueError(
+                    f"keyed schema: field {spec.name!r} must use key addressing"
+                )
+
+    # -- lookups -----------------------------------------------------------------------
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.fields)
+
+    def field_index(self, name: str) -> int:
+        for index, spec in enumerate(self.fields):
+            if spec.name == name:
+                return index
+        raise KeyError(f"schema has no field {name!r}; fields are {self.field_names}")
+
+    def field(self, name: str) -> FieldSpec:
+        return self.fields[self.field_index(name)]
+
+    @property
+    def max_column(self) -> int:
+        """Highest column any field addresses (0 for keyed schemas)."""
+        if self.delimiter is None:
+            return 0
+        return max(spec.column for spec in self.fields)
+
+    @property
+    def anchor_words(self) -> Tuple[str, ...]:
+        """The anchor tokens row parsing tracks followers of.
+
+        Delimited schemas track the delimiter; keyed schemas track each
+        distinct key token (first-use order, deterministic).
+        """
+        if self.delimiter is not None:
+            return (self.delimiter,)
+        return tuple(dict.fromkeys(spec.key for spec in self.fields))
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One ANDed predicate term: ``field <op> value``.
+
+    A row whose field value is ``None`` (missing/unparseable) never
+    satisfies any condition.
+    """
+
+    field: str
+    op: str
+    value: Union[str, int, float]
+
+    def __post_init__(self) -> None:
+        if self.op not in CONDITION_OPS:
+            raise ValueError(
+                f"condition on {self.field!r}: op must be one of {CONDITION_OPS}, got {self.op!r}"
+            )
+        hash(self.value)  # conditions must stay hashable (cache keys)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate column: ``count`` or ``<op>(<field>)``."""
+
+    op: str
+    field: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in AGGREGATE_OPS:
+            raise ValueError(
+                f"aggregate op must be one of {AGGREGATE_OPS}, got {self.op!r}"
+            )
+        if self.op == "count":
+            if self.field is not None:
+                raise ValueError("count takes no field")
+        elif self.field is None:
+            raise ValueError(f"aggregate {self.op!r} needs a field")
+
+    @property
+    def label(self) -> str:
+        return self.op if self.field is None else f"{self.op}({self.field})"
+
+
+@dataclass(frozen=True)
+class RelationalQuery:
+    """One SELECT-style query over a :class:`RowSchema`.
+
+    ``predicate`` terms are ANDed; rows whose ``group_by`` value is
+    ``None`` are excluded from grouping; ``order_by`` names an aggregate
+    label (descending by value, ties by group) and is applied together
+    with the query's ``top_k`` during result shaping.
+    """
+
+    schema: RowSchema
+    predicate: Tuple[Condition, ...] = ()
+    group_by: Optional[str] = None
+    aggregates: Tuple[Aggregate, ...] = field(default_factory=lambda: (Aggregate("count"),))
+    order_by: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicate", tuple(self.predicate))
+        object.__setattr__(self, "aggregates", tuple(self.aggregates))
+        if not self.aggregates:
+            raise ValueError("a relational query needs at least one aggregate")
+        for condition in self.predicate:
+            self.schema.field_index(condition.field)  # raises on unknown fields
+        if self.group_by is not None:
+            self.schema.field_index(self.group_by)
+        for aggregate in self.aggregates:
+            if aggregate.field is None:
+                continue
+            spec = self.schema.field(aggregate.field)
+            if aggregate.op in _NUMERIC_AGGS and not spec.is_numeric:
+                raise ValueError(
+                    f"aggregate {aggregate.label!r} needs a numeric field, "
+                    f"but {spec.name!r} has type {spec.type!r}"
+                )
+        if self.order_by is not None and self.order_by not in self.aggregate_labels:
+            raise ValueError(
+                f"order_by {self.order_by!r} does not name an aggregate; "
+                f"available: {self.aggregate_labels}"
+            )
+
+    @property
+    def aggregate_labels(self) -> Tuple[str, ...]:
+        return tuple(aggregate.label for aggregate in self.aggregates)
+
+    def describe(self) -> str:
+        """A compact human-readable description (CLI/log output)."""
+        parts = [", ".join(self.aggregate_labels)]
+        if self.predicate:
+            parts.append(
+                "where " + " and ".join(
+                    f"{c.field} {c.op} {c.value!r}" for c in self.predicate
+                )
+            )
+        if self.group_by is not None:
+            parts.append(f"group by {self.group_by}")
+        if self.order_by is not None:
+            parts.append(f"order by {self.order_by} desc")
+        return " ".join(parts)

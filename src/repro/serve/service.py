@@ -422,8 +422,19 @@ class ServingCore:
         )
 
     def _group_key(self, entry: _SessionEntry, query: Query):
-        """Coalescing compatibility: same session state + traversal knobs."""
-        return (entry.key, query.sequence_length, query.files, query.traversal)
+        """Coalescing compatibility: same session state + traversal knobs.
+
+        ``extras`` participates because it parameterises execution (the
+        relational query spec travels there): queries whose extras
+        differ must not share one engine micro-batch.
+        """
+        return (
+            entry.key,
+            query.sequence_length,
+            query.files,
+            query.traversal,
+            query.extras,
+        )
 
     def _entry_for(self, prepared: _PreparedQuery) -> _SessionEntry:
         key = prepared.session_key
@@ -478,6 +489,7 @@ class ServingCore:
             traversal=lead.traversal,
             sequence_length=lead.sequence_length,
             file_indices=indices,
+            relational=lead.relational,
         )
         with self._stats_lock:
             self._micro_batches += 1

@@ -16,8 +16,46 @@ from typing import List, Optional, Sequence, Tuple
 from repro.analytics.base import Task
 from repro.api.query import Query
 from repro.compression.compressor import CompressedCorpus
+from repro.relational.spec import (
+    Aggregate,
+    Condition,
+    FieldSpec,
+    RelationalQuery,
+    RowSchema,
+)
 
-__all__ = ["TraceConfig", "synthesize_trace"]
+__all__ = ["TraceConfig", "synthesize_trace", "default_relational_specs"]
+
+
+def default_relational_specs(
+    keys: Sequence[str] = ("w1", "w2")
+) -> Tuple[RelationalQuery, ...]:
+    """A small spec family for relational traffic in synthetic traces.
+
+    The schema is keyed on ``keys`` (each field's value is the token
+    following its key), which matches the synthetic datasets' ``wN``
+    vocabulary.  On corpora where the keys never occur the rows parse to
+    all-``None`` fields and every query deterministically returns no
+    groups — still a valid end-to-end exercise of the relational path.
+    """
+    first, second = keys[0], keys[1 % len(keys)]
+    schema = RowSchema(
+        fields=(FieldSpec("head", key=first), FieldSpec("tail", key=second))
+    )
+    return (
+        RelationalQuery(schema=schema, group_by="head"),
+        RelationalQuery(
+            schema=schema,
+            group_by="tail",
+            aggregates=(Aggregate("count"), Aggregate("min", "head")),
+        ),
+        RelationalQuery(
+            schema=schema,
+            predicate=(Condition("head", "ne", second),),
+            group_by="head",
+            order_by="count",
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -41,15 +79,30 @@ class TraceConfig:
     #: corpus size).  Multi-corpus serving traces raise this so subset
     #: queries exercise more than two files.
     max_subset_files: int = 2
+    #: Probability that a fresh request is a relational query (drawn
+    #: from :attr:`relational_specs`) instead of a classic task.
+    relational_fraction: float = 0.0
+    #: Relational specs relational requests draw from; empty uses
+    #: :func:`default_relational_specs`.
+    relational_specs: Tuple[RelationalQuery, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_requests < 1:
             raise ValueError("num_requests must be >= 1")
-        for fraction in (self.repeat_fraction, self.top_k_fraction, self.file_subset_fraction):
+        fractions = (
+            self.repeat_fraction,
+            self.top_k_fraction,
+            self.file_subset_fraction,
+            self.relational_fraction,
+        )
+        for fraction in fractions:
             if not 0.0 <= fraction <= 1.0:
                 raise ValueError("trace fractions must be within [0, 1]")
         if self.max_subset_files < 1:
             raise ValueError("max_subset_files must be >= 1")
+        for spec in self.relational_specs:
+            if not isinstance(spec, RelationalQuery):
+                raise ValueError("relational_specs must hold RelationalQuery specs")
 
 
 def synthesize_trace(
@@ -72,16 +125,35 @@ def synthesize_trace(
     # first instead of modelling a stable set of hot queries.
     distinct: List[Query] = []
     seen: set = set()
+    relational_specs = config.relational_specs or default_relational_specs()
     for _ in range(config.num_requests):
         if distinct and rng.random() < config.repeat_fraction:
             trace.append(rng.choice(distinct))
             continue
-        task = rng.choice(config.tasks)
+        # Only draw when the knob is on, so traces generated before the
+        # relational family existed keep their exact seeded shape.
+        relational = (
+            config.relational_fraction > 0.0
+            and rng.random() < config.relational_fraction
+        )
+        task = Task.RELATIONAL if relational else rng.choice(config.tasks)
         top_k = rng.choice((5, 10, 20)) if rng.random() < config.top_k_fraction else None
         files = None
         if len(file_names) > 1 and rng.random() < config.file_subset_fraction:
             count = rng.randint(1, min(config.max_subset_files, len(file_names)))
             files = tuple(rng.sample(list(file_names), count))
+        if relational:
+            query = Query(
+                task=task,
+                top_k=top_k,
+                files=files,
+                extras={"relational": rng.choice(relational_specs)},
+            )
+            trace.append(query)
+            if query not in seen:
+                seen.add(query)
+                distinct.append(query)
+            continue
         sequence_length = (
             rng.choice(config.sequence_lengths) if task.is_sequence_sensitive else None
         )

@@ -123,41 +123,51 @@ class TestQueryExtras:
         assert with_extras != Query(task=Task.SORT)
 
     def test_extras_hash_is_insertion_order_independent(self):
-        forward = Query(task=Task.SORT, extras={"a": 1, "b": 2})
-        backward = Query(task=Task.SORT, extras={"b": 2, "a": 1})
+        forward = Query(task=Task.SORT, extras={"tag": 1, "trace": 2})
+        backward = Query(task=Task.SORT, extras={"trace": 2, "tag": 1})
         assert forward == backward and hash(forward) == hash(backward)
         assert {forward: "cached"}[backward] == "cached"
 
     def test_extras_behave_as_a_mapping(self):
-        query = Query(task=Task.SORT, extras={"a": 1, "b": 2})
-        assert query.extras["a"] == 1
-        assert dict(query.extras) == {"a": 1, "b": 2}
-        assert len(query.extras) == 2 and set(query.extras) == {"a", "b"}
-        assert query.extras == {"a": 1, "b": 2}
+        query = Query(task=Task.SORT, extras={"tag": 1, "trace": 2})
+        assert query.extras["tag"] == 1
+        assert dict(query.extras) == {"tag": 1, "trace": 2}
+        assert len(query.extras) == 2 and set(query.extras) == {"tag", "trace"}
+        assert query.extras == {"tag": 1, "trace": 2}
 
     def test_extras_cannot_be_mutated(self):
-        query = Query(task=Task.SORT, extras={"a": 1})
+        query = Query(task=Task.SORT, extras={"tag": 1})
         with pytest.raises(TypeError):
-            query.extras["a"] = 2  # type: ignore[index]
+            query.extras["tag"] = 2  # type: ignore[index]
 
     def test_replace_does_not_share_mutable_state(self):
         from dataclasses import replace
 
-        source = {"a": 1}
+        source = {"tag": 1}
         query = Query(task=Task.SORT, extras=source)
         moved = query.with_task("word_count")
         narrowed = replace(query, top_k=3)
-        source["a"] = 99  # the caller's dict is not the query's storage
-        assert query.extras["a"] == 1
-        assert moved.extras["a"] == 1 and narrowed.extras["a"] == 1
+        source["tag"] = 99  # the caller's dict is not the query's storage
+        assert query.extras["tag"] == 1
+        assert moved.extras["tag"] == 1 and narrowed.extras["tag"] == 1
 
     def test_unhashable_extras_value_rejected_at_construction(self):
         with pytest.raises(TypeError):
-            Query(task=Task.SORT, extras={"bad": []})
+            Query(task=Task.SORT, extras={"tag": []})
 
     def test_non_string_extras_key_rejected(self):
         with pytest.raises(TypeError):
             Query(task=Task.SORT, extras={1: "x"})
+
+    def test_unknown_extras_key_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="unknown extras.*allowed extras"):
+            Query(task=Task.SORT, extras={"traec": "typo"})
+
+    def test_known_extras_for_lists_the_contract(self):
+        from repro.api.query import known_extras_for
+
+        assert known_extras_for(Task.SORT) == {"tag", "trace"}
+        assert "relational" in known_extras_for(Task.RELATIONAL)
 
 
 class TestShaping:
@@ -302,6 +312,49 @@ def test_backend_matrix_matches_reference(backends, tiny_compressed, name, task)
         assert outcome.backend == name
         assert outcome.task is task
         assert results_equal(task, outcome.result, expected.result), query.describe()
+
+
+#: A keyed schema over the tiny corpus: each field is the token
+#: following its key ("the quick...", "grammar compression...").
+def _tiny_relational_spec():
+    from repro.relational.spec import (
+        Aggregate,
+        Condition,
+        FieldSpec,
+        RelationalQuery,
+        RowSchema,
+    )
+
+    schema = RowSchema(
+        fields=(
+            FieldSpec("after_the", key="the"),
+            FieldSpec("after_grammar", key="grammar"),
+        )
+    )
+    return RelationalQuery(
+        schema=schema,
+        predicate=(Condition("after_the", "eq", "quick"),),
+        group_by="after_grammar",
+        aggregates=(Aggregate("count"), Aggregate("min", "after_the")),
+    )
+
+
+@pytest.mark.parametrize("name", MATRIX_BACKENDS)
+def test_backend_matrix_covers_relational(backends, tiny_compressed, name):
+    """The relational plan family joins the equivalence matrix: every
+    backend answers the same SELECT-style query bit-identically, plain
+    and under a file-subset filter."""
+    spec = _tiny_relational_spec()
+    subset = tuple(tiny_compressed.file_names[:2])
+    queries = [
+        Query(task=Task.RELATIONAL, extras={"relational": spec}),
+        Query(task=Task.RELATIONAL, files=subset, extras={"relational": spec}),
+    ]
+    for query in queries:
+        expected = backends["reference"].run(query)
+        outcome = backends[name].run(query)
+        assert outcome.task is Task.RELATIONAL
+        assert outcome.result == expected.result, query.describe()
 
 
 def test_run_batch_matches_individual_runs(backends):

@@ -434,9 +434,9 @@ class TestServiceCaching:
 
     def test_equal_queries_hit_regardless_of_construction(self, tiny_compressed):
         service = AnalyticsService(tiny_compressed)
-        service.submit(Query(task="word_count", top_k=5, extras={"b": 2, "a": 1}))
+        service.submit(Query(task="word_count", top_k=5, extras={"trace": 2, "tag": 1}))
         again = service.submit(
-            Query(task=Task.WORD_COUNT, top_k=5, extras={"a": 1, "b": 2})
+            Query(task=Task.WORD_COUNT, top_k=5, extras={"tag": 1, "trace": 2})
         )
         assert again.details["result_cache"] == "hit"
 

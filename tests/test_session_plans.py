@@ -267,7 +267,10 @@ class TestMemoryPool:
 
 class TestPlanRegistry:
     def test_every_task_has_a_plan(self):
-        assert set(PLAN_REGISTRY) == set(Task.all())
+        # Every task — the classic six plus relational — has a plan;
+        # ``Task.all()`` names only the spec-free classic tasks.
+        assert set(PLAN_REGISTRY) == set(Task)
+        assert set(Task.all()) == set(Task) - {Task.RELATIONAL}
 
     def test_plan_for_accepts_strings(self):
         assert plan_for("word_count") is PLAN_REGISTRY[Task.WORD_COUNT]
