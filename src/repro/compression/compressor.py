@@ -16,16 +16,83 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.compression.dag import DagStatistics, GrammarDAG
 from repro.compression.dictionary import Dictionary
-from repro.compression.grammar import Grammar, is_rule_ref, rule_ref_id
+from repro.compression.grammar import Grammar, Rule, is_rule_ref, rule_ref_id
 from repro.compression.sequitur import SequiturEncoder
 from repro.data.corpus import Corpus, Document
 
 __all__ = ["CompressedCorpus", "TadocCompressor", "compress_corpus"]
+
+#: Internal splitter ids live in their own high range while the grammar
+#: is being built online, because canonical splitter ids (``num_words +
+#: k``) are only known once the word registry stops growing.  Sequitur
+#: depends on symbol *equality* only, and a splitter occurs exactly once
+#: per stream, so relabeling splitters at snapshot time is a bijection
+#: on terminals that cannot change the grammar's structure.
+_SPLITTER_BASE = 1 << 40
+
+
+class _OnlineGrammarBuilder:
+    """Feed documents one at a time into a single live Sequitur stream.
+
+    The builder owns a mutable word registry (string -> id, in
+    first-encounter order — exactly the order the batch compressor
+    assigns) and a live :class:`SequiturEncoder`.  ``snapshot()``
+    materializes the canonical immutable triple (dictionary, grammar,
+    splitter ids) at any point; appending more documents afterwards
+    keeps the stream — and therefore every later snapshot — identical
+    to what compressing the whole corpus from scratch would produce.
+    """
+
+    def __init__(self) -> None:
+        self._encoder = SequiturEncoder().begin()
+        self._word_ids: Dict[str, int] = {}
+        self._words: List[str] = []
+        self._num_documents = 0
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_documents
+
+    def _word_id(self, word: str) -> int:
+        word_id = self._word_ids.get(word)
+        if word_id is None:
+            word_id = len(self._words)
+            self._word_ids[word] = word_id
+            self._words.append(word)
+        return word_id
+
+    def append_document(self, tokens: Sequence[str]) -> None:
+        """Extend the live stream with one document (and its splitter)."""
+        stream: List[int] = []
+        if self._num_documents > 0:
+            stream.append(_SPLITTER_BASE + (self._num_documents - 1))
+        stream.extend(self._word_id(token) for token in tokens)
+        self._encoder.extend(stream)
+        self._num_documents += 1
+
+    def snapshot(self) -> Tuple[Dictionary, Grammar, List[int]]:
+        """Canonical (dictionary, grammar, splitter_ids) for the stream so far."""
+        dictionary = Dictionary()
+        for word in self._words:
+            dictionary.encode_word(word)
+        splitter_ids = dictionary.allocate_splitters(max(0, self._num_documents - 1))
+        num_words = len(self._words)
+        raw = self._encoder.snapshot()
+        rules: List[Rule] = []
+        for rule in raw:
+            symbols: List[int] = []
+            for symbol in rule.symbols:
+                if not is_rule_ref(symbol) and symbol >= _SPLITTER_BASE:
+                    symbol = num_words + (symbol - _SPLITTER_BASE)
+                symbols.append(symbol)
+            rules.append(Rule(rule_id=rule.rule_id, symbols=symbols))
+        return dictionary, Grammar(rules), splitter_ids
 
 
 @dataclass(frozen=True)
@@ -58,6 +125,7 @@ class CompressedCorpus:
         splitter_ids: Sequence[int],
         original_size_bytes: int,
         original_tokens: int,
+        builder: Optional[_OnlineGrammarBuilder] = None,
     ) -> None:
         self.name = name
         self.dictionary = dictionary
@@ -70,6 +138,17 @@ class CompressedCorpus:
         self._splitter_set = set(self.splitter_ids)
         self._root_segments = self._compute_root_segments()
         self._fingerprint: Optional[str] = None
+        #: Mutation epoch: bumped once per successful mutation call.
+        self.version = 0
+        self._uid: Optional[str] = None
+        self._builder = builder
+        #: Recent mutations as ``(resulting version, kind)`` — sessions
+        #: consult this to pick the delta path (append) over a rebuild.
+        self._mutation_log: List[Tuple[int, str]] = []
+        #: Serializes mutations against readers that need a coherent
+        #: multi-attribute view (sessions snapshotting a layout, the
+        #: serving layer pairing version with fingerprint).
+        self.lock = threading.RLock()
 
     # -- identity ------------------------------------------------------------------
     def fingerprint(self) -> str:
@@ -80,18 +159,215 @@ class CompressedCorpus:
         value is a safe cache key for anything derived from the
         compressed form — device sessions, query results, serialized
         artifacts.  The display ``name`` does not participate: renaming
-        a corpus does not change any query result.
+        a corpus does not change any query result.  Mutations invalidate
+        the memo, so the fingerprint always hashes the *current* epoch's
+        content.
         """
-        if self._fingerprint is None:
-            payload = {
-                "file_names": self.file_names,
-                "splitter_ids": self.splitter_ids,
-                "dictionary": self.dictionary.to_dict(),
-                "rules": [rule.symbols for rule in self.grammar],
-            }
-            canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-            self._fingerprint = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-        return self._fingerprint
+        with self.lock:
+            if self._fingerprint is None:
+                payload = {
+                    "file_names": self.file_names,
+                    "splitter_ids": self.splitter_ids,
+                    "dictionary": self.dictionary.to_dict(),
+                    "rules": [rule.symbols for rule in self.grammar],
+                }
+                canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+                self._fingerprint = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            return self._fingerprint
+
+    @property
+    def uid(self) -> str:
+        """Stable identity that survives mutations.
+
+        The fingerprint at the corpus's first observation.  Routing
+        (shard placement) keys on ``uid`` so a live corpus does not hop
+        shards every time it is appended to; caches key on the
+        per-epoch :meth:`fingerprint`.  For a corpus that is never
+        mutated, ``uid == fingerprint()``.
+        """
+        with self.lock:
+            if self._uid is None:
+                self._uid = self.fingerprint()
+            return self._uid
+
+    # -- mutation ------------------------------------------------------------------
+    def _normalize_documents(
+        self,
+        documents: Union[Corpus, Mapping[str, Union[str, Sequence[str]]], Iterable[Document]],
+    ) -> List[Document]:
+        if isinstance(documents, Corpus):
+            return list(documents)
+        if isinstance(documents, Mapping):
+            normalized: List[Document] = []
+            for doc_name, content in documents.items():
+                if isinstance(content, str):
+                    normalized.append(Document(doc_name, content))
+                else:
+                    normalized.append(Document.from_tokens(doc_name, content))
+            return normalized
+        out = list(documents)
+        for document in out:
+            if not isinstance(document, Document):
+                raise TypeError("expected Document instances, a Corpus, or a mapping")
+        return out
+
+    def _ensure_builder(self) -> _OnlineGrammarBuilder:
+        """The live builder, replaying current content if none is attached.
+
+        Corpora that came out of :class:`TadocCompressor` carry their
+        builder; deserialized or hand-built ones reconstruct an
+        equivalent live stream from their own decompression (which is
+        canonical because Sequitur is online and deterministic).
+        """
+        if self._builder is None:
+            builder = _OnlineGrammarBuilder()
+            for index in range(len(self.file_names)):
+                builder.append_document(self.expand_file_tokens(index))
+            self._builder = builder
+        return self._builder
+
+    def _adopt_snapshot(
+        self,
+        builder: _OnlineGrammarBuilder,
+        file_names: Sequence[str],
+        original_size_bytes: int,
+        original_tokens: int,
+        kind: str,
+    ) -> None:
+        """Swap in a new epoch's content and invalidate every memo."""
+        dictionary, grammar, splitter_ids = builder.snapshot()
+        with self.lock:
+            self._builder = builder
+            self.dictionary = dictionary
+            self.grammar = grammar
+            self.file_names = list(file_names)
+            self.splitter_ids = list(splitter_ids)
+            self.original_size_bytes = original_size_bytes
+            self.original_tokens = original_tokens
+            self.dag = GrammarDAG(grammar)
+            self._splitter_set = set(self.splitter_ids)
+            self._root_segments = self._compute_root_segments()
+            self._fingerprint = None
+            self.version += 1
+            self._mutation_log.append((self.version, kind))
+            del self._mutation_log[:-64]
+
+    def mutations_since(self, version: int) -> Optional[List[str]]:
+        """Mutation kinds applied after ``version``, oldest first.
+
+        ``None`` when ``version`` predates the retained log window (the
+        caller must assume the worst and rebuild).
+        """
+        with self.lock:
+            if version >= self.version:
+                return []
+            kinds = [k for v, k in self._mutation_log if v > version]
+            if len(kinds) != self.version - version:
+                return None
+            return kinds
+
+    def append_files(
+        self,
+        documents: Union[Corpus, Mapping[str, Union[str, Sequence[str]]], Iterable[Document]],
+    ) -> None:
+        """Append new files, extending the grammar incrementally in place.
+
+        Appends ride the online Sequitur path: the live encoder consumes
+        the new documents' tokens (plus one fresh splitter per file
+        boundary), so no existing content is re-encoded.  The result is
+        bit-identical — grammar, dictionary, splitter ids, fingerprint —
+        to compressing the extended corpus from scratch.
+        """
+        new_documents = self._normalize_documents(documents)
+        if not new_documents:
+            return
+        with self.lock:
+            names = set(self.file_names)
+            for document in new_documents:
+                if document.name in names:
+                    raise ValueError(f"file {document.name!r} already exists in corpus")
+                names.add(document.name)
+            # uid must capture the pre-mutation identity before content moves.
+            _ = self.uid
+            builder = self._ensure_builder()
+            for document in new_documents:
+                builder.append_document(document.tokens)
+            self._adopt_snapshot(
+                builder,
+                self.file_names + [document.name for document in new_documents],
+                self.original_size_bytes + sum(d.size_bytes for d in new_documents),
+                self.original_tokens + sum(d.num_tokens for d in new_documents),
+                kind="append",
+            )
+
+    def replace_file(
+        self, name: str, content: Union[str, Sequence[str], Document]
+    ) -> None:
+        """Replace one file's content, rewriting only its root segment's sources.
+
+        Sequitur's invariants are global (a digram freed inside the
+        replaced file can merge with content anywhere else), so the
+        canonical grammar is re-derived by replaying the kept files'
+        token streams through a fresh live builder — still no raw-text
+        re-tokenization, and the replay *is* the new live stream, so
+        later appends stay incremental.
+        """
+        if isinstance(content, Document):
+            document = Document(name, content.text)
+            document._tokens = content._tokens
+        elif isinstance(content, str):
+            document = Document(name, content)
+        else:
+            document = Document.from_tokens(name, content)
+        with self.lock:
+            if name not in self.file_names:
+                raise KeyError(name)
+            index = self.file_names.index(name)
+            _ = self.uid
+            self._rebuild_with(
+                {index: document}, removed=frozenset()
+            )
+
+    def remove_file(self, name: str) -> None:
+        """Remove one file; the dictionary and grammar drop orphaned content.
+
+        The grammar is re-derived from the kept files (rules whose only
+        references lived in the removed file disappear — refcount GC
+        falls out of the replay), keeping every invariant the scratch
+        compressor guarantees.
+        """
+        with self.lock:
+            if name not in self.file_names:
+                raise KeyError(name)
+            if len(self.file_names) == 1:
+                raise ValueError("cannot remove the last file of a corpus")
+            index = self.file_names.index(name)
+            _ = self.uid
+            self._rebuild_with({}, removed=frozenset({index}))
+
+    def _rebuild_with(
+        self, replacements: Mapping[int, Document], removed: frozenset
+    ) -> None:
+        """Replay kept + replacement token streams through a fresh builder."""
+        builder = _OnlineGrammarBuilder()
+        kept_names: List[str] = []
+        total_tokens = 0
+        total_bytes = 0
+        for index, file_name in enumerate(self.file_names):
+            if index in removed:
+                continue
+            if index in replacements:
+                document = replacements[index]
+                tokens = document.tokens
+                size = document.size_bytes
+            else:
+                tokens = self.expand_file_tokens(index)
+                size = len(" ".join(tokens).encode("utf-8"))
+            builder.append_document(tokens)
+            kept_names.append(file_name)
+            total_tokens += len(tokens)
+            total_bytes += size
+        self._adopt_snapshot(builder, kept_names, total_bytes, total_tokens, kind="rebuild")
 
     # -- file segmentation -------------------------------------------------------
     def _compute_root_segments(self) -> List[Tuple[int, int]]:
@@ -176,17 +452,10 @@ class TadocCompressor:
     """Compress a :class:`~repro.data.corpus.Corpus` into TADOC form."""
 
     def compress(self, corpus: Corpus) -> CompressedCorpus:
-        dictionary = Dictionary()
-        encoded_files: List[List[int]] = [
-            dictionary.encode_tokens(document.tokens) for document in corpus
-        ]
-        splitter_ids = dictionary.allocate_splitters(max(0, len(corpus) - 1))
-        stream: List[int] = []
-        for index, encoded in enumerate(encoded_files):
-            if index > 0:
-                stream.append(splitter_ids[index - 1])
-            stream.extend(encoded)
-        grammar = SequiturEncoder().encode(stream)
+        builder = _OnlineGrammarBuilder()
+        for document in corpus:
+            builder.append_document(document.tokens)
+        dictionary, grammar, splitter_ids = builder.snapshot()
         return CompressedCorpus(
             name=corpus.name,
             dictionary=dictionary,
@@ -195,6 +464,7 @@ class TadocCompressor:
             splitter_ids=splitter_ids,
             original_size_bytes=corpus.size_bytes,
             original_tokens=corpus.num_tokens,
+            builder=builder,
         )
 
 

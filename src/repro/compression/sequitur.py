@@ -231,15 +231,44 @@ class SequiturEncoder:
     def encode(self, tokens: Iterable[int]) -> Grammar:
         """Consume ``tokens`` and return the resulting grammar.
 
-        The encoder is single-use; create a fresh instance per stream.
+        The encoder is single-use per *stream*: ``encode`` starts the
+        stream, so it can only be called once.  Incremental callers use
+        :meth:`begin` / :meth:`extend` / :meth:`snapshot` instead and
+        may keep extending the same stream after snapshotting.
         """
+        self.begin()
+        self.extend(tokens)
+        return self._build_grammar()
+
+    def begin(self) -> "SequiturEncoder":
+        """Start an (initially empty) stream; returns ``self`` for chaining."""
         if self._start is not None:
             raise RuntimeError("SequiturEncoder instances are single-use")
         self._start = _SequiturRule(self)
+        return self
+
+    def extend(self, tokens: Iterable[int]) -> None:
+        """Append ``tokens`` to the live stream, maintaining both invariants.
+
+        Because Sequitur is an online algorithm, extending a stream
+        yields exactly the grammar that encoding the concatenated stream
+        in one call would have produced.
+        """
+        if self._start is None:
+            raise RuntimeError("call begin() (or encode()) before extend()")
         for token in tokens:
             if token < 0:
                 raise ValueError("input tokens must be non-negative integers")
             self._start.append_value(terminal=int(token))
+
+    def snapshot(self) -> Grammar:
+        """An immutable :class:`Grammar` of the stream consumed so far.
+
+        Non-destructive: the encoder stays live and :meth:`extend` may
+        keep appending afterwards.
+        """
+        if self._start is None:
+            raise RuntimeError("call begin() (or encode()) before snapshot()")
         return self._build_grammar()
 
     # -- invariant inspection (used by tests) -----------------------------------------

@@ -191,6 +191,9 @@ class GTadoc:
         :class:`repro.api.Query` via :func:`repro.api.open_backend`.
         """
         params = self._params(sequence_length, file_indices, relational)
+        # Catch the persistent session up with any corpus mutations first,
+        # so the fresh session inherits a current-epoch layout.
+        self._session.sync_with_corpus()
         session = self._session.fresh()
         task, result, strategy, decision, marginal = self._execute_task(
             session, task, traversal, params
@@ -246,6 +249,7 @@ class GTadoc:
         # batches on one session serialize and the drained construction
         # records are attributed to the batch that actually built them.
         with session.lock:
+            session.sync_with_corpus()
             for requested in task_list:
                 pool_before = session.memory_pool_bytes
                 task, result, strategy, decision, marginal = self._execute_task(
@@ -298,6 +302,7 @@ class GTadoc:
         task_list = list(dict.fromkeys(task_list))
         session = session if session is not None else self._session
         with session.lock:
+            session.sync_with_corpus()
             if params.filtered:
                 num_files = session.layout.num_files
                 for file_index in params.file_indices:

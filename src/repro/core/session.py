@@ -170,6 +170,8 @@ class DeviceSession:
         self._memory_pool_built = False
         self._states: Dict[StateKey, _CachedState] = {}
         self._pending: List[_CachedState] = []
+        #: Corpus epoch the cached state (and layout) was built against.
+        self._built_version = compressed.version
         # Re-entrant so a batch can hold the lock across several
         # ensure/state/drain calls (the engine and the serving layer do).
         self._lock = threading.RLock()
@@ -192,7 +194,8 @@ class DeviceSession:
         """The device layout (built once, survives invalidation)."""
         with self._lock:
             if self._layout is None:
-                self._layout = DeviceRuleLayout.from_compressed(self.compressed)
+                with self.compressed.lock:
+                    self._layout = DeviceRuleLayout.from_compressed(self.compressed)
             return self._layout
 
     @property
@@ -235,7 +238,12 @@ class DeviceSession:
         full per-query work (the seed semantics benchmarks compare against),
         without re-flattening the grammar into a new layout.
         """
-        return DeviceSession(self.compressed, self.config, layout=self.layout)
+        with self._lock:
+            session = DeviceSession(self.compressed, self.config, layout=self._layout)
+            # The shared layout belongs to this session's built epoch, not
+            # necessarily the corpus's current one.
+            session._built_version = self._built_version
+            return session
 
     def configure(self, config: GTadocConfig) -> None:
         """Adopt ``config``; invalidate cached state if it differs."""
@@ -252,6 +260,157 @@ class DeviceSession:
             self._scheduler = None
             self._memory_pool = None
             self._memory_pool_built = False
+
+    # -- incremental corpus maintenance ------------------------------------------------------
+    @property
+    def built_version(self) -> int:
+        """Corpus epoch this session's cached state was built against."""
+        with self._lock:
+            return self._built_version
+
+    def sync_with_corpus(self) -> str:
+        """Catch the session up with its (possibly mutated) corpus.
+
+        Returns ``"none"`` (already current), ``"delta"`` (cached state
+        was delta-updated in place for the changed rules only), or
+        ``"rebuild"`` (cached state was dropped for a full lazy rebuild
+        — the correctness fallback whenever the mutation was not a
+        prefix-stable append or the delta would not be cheaper).
+        """
+        with self._lock:
+            corpus = self.compressed
+            with corpus.lock:
+                version = corpus.version
+                if version == self._built_version:
+                    return "none"
+                if self._layout is None or not self._states:
+                    # Nothing built yet: just adopt the new epoch.
+                    self.invalidate()
+                    self._layout = None
+                    self._built_version = version
+                    return "rebuild"
+                kinds = corpus.mutations_since(self._built_version)
+                if kinds is None or any(kind != "append" for kind in kinds):
+                    self._rebuild_for(version)
+                    return "rebuild"
+                from repro.core.delta import compute_grammar_delta
+
+                delta = compute_grammar_delta(self._layout, corpus)
+                if delta is None or delta.changed_fraction > 0.5:
+                    self._rebuild_for(version)
+                    return "rebuild"
+                self._apply_delta(delta)
+                self._built_version = version
+                return "delta"
+
+    def _rebuild_for(self, version: int) -> None:
+        self.invalidate()
+        self._layout = None
+        self._built_version = version
+
+    def _apply_delta(self, delta) -> None:
+        """Delta-update every cached state family for the changed rules.
+
+        Each updated family gets a fresh construction record queued on
+        the pending list, so the (small) delta work is attributed to the
+        next batch exactly like first-time construction would be.
+        """
+        from repro.core import delta as gd
+        from repro.core.traversal import allocate_local_tables
+
+        self._layout = delta.new_layout
+        self._scheduler = None
+
+        def rebuilt(key: StateKey, value: Any, record: GpuRunRecord) -> None:
+            phase = "initialization" if key.kind in _INIT_PHASE_KINDS else "traversal"
+            entry = _CachedState(key=key, value=value, record=record, phase=phase)
+            self._states[key] = entry
+            self._pending.append(entry)
+
+        def device_for(record: GpuRunRecord) -> GPUDevice:
+            return GPUDevice(record=record, kernel_mode=self.config.kernel_mode)
+
+        # The pool's owner ids are rule ids, which the new epoch renumbers:
+        # re-carve a fresh pool for the new layout (host-side bookkeeping,
+        # no kernels), sized by the same policy as first construction.
+        old_states = dict(self._states)
+        self._memory_pool = None
+        self._memory_pool_built = False
+        pool = self.memory_pool  # rebuilt against the new layout
+
+        if BASE_INIT in old_states:
+            record = GpuRunRecord()
+            rebuilt(BASE_INIT, gd.delta_prep(delta, device_for(record)), record)
+
+        bounds: Optional[List[int]] = None
+        if BOTTOMUP_BOUNDS in old_states:
+            record = GpuRunRecord()
+            bounds = gd.delta_bounds(delta, old_states[BOTTOMUP_BOUNDS].value, device_for(record))
+            if pool is not None:
+                allocate_local_tables(pool, bounds)
+            rebuilt(BOTTOMUP_BOUNDS, bounds, record)
+
+        if LOCAL_TABLES in old_states:
+            record = GpuRunRecord()
+            rebuilt(
+                LOCAL_TABLES,
+                gd.delta_local_tables(delta, old_states[LOCAL_TABLES].value, device_for(record)),
+                record,
+            )
+
+        if RULE_WEIGHTS in old_states:
+            record = GpuRunRecord()
+            rebuilt(
+                RULE_WEIGHTS,
+                gd.delta_rule_weights(delta, old_states[RULE_WEIGHTS].value, device_for(record)),
+                record,
+            )
+
+        if FILE_WEIGHTS in old_states:
+            record = GpuRunRecord()
+            rebuilt(
+                FILE_WEIGHTS,
+                gd.delta_file_weights(delta, old_states[FILE_WEIGHTS].value, device_for(record)),
+                record,
+            )
+
+        for key, entry in old_states.items():
+            if key.kind == "sequence_buffers":
+                if pool is not None:
+                    self._reserve_sequence_capacity(pool, key.param)
+                    self._allocate_sequence_owners(pool, key.param)
+                record = GpuRunRecord()
+                rebuilt(
+                    key, gd.delta_sequence_buffers(delta, entry.value, device_for(record)), record
+                )
+            elif key.kind == "relational_tables":
+                record = GpuRunRecord()
+                states = gd.delta_relational_tables(
+                    delta, entry.value, key.param, self.compressed.dictionary, device_for(record)
+                )
+                if states is None:
+                    # New anchor words: the schema's states cannot survive;
+                    # drop them for a lazy rebuild on next use.
+                    self._states.pop(key, None)
+                else:
+                    rebuilt(key, states, record)
+            elif key.kind == "relational_rows":
+                # Rows cover every file (old and new): always rebuilt, but
+                # lazily — assembling them is a single launch.
+                self._states.pop(key, None)
+
+    def _allocate_sequence_owners(self, pool: MemoryPool, sequence_length: int) -> None:
+        """Carve one length's head/tail buffers out of the pool (idempotent)."""
+        layout = self.layout
+        limit = max(0, sequence_length - 1)
+        for rule_id in range(1, layout.num_rules):
+            owner = f"headTail[l={sequence_length}][{rule_id}]"
+            if pool.allocation_of(owner) is not None:
+                continue
+            upper = head_tail_upper_limit(
+                layout.rule_lengths[rule_id], len(layout.subrules[rule_id]), sequence_length
+            )
+            pool.allocate(owner, max(1, 2 * limit + max(0, upper)))
 
     # -- cached state -------------------------------------------------------------------------
     def has_state(self, key: StateKey) -> bool:

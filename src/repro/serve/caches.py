@@ -287,6 +287,47 @@ class LRUCache:
             self._invalidations += len(doomed)
             return len(doomed)
 
+    def expire_where(self, predicate: Callable[[Any], bool]) -> int:
+        """Drop every entry whose *key* matches, counted as expirations.
+
+        The epoch-based lazy-staleness path uses this instead of
+        :meth:`remove_where`: an entry outlived by a newer corpus epoch
+        expired — nobody invalidated it and capacity did not evict it —
+        and :class:`CacheStats` must attribute it accordingly.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                self._drop(key, self._entries[key])
+            self._expirations += len(doomed)
+            return len(doomed)
+
+    def rekey(
+        self, old_key: Any, new_key: Any, when: Optional[Callable[[Any], bool]] = None
+    ) -> Any:
+        """Move an entry to a new key without touching any counter.
+
+        Used when an entry's identity legitimately changes under it (a
+        corpus advancing an epoch changes its fingerprint) and the
+        resident value — warm device state — should follow rather than
+        be rebuilt.  ``when`` (evaluated under the lock, on the value)
+        can make the move identity-precise.  The move keeps the entry's
+        recency and weight; an existing entry at ``new_key`` is
+        replaced.  Returns the moved value, or ``None`` if nothing
+        matched.
+        """
+        with self._lock:
+            entry = self._entries.get(old_key)
+            if entry is None or (when is not None and not when(entry.value)):
+                return None
+            del self._entries[old_key]
+            displaced = self._entries.pop(new_key, None)
+            if displaced is not None:
+                self._weight -= displaced.weight
+            self._entries[new_key] = entry
+            self._entries.move_to_end(new_key)
+            return entry.value
+
     def clear(self) -> int:
         """Drop everything (counted as invalidations)."""
         return self.remove_where(lambda key: True)

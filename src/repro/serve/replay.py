@@ -15,12 +15,17 @@ benchmarks and the serving examples:
 
 A trace is a sequence of :class:`~repro.api.query.Query` objects, or —
 for multi-corpus serving — ``(source_index, Query)`` pairs indexing
-into a list of compressed corpora.  All replays optionally execute the
-same trace serially with per-query :meth:`GTadoc.run` semantics (a
-fresh session per query — the paper's full per-query cost), check the
-served results for bit-identity against that shared baseline, and
-report launches-per-query plus cache/coalescing statistics side by
-side in one :class:`ReplayReport`.
+into a list of compressed corpora.  It may also interleave
+:class:`~repro.serve.trace.MutationEvent` barriers (live corpora):
+the in-flight queries drain, the event goes through the corpus's
+incremental mutation API, and the replay continues — the serving tiers
+pick up the new epoch lazily.  All replays optionally execute the same
+trace serially with per-query :meth:`GTadoc.run` semantics (a fresh
+session per query — the paper's full per-query cost, recompressed from
+scratch after every mutation), check the served results for
+bit-identity against that shared baseline, and report
+launches-per-query plus cache/coalescing statistics side by side in
+one :class:`ReplayReport`.
 """
 
 from __future__ import annotations
@@ -34,14 +39,21 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.api.backends import GTadocBackend
 from repro.api.outcome import RunOutcome
 from repro.api.query import Query
-from repro.compression.compressor import CompressedCorpus
+from repro.compression.compressor import CompressedCorpus, TadocCompressor
 from repro.core.session import GTadocConfig
+from repro.data.corpus import Corpus
 from repro.serve.service import AnalyticsService, ServiceConfig, ServiceStats
+from repro.serve.trace import MutationEvent
 
 __all__ = ["ReplayReport", "replay_trace", "replay_trace_async", "replay_trace_sharded"]
 
-#: One trace entry: a bare query (source 0) or an explicit (source, query) pair.
-TraceItem = Union[Query, Tuple[int, Query]]
+#: One trace entry: a bare query (source 0), an explicit (source, query)
+#: pair, or a mutation barrier (its source rides on the event itself).
+TraceItem = Union[Query, Tuple[int, Query], MutationEvent]
+
+#: One replay phase: the mutations applied at its barrier, then its
+#: queries as ``(outcome slot, source index, query)`` triples.
+_Phase = Tuple[List[Tuple[int, MutationEvent]], List[Tuple[int, int, Query]]]
 
 
 @dataclass(frozen=True)
@@ -74,6 +86,8 @@ class ReplayReport:
     #: Wall-clock seconds of the serial per-query baseline replay
     #: (``None`` when the baseline was skipped).
     serial_elapsed_seconds: Optional[float] = None
+    #: Mutation events the trace applied mid-replay (live-corpus traces).
+    num_mutations: int = 0
 
     @property
     def requests_per_second(self) -> Optional[float]:
@@ -111,49 +125,102 @@ class ReplayReport:
 def _normalize_trace(
     sources: Union[CompressedCorpus, Sequence[CompressedCorpus]],
     trace: Sequence[TraceItem],
-) -> Tuple[List[CompressedCorpus], List[Tuple[int, Query]]]:
-    """Resolve a trace to explicit ``(source_index, Query)`` items."""
+) -> Tuple[List[CompressedCorpus], List[_Phase], int, int]:
+    """Resolve a trace into mutation-delimited phases.
+
+    Returns ``(corpora, phases, num_queries, num_mutations)``.  Queries
+    are numbered with dense outcome slots in trace order; each
+    :class:`~repro.serve.trace.MutationEvent` opens a new phase (a
+    replay barrier: the previous phase's queries drain first).  A trace
+    without mutations collapses to a single phase — the pre-mutable
+    replay shape, byte for byte.
+    """
     corpora = [sources] if isinstance(sources, CompressedCorpus) else list(sources)
     if not corpora:
         raise ValueError("a replay needs at least one compressed corpus")
-    items: List[Tuple[int, Query]] = []
+    phases: List[_Phase] = [([], [])]
+    num_queries = 0
+    num_mutations = 0
     for item in trace:
+        if isinstance(item, MutationEvent):
+            if not 0 <= item.source < len(corpora):
+                raise ValueError(
+                    f"trace mutates source {item.source} but only {len(corpora)} given"
+                )
+            if phases[-1][1]:
+                phases.append(([(item.source, item)], []))
+            else:  # back-to-back mutations share one barrier
+                phases[-1][0].append((item.source, item))
+            num_mutations += 1
+            continue
         if isinstance(item, Query):
-            items.append((0, item))
+            index, query = 0, item
         else:
             index, query = item
             if not 0 <= index < len(corpora):
                 raise ValueError(f"trace names source {index} but only {len(corpora)} given")
-            items.append((int(index), query))
-    return corpora, items
+        phases[-1][1].append((num_queries, int(index), query))
+        num_queries += 1
+    return corpora, phases, num_queries, num_mutations
+
+
+def _token_snapshots(corpora: Sequence[CompressedCorpus]) -> List[dict]:
+    """Each corpus's current ``{file name: tokens}`` (pre-replay state)."""
+    return [
+        {
+            name: compressed.expand_file_tokens(index)
+            for index, name in enumerate(compressed.file_names)
+        }
+        for compressed in corpora
+    ]
 
 
 def _serial_comparison(
-    sources: Union[CompressedCorpus, Sequence[CompressedCorpus]],
-    trace: Sequence[TraceItem],
+    corpora: Sequence[CompressedCorpus],
+    phases: Sequence[_Phase],
     engine_config: Optional[GTadocConfig],
     outcomes: Sequence[RunOutcome],
+    snapshots: Optional[List[dict]] = None,
 ) -> Tuple[int, bool, float]:
     """Replay serially (fresh session per query) and check bit-identity.
 
     This is the one shared baseline: every replay flavour — threaded,
     asyncio and sharded — measures against exactly this per-query cost.
-    Returns total launches, the bit-identity verdict, and the
+    For a mutating trace, ``snapshots`` holds every corpus's pre-replay
+    token streams: the baseline applies each barrier's events to the
+    snapshot and recompresses the corpus *from scratch*, so the
+    comparison is also an end-to-end incremental-vs-scratch equivalence
+    check.  Returns total launches, the bit-identity verdict, and the
     wall-clock seconds the serial replay took.
     """
-    corpora, items = _normalize_trace(sources, trace)
-    serial = [
-        GTadocBackend(compressed, config=engine_config, amortize=False)
-        for compressed in corpora
-    ]
+
+    def scratch_backend(index: int) -> GTadocBackend:
+        compressed = TadocCompressor().compress(
+            Corpus.from_token_streams(snapshots[index])
+        )
+        return GTadocBackend(compressed, config=engine_config, amortize=False)
+
+    if snapshots is None:
+        serial = [
+            GTadocBackend(compressed, config=engine_config, amortize=False)
+            for compressed in corpora
+        ]
+    else:
+        serial = [scratch_backend(index) for index in range(len(corpora))]
     launches = 0
     match = True
     started = time.perf_counter()
-    for position, (index, query) in enumerate(items):
-        reference = serial[index].run(query)
-        launches += reference.kernel_launches
-        if outcomes[position].result != reference.result:
-            match = False
+    for mutations, queries in phases:
+        if mutations and snapshots is not None:
+            for source_index, event in mutations:
+                event.apply_to_documents(snapshots[source_index])
+            for source_index in dict.fromkeys(index for index, _event in mutations):
+                serial[source_index] = scratch_backend(source_index)
+        for slot, source_index, query in queries:
+            reference = serial[source_index].run(query)
+            launches += reference.kernel_launches
+            if outcomes[slot].result != reference.result:
+                match = False
     elapsed = time.perf_counter() - started
     return launches, match, elapsed
 
@@ -201,31 +268,68 @@ def _drive_threaded(
     return list(outcomes)
 
 
+def _drive_phases_threaded(
+    submit,
+    corpora: Sequence[CompressedCorpus],
+    phases: Sequence[_Phase],
+    num_threads: int,
+    num_queries: int,
+) -> List[RunOutcome]:
+    """Drive mutation-delimited phases with a worker pool per phase.
+
+    Each barrier's mutations go through the live corpus's incremental
+    API after the previous phase's queries drained; nothing is sent to
+    the serving tiers, which observe the new epoch lazily on the next
+    routed query.
+    """
+    outcomes: List[Optional[RunOutcome]] = [None] * num_queries
+    for mutations, queries in phases:
+        for source_index, event in mutations:
+            event.apply(corpora[source_index])
+        if not queries:
+            continue
+        phase_outcomes = _drive_threaded(
+            submit, [(source, query) for _slot, source, query in queries], num_threads
+        )
+        for (slot, _source, _query), outcome in zip(queries, phase_outcomes):
+            outcomes[slot] = outcome
+    return list(outcomes)
+
+
 def _drive_async(
     submit,
     corpora: Sequence[CompressedCorpus],
-    items: Sequence[Tuple[int, Query]],
+    phases: Sequence[_Phase],
     concurrency: int,
+    num_queries: int,
 ) -> List[RunOutcome]:
-    """Drain ``items`` on one event loop with a bounded in-flight window.
+    """Drain the phases on one event loop with a bounded in-flight window.
 
     ``submit`` is an async callable ``(query, source=...)`` — the plain
     asyncio service's or the shard-router client's — so both async
-    replay flavours share one driver.
+    replay flavours share one driver.  Mutation barriers apply between
+    the per-phase gathers, after every in-flight request of the
+    previous phase resolved.
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
 
     async def replay() -> List[RunOutcome]:
         gate = asyncio.Semaphore(concurrency)
+        outcomes: List[Optional[RunOutcome]] = [None] * num_queries
 
-        async def serve(index: int, query: Query) -> RunOutcome:
+        async def serve(slot: int, index: int, query: Query) -> None:
             async with gate:
-                return await submit(query, source=corpora[index])
+                outcomes[slot] = await submit(query, source=corpora[index])
 
-        return list(
-            await asyncio.gather(*(serve(index, query) for index, query in items))
-        )
+        for mutations, queries in phases:
+            for source_index, event in mutations:
+                event.apply(corpora[source_index])
+            if queries:
+                await asyncio.gather(
+                    *(serve(slot, index, query) for slot, index, query in queries)
+                )
+        return list(outcomes)
 
     return asyncio.run(replay())
 
@@ -249,15 +353,20 @@ def replay_trace(
     """
     if num_threads < 1:
         raise ValueError("num_threads must be >= 1")
-    corpora, items = _normalize_trace(compressed, trace)
+    corpora, phases, num_queries, num_mutations = _normalize_trace(compressed, trace)
+    # Snapshot token streams before serving: the replay mutates the live
+    # corpora, and the baseline must recompress from the *initial* state.
+    snapshots = _token_snapshots(corpora) if serial_baseline and num_mutations else None
     service = AnalyticsService(
         corpora[0], engine_config=engine_config, service_config=service_config
     )
     started = time.perf_counter()
-    outcomes = _drive_threaded(
+    outcomes = _drive_phases_threaded(
         lambda index, query: service.submit(query, source=corpora[index]),
-        items,
+        corpora,
+        phases,
         num_threads,
+        num_queries,
     )
     elapsed = time.perf_counter() - started
 
@@ -266,11 +375,11 @@ def replay_trace(
     serial_elapsed: Optional[float] = None
     if serial_baseline:
         serial_launches, results_match, serial_elapsed = _serial_comparison(
-            corpora, items, engine_config, outcomes
+            corpora, phases, engine_config, outcomes, snapshots
         )
 
     return ReplayReport(
-        num_requests=len(items),
+        num_requests=num_queries,
         num_threads=num_threads,
         outcomes=outcomes,
         stats=service.stats(),
@@ -279,6 +388,7 @@ def replay_trace(
         mode="threads",
         elapsed_seconds=elapsed,
         serial_elapsed_seconds=serial_elapsed,
+        num_mutations=num_mutations,
     )
 
 
@@ -303,7 +413,8 @@ def replay_trace_async(
     """
     from repro.serve.aio import AsyncAnalyticsService
 
-    corpora, items = _normalize_trace(compressed, trace)
+    corpora, phases, num_queries, num_mutations = _normalize_trace(compressed, trace)
+    snapshots = _token_snapshots(corpora) if serial_baseline and num_mutations else None
     service = AsyncAnalyticsService(
         corpora[0],
         engine_config=engine_config,
@@ -312,7 +423,7 @@ def replay_trace_async(
     )
     try:
         started = time.perf_counter()
-        outcomes = _drive_async(service.submit, corpora, items, concurrency)
+        outcomes = _drive_async(service.submit, corpora, phases, concurrency, num_queries)
         elapsed = time.perf_counter() - started
         stats = service.stats()
     finally:
@@ -323,11 +434,11 @@ def replay_trace_async(
     serial_elapsed: Optional[float] = None
     if serial_baseline:
         serial_launches, results_match, serial_elapsed = _serial_comparison(
-            corpora, items, engine_config, outcomes
+            corpora, phases, engine_config, outcomes, snapshots
         )
 
     return ReplayReport(
-        num_requests=len(items),
+        num_requests=num_queries,
         num_threads=concurrency,
         outcomes=outcomes,
         stats=stats,
@@ -336,6 +447,7 @@ def replay_trace_async(
         mode="asyncio",
         elapsed_seconds=elapsed,
         serial_elapsed_seconds=serial_elapsed,
+        num_mutations=num_mutations,
     )
 
 
@@ -367,7 +479,8 @@ def replay_trace_sharded(
     """
     from repro.serve.sharding import ShardedAnalyticsService, ShardedServiceConfig
 
-    corpora, items = _normalize_trace(compressed, trace)
+    corpora, phases, num_queries, num_mutations = _normalize_trace(compressed, trace)
+    snapshots = _token_snapshots(corpora) if serial_baseline and num_mutations else None
     if sharded_config is None:
         sharded_config = ShardedServiceConfig(
             num_shards=num_shards, replication_factor=replicas
@@ -385,7 +498,9 @@ def replay_trace_sharded(
             client = AsyncAnalyticsService(router=service)
             try:
                 started = time.perf_counter()
-                outcomes = _drive_async(client.submit, corpora, items, concurrency)
+                outcomes = _drive_async(
+                    client.submit, corpora, phases, concurrency, num_queries
+                )
                 elapsed = time.perf_counter() - started
             finally:
                 client.close()
@@ -395,10 +510,12 @@ def replay_trace_sharded(
             if num_threads < 1:
                 raise ValueError("num_threads must be >= 1")
             started = time.perf_counter()
-            outcomes = _drive_threaded(
+            outcomes = _drive_phases_threaded(
                 lambda index, query: service.submit(query, source=corpora[index]),
-                items,
+                corpora,
+                phases,
                 num_threads,
+                num_queries,
             )
             elapsed = time.perf_counter() - started
             mode = "threads+sharded"
@@ -412,11 +529,11 @@ def replay_trace_sharded(
     serial_elapsed: Optional[float] = None
     if serial_baseline:
         serial_launches, results_match, serial_elapsed = _serial_comparison(
-            corpora, items, engine_config, outcomes
+            corpora, phases, engine_config, outcomes, snapshots
         )
 
     return ReplayReport(
-        num_requests=len(items),
+        num_requests=num_queries,
         num_threads=drivers,
         outcomes=outcomes,
         stats=stats,
@@ -426,4 +543,5 @@ def replay_trace_sharded(
         num_shards=sharded_config.num_shards,
         elapsed_seconds=elapsed,
         serial_elapsed_seconds=serial_elapsed,
+        num_mutations=num_mutations,
     )

@@ -178,6 +178,15 @@ class ServiceStats:
     def mean_batch_size(self) -> float:
         return self.executed_queries / self.micro_batches if self.micro_batches else 0.0
 
+    @property
+    def epoch_expirations(self) -> int:
+        """Entries that outlived their epoch (corpus mutations, TTLs).
+
+        Lazily-dropped stale sessions and results are *expirations* —
+        distinct from capacity evictions and explicit invalidations.
+        """
+        return self.session_cache.expirations + self.result_cache.expirations
+
 
 @dataclass
 class _SessionEntry:
@@ -277,6 +286,13 @@ class ServingCore:
         # can never resurrect an invalidated entry.
         self._epoch_lock = threading.Lock()
         self._epochs: Dict[str, int] = {}
+        # Mutable-corpus tracking: per corpus uid, the last (version,
+        # fingerprint) a routed query observed.  Mutations do not notify
+        # the serving layer; the next query that touches the corpus sees
+        # the version advance here and retires the old fingerprint's
+        # entries (counted as epoch expirations, not evictions).
+        self._version_lock = threading.Lock()
+        self._uid_versions: Dict[str, Tuple[int, str]] = {}
         self._corpus_memo = CorpusMemo(self.config.corpus_memo_capacity)
         self._default: Optional[CompressedCorpus] = (
             self._resolve_source(source) if source is not None else None
@@ -367,7 +383,7 @@ class ServingCore:
         """Resolve one query's target, validate it, count it, probe the cache."""
         query = as_query(query)
         compressed, config = self._resolve_target(source, engine_config)
-        session_key = (compressed.fingerprint(), config)
+        session_key = (self._observe_version(compressed), config)
         # Unknown file names must fail the offending caller before it is
         # counted as served (and, later, before it can poison a whole
         # micro-batch).
@@ -389,6 +405,60 @@ class ServingCore:
     def _epoch_of(self, fingerprint: str) -> int:
         with self._epoch_lock:
             return self._epochs.get(fingerprint, 0)
+
+    #: Bound on tracked corpus uids (oldest observation dropped first).
+    _MAX_TRACKED_UIDS = 256
+
+    def _observe_version(self, compressed: CompressedCorpus) -> str:
+        """Note the corpus's current epoch; retire the previous one lazily.
+
+        Returns the corpus's current fingerprint.  When the version
+        advanced since the last routed query, the *old* fingerprint's
+        generation is bumped (so in-flight write-backs die on their
+        epoch guard), its warm session entries are re-keyed to the new
+        fingerprint (the engine delta-syncs on next run — warmth is the
+        whole point of incremental maintenance), and anything that could
+        not be re-keyed is dropped as an epoch expiration.  This is the
+        lazy path: nothing happens at mutation time, only on next touch.
+        """
+        with compressed.lock:
+            uid = compressed.uid
+            version = compressed.version
+            fingerprint = compressed.fingerprint()
+        with self._version_lock:
+            last = self._uid_versions.get(uid)
+            if last is not None and last[0] >= version:
+                # Current, or a delayed observation of an already-retired
+                # epoch — never regress the tracked version.
+                return fingerprint
+            self._uid_versions[uid] = (version, fingerprint)
+            while len(self._uid_versions) > self._MAX_TRACKED_UIDS:
+                self._uid_versions.pop(next(iter(self._uid_versions)))
+        if last is None:
+            return fingerprint
+        old_fingerprint = last[1]
+        if old_fingerprint == fingerprint:
+            return fingerprint
+        # Kill in-flight write-backs against the retired fingerprint.
+        with self._epoch_lock:
+            self._epochs[old_fingerprint] = self._epochs.get(old_fingerprint, 0) + 1
+        # Carry warm sessions of this corpus object over to the new epoch.
+        for key in self._sessions.keys():
+            if key[0] != old_fingerprint:
+                continue
+            new_key = (fingerprint, key[1])
+            moved = self._sessions.rekey(
+                key, new_key, when=lambda resident: resident.compressed is compressed
+            )
+            if moved is not None:
+                moved.key = new_key
+                moved.epoch = self._epoch_of(fingerprint)
+        # Whatever still sits under the old fingerprint (a different
+        # corpus object, or cached results) expired with its epoch.
+        self._sessions.expire_where(lambda key: key[0] == old_fingerprint)
+        self._results.expire_where(lambda key: key[0][0] == old_fingerprint)
+        self._close_windows_for(old_fingerprint)
+        return fingerprint
 
     def _store_result(self, prepared: _PreparedQuery, outcome: RunOutcome) -> bool:
         """Write one executed outcome back to the result cache.

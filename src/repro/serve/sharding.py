@@ -231,6 +231,16 @@ class ShardedStats:
     def max_resident_sessions(self) -> int:
         return max(self.resident_sessions) if self.resident_sessions else 0
 
+    @property
+    def epoch_expirations(self) -> int:
+        """Pool-wide entries dropped because their corpus epoch passed.
+
+        Replicas observe new epochs lazily on their next routed query;
+        the sessions/results they drop then are expirations, not cache
+        evictions, and aggregate here across every shard.
+        """
+        return sum(stats.epoch_expirations for stats in self.shards)
+
 
 class _Shard:
     """One shard worker: a serving core on its own executor (one device)."""
@@ -310,6 +320,13 @@ class ShardedAnalyticsService:
         self._window_routed = 0
         self._replica_cursor: Dict[str, int] = {}
         self._rank_cache: Dict[str, List[int]] = {}
+        # Mutable corpora route by their *uid* (first-epoch fingerprint),
+        # which is stable across mutations, so a live corpus keeps landing
+        # on its warm shard.  Sessions, however, are keyed by the current
+        # epoch's fingerprint inside each shard; this bounded alias maps
+        # the fingerprints seen at routing time back to the routing uid so
+        # resize() can decide ownership of resident sessions.
+        self._routing_alias: Dict[str, str] = {}
         self._placements = 0
         self._promotions = 0
         self._demotions = 0
@@ -359,7 +376,7 @@ class ShardedAnalyticsService:
         # concurrent resize/close cannot shut the chosen shard's
         # executor in between.
         with self._lock:
-            shard = self._route_locked(compressed.fingerprint())
+            shard = self._route_locked(self._route_key_locked(compressed))
             future = shard.executor.submit(
                 shard.service.submit, query, source=compressed, engine_config=engine_config
             )
@@ -389,11 +406,11 @@ class ShardedAnalyticsService:
         if not queries:
             return []
         compressed = self._resolve_target(source)
-        fingerprint = compressed.fingerprint()
         outcomes: List[Optional[RunOutcome]] = [None] * len(queries)
         # The whole batch is placed under one lock hold: routing and
         # enqueueing are atomic against resize/close.
         with self._lock:
+            route_key = self._route_key_locked(compressed)
             futures = [
                 (
                     positions,
@@ -404,7 +421,7 @@ class ShardedAnalyticsService:
                         engine_config=engine_config,
                     ),
                 )
-                for shard, positions in self._group_locked(len(queries), fingerprint)
+                for shard, positions in self._group_locked(len(queries), route_key)
             ]
         for positions, future in futures:
             for position, outcome in zip(positions, future.result()):
@@ -439,7 +456,7 @@ class ShardedAnalyticsService:
         else:
             compressed = self._resolve_target(source)
         with self._lock:
-            shard = self._route_locked(compressed.fingerprint())
+            shard = self._route_locked(self._route_key_locked(compressed))
             job = loop.run_in_executor(
                 shard.executor,
                 functools.partial(
@@ -470,9 +487,9 @@ class ShardedAnalyticsService:
             )
         else:
             compressed = self._resolve_target(source)
-        fingerprint = compressed.fingerprint()
         outcomes: List[Optional[RunOutcome]] = [None] * len(queries)
         with self._lock:
+            route_key = self._route_key_locked(compressed)
             jobs = [
                 (
                     positions,
@@ -486,7 +503,7 @@ class ShardedAnalyticsService:
                         ),
                     ),
                 )
-                for shard, positions in self._group_locked(len(queries), fingerprint)
+                for shard, positions in self._group_locked(len(queries), route_key)
             ]
 
         async def settle(positions: List[int], job) -> None:
@@ -498,6 +515,24 @@ class ShardedAnalyticsService:
         return outcomes
 
     # -- routing -----------------------------------------------------------------------
+    def _route_key_locked(self, compressed: CompressedCorpus) -> str:
+        """The stable routing identity of a corpus: its uid.
+
+        A corpus's uid is its first-epoch fingerprint and never changes
+        under mutation, so a live corpus keeps hitting its warm shard
+        while each shard's core retires old epochs lazily.  The current
+        fingerprint is recorded as an alias so :meth:`resize` can map
+        resident session keys (current-epoch fingerprints) back to the
+        identity they were routed by.  Callers hold :attr:`_lock`.
+        """
+        uid = compressed.uid
+        fingerprint = compressed.fingerprint()
+        if fingerprint != uid:
+            self._routing_alias[fingerprint] = uid
+            while len(self._routing_alias) > self.config.max_tracked_corpora:
+                self._routing_alias.pop(next(iter(self._routing_alias)))
+        return uid
+
     def _ranked(self, fingerprint: str) -> List[_Shard]:
         """The fingerprint's shard ranking (memoized until the pool resizes).
 
@@ -644,20 +679,21 @@ class ShardedAnalyticsService:
 
     def shard_for(self, source: CorpusSource) -> int:
         """Index (into the current pool) of the shard owning ``source``."""
-        fingerprint = self._resolve_source(source).fingerprint()
+        compressed = self._resolve_source(source)
         with self._lock:
-            return self._shards.index(self._owners(fingerprint)[0])
+            return self._shards.index(self._owners(self._route_key_locked(compressed))[0])
 
     def owners_for(self, source: CorpusSource) -> List[int]:
         """Pool indices of every shard currently serving ``source``."""
-        fingerprint = self._resolve_source(source).fingerprint()
+        compressed = self._resolve_source(source)
         with self._lock:
-            return [self._shards.index(shard) for shard in self._owners(fingerprint)]
+            key = self._route_key_locked(compressed)
+            return [self._shards.index(shard) for shard in self._owners(key)]
 
     def is_replicated(self, source: CorpusSource) -> bool:
-        fingerprint = self._resolve_source(source).fingerprint()
+        compressed = self._resolve_source(source)
         with self._lock:
-            return fingerprint in self._replica_cursor
+            return self._route_key_locked(compressed) in self._replica_cursor
 
     # -- placement accounting ----------------------------------------------------------
     def _charge_outcome(self, query: Query, outcome: RunOutcome) -> None:
@@ -731,7 +767,11 @@ class ShardedAnalyticsService:
                 shard.close()
             for shard in survivors:
                 for key in shard.service.session_keys():
-                    if shard not in self._owners(key[0]):
+                    # Sessions are keyed by their epoch's fingerprint; a
+                    # mutated corpus routes by uid, so translate through
+                    # the alias recorded at routing time.
+                    route_key = self._routing_alias.get(key[0], key[0])
+                    if shard not in self._owners(route_key):
                         if shard.service.drop_session(key):
                             moved += 1
             self._moved_sessions += moved

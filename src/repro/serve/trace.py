@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analytics.base import Task
 from repro.api.query import Query
 from repro.compression.compressor import CompressedCorpus
+from repro.data.corpus import tokenize
 from repro.relational.spec import (
     Aggregate,
     Condition,
@@ -24,7 +25,12 @@ from repro.relational.spec import (
     RowSchema,
 )
 
-__all__ = ["TraceConfig", "synthesize_trace", "default_relational_specs"]
+__all__ = [
+    "MutationEvent",
+    "TraceConfig",
+    "synthesize_trace",
+    "default_relational_specs",
+]
 
 
 def default_relational_specs(
@@ -59,6 +65,52 @@ def default_relational_specs(
 
 
 @dataclass(frozen=True)
+class MutationEvent:
+    """One corpus mutation inside a request trace.
+
+    Replays treat mutation events as barriers: in-flight queries of the
+    current phase drain, the mutation is applied to the *live* corpus
+    through its incremental API, and the trace continues — the serving
+    tiers then observe the new epoch lazily on the next routed query.
+    The serial baseline applies the same event to its token snapshot and
+    recompresses from scratch, so a mutating replay doubles as an
+    end-to-end incremental-vs-scratch equivalence check.
+    """
+
+    #: ``"append"`` (new files) or ``"replace"`` (rewrite existing files).
+    kind: str
+    #: ``(file name, text)`` pairs the event introduces or rewrites.
+    documents: Tuple[Tuple[str, str], ...]
+    #: Index of the corpus this event mutates (multi-corpus traces).
+    source: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("append", "replace"):
+            raise ValueError(f"mutation kind must be 'append' or 'replace', got {self.kind!r}")
+        if not self.documents:
+            raise ValueError("a mutation event needs at least one document")
+        if self.source < 0:
+            raise ValueError("source index must be non-negative")
+
+    def apply(self, compressed: CompressedCorpus) -> None:
+        """Apply this event to a live corpus via the incremental API."""
+        if self.kind == "append":
+            compressed.append_files({name: text for name, text in self.documents})
+        else:
+            for name, text in self.documents:
+                compressed.replace_file(name, text)
+
+    def apply_to_documents(self, streams: Dict[str, List[str]]) -> None:
+        """Apply this event to a ``{file name: tokens}`` snapshot in place."""
+        for name, text in self.documents:
+            if self.kind == "append" and name in streams:
+                raise ValueError(f"append of existing file {name!r}")
+            if self.kind == "replace" and name not in streams:
+                raise KeyError(f"replace of unknown file {name!r}")
+            streams[name] = tokenize(text)
+
+
+@dataclass(frozen=True)
 class TraceConfig:
     """Shape of a synthetic request trace."""
 
@@ -85,6 +137,11 @@ class TraceConfig:
     #: Relational specs relational requests draw from; empty uses
     #: :func:`default_relational_specs`.
     relational_specs: Tuple[RelationalQuery, ...] = ()
+    #: Probability that a trace slot is a :class:`MutationEvent` (an
+    #: append of fresh live files, occasionally a replace) instead of a
+    #: query.  Mutating traces model live corpora: replays apply the
+    #: events through the incremental mutation API mid-trace.
+    mutation_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_requests < 1:
@@ -94,6 +151,7 @@ class TraceConfig:
             self.top_k_fraction,
             self.file_subset_fraction,
             self.relational_fraction,
+            self.mutation_fraction,
         )
         for fraction in fractions:
             if not 0.0 <= fraction <= 1.0:
@@ -107,18 +165,21 @@ class TraceConfig:
 
 def synthesize_trace(
     file_names: Sequence[str], config: Optional[TraceConfig] = None
-) -> List[Query]:
+) -> List[Union[Query, MutationEvent]]:
     """A deterministic mixed-task trace over a corpus's files.
 
     ``file_names`` may come from a raw or compressed corpus
     (:attr:`CompressedCorpus.file_names`); the same names and config
-    always produce the same trace.
+    always produce the same trace.  With
+    :attr:`TraceConfig.mutation_fraction` on, the trace interleaves
+    :class:`MutationEvent` entries between queries.
     """
     if isinstance(file_names, CompressedCorpus):  # convenience
         file_names = file_names.file_names
     config = config or TraceConfig()
     rng = random.Random(config.seed)
-    trace: List[Query] = []
+    trace: List[Union[Query, MutationEvent]] = []
+    num_mutations = 0
     # Repeats are drawn uniformly from the *distinct* fresh queries seen
     # so far, never from the trace itself: sampling the trace would pick
     # repeats-of-repeats, compounding weight onto whichever queries came
@@ -127,6 +188,30 @@ def synthesize_trace(
     seen: set = set()
     relational_specs = config.relational_specs or default_relational_specs()
     for _ in range(config.num_requests):
+        # Only draw when the knob is on, so non-mutating traces keep
+        # their exact seeded shape.
+        if config.mutation_fraction > 0.0 and rng.random() < config.mutation_fraction:
+            num_mutations += 1
+            # Appends carry fresh vocabulary (live-ingest shape — and the
+            # structurally-stable case the session delta path exercises);
+            # the occasional replace rewrites an original file, forcing
+            # the rebuild fallback.
+            fresh = [f"live{num_mutations}w{j}" for j in range(6)]
+            body = " ".join(rng.choice(fresh) for _ in range(rng.randint(8, 24)))
+            if file_names and rng.random() < 0.25:
+                trace.append(
+                    MutationEvent(
+                        kind="replace",
+                        documents=((rng.choice(list(file_names)), body),),
+                    )
+                )
+            else:
+                trace.append(
+                    MutationEvent(
+                        kind="append", documents=((f"live-{num_mutations}", body),)
+                    )
+                )
+            continue
         if distinct and rng.random() < config.repeat_fraction:
             trace.append(rng.choice(distinct))
             continue
