@@ -1,0 +1,365 @@
+"""Runtime lock-order witness: an opt-in deadlock/race sanitizer.
+
+The static lock-order rule (:mod:`repro.analysis.rules_lock_order`)
+checks the held-before edges it can *extract*; this module checks the
+edges that actually *happen*.  When enabled, every lock the serving
+stack creates through :func:`make_lock` is wrapped in an instrumented
+shim that, on each first (non-re-entrant) acquisition,
+
+* records the acquiring thread's stack against the lock,
+* adds a ``held -> acquiring`` edge to a global held-before graph for
+  every lock the thread already holds, and
+* fails **at acquire time** — before blocking — if the acquisition
+  violates the canonical hierarchy in :mod:`repro.analysis.lockspec`
+  (acquiring a rank ≤ the highest rank held, unless re-acquiring a
+  re-entrant lock the thread already owns).
+
+The raised :class:`LockOrderViolation` carries *both* acquisition
+stacks: where this thread took the lock it is still holding, and where
+it is now trying to take the offending one (plus, when another thread
+already established the opposite edge, that thread's two stacks as
+well).  Running an existing concurrency test suite with the witness on
+therefore doubles as a lock-order/deadlock sanitizer pass — any
+interleaving the suite drives is checked against the hierarchy, even if
+no deadlock happens to materialize in that run.
+
+Zero overhead when off
+----------------------
+
+The witness is disabled by default.  :func:`make_lock` then returns a
+plain ``threading.Lock``/``RLock`` — not a wrapper with a fast path,
+the actual primitive — so production paths pay nothing, not even an
+attribute indirection.  Enable it with the ``REPRO_LOCK_WITNESS=1``
+environment variable (checked at import, the CI sanitizer path), with
+:func:`enable`, or scoped with the :func:`witness` context manager.
+Locks are instrumented at *creation*: construct the objects under test
+while the witness is enabled.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis import lockspec
+
+__all__ = [
+    "LockOrderViolation",
+    "make_lock",
+    "enable",
+    "disable",
+    "is_enabled",
+    "witness",
+    "witness_edges",
+    "reset_witness",
+    "WitnessLock",
+]
+
+#: Stack frames kept per acquisition site (innermost last).
+_STACK_DEPTH = 12
+
+
+class LockOrderViolation(RuntimeError):
+    """A lock acquisition that breaks the canonical hierarchy.
+
+    The message embeds both acquisition stacks (and the opposing
+    thread's stacks when the inverse edge was already witnessed), so the
+    report alone pinpoints the two code paths that disagree on order.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        held_stack: str,
+        acquire_stack: str,
+        opposite: Optional["_Edge"] = None,
+    ) -> None:
+        parts = [
+            message,
+            "",
+            "stack that acquired the held lock:",
+            held_stack.rstrip(),
+            "",
+            "stack attempting the offending acquisition:",
+            acquire_stack.rstrip(),
+        ]
+        if opposite is not None:
+            parts += [
+                "",
+                f"opposite-order edge witnessed earlier (thread {opposite.thread!r}):",
+                "  while holding (acquired at):",
+                opposite.held_stack.rstrip(),
+                "  acquired at:",
+                opposite.acquire_stack.rstrip(),
+            ]
+        super().__init__("\n".join(parts))
+        self.held_stack = held_stack
+        self.acquire_stack = acquire_stack
+        self.opposite = opposite
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """First witnessed ``held -> acquired`` transition between two levels."""
+
+    held: str
+    acquired: str
+    thread: str
+    held_stack: str
+    acquire_stack: str
+
+
+@dataclass
+class _Hold:
+    """One lock a thread currently holds."""
+
+    lock: "WitnessLock"
+    stack: str
+    count: int = 1
+
+
+class _WitnessState:
+    """Global witness state: the held-before graph and per-thread holds."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._graph_lock = threading.Lock()
+        #: ``(held level, acquired level) -> first witnessed edge``.
+        self.edges: Dict[Tuple[str, str], _Edge] = {}
+        self._local = threading.local()
+
+    # -- per-thread holds --------------------------------------------------------------
+    def holds(self) -> List[_Hold]:
+        stack = getattr(self._local, "holds", None)
+        if stack is None:
+            stack = self._local.holds = []
+        return stack
+
+    # -- the check ---------------------------------------------------------------------
+    def on_acquire(self, lock: "WitnessLock") -> Optional[_Hold]:
+        """Validate and record one acquisition attempt (before blocking).
+
+        Returns the existing :class:`_Hold` when this is a re-entrant
+        re-acquisition (the caller only bumps its count), else ``None``
+        (the caller pushes a new hold after the real acquire succeeds).
+        """
+        holds = self.holds()
+        for hold in holds:
+            if hold.lock is lock:
+                if lock.reentrant:
+                    return hold
+                raise LockOrderViolation(
+                    f"non-reentrant lock {lock.describe()} re-acquired by its holder",
+                    held_stack=hold.stack,
+                    acquire_stack=_capture_stack(),
+                )
+        if not holds:
+            return None
+        acquire_stack = _capture_stack()
+        for hold in holds:
+            self._record_edge(hold, lock, acquire_stack)
+        worst = max(holds, key=lambda hold: hold.lock.rank)
+        if lock.rank <= worst.lock.rank:
+            opposite = self.edges.get((lock.level, worst.lock.level))
+            raise LockOrderViolation(
+                f"lock-order inversion: acquiring {lock.describe()} while holding "
+                f"{worst.lock.describe()} — the hierarchy requires "
+                f"{worst.lock.level} (rank {worst.lock.rank}) to be inner to "
+                f"{lock.level} (rank {lock.rank}), never held across it",
+                held_stack=worst.stack,
+                acquire_stack=acquire_stack,
+                opposite=opposite,
+            )
+        return None
+
+    def _record_edge(self, hold: _Hold, lock: "WitnessLock", acquire_stack: str) -> None:
+        key = (hold.lock.level, lock.level)
+        if key[0] == key[1]:
+            return
+        with self._graph_lock:
+            if key not in self.edges:
+                self.edges[key] = _Edge(
+                    held=key[0],
+                    acquired=key[1],
+                    thread=threading.current_thread().name,
+                    held_stack=hold.stack,
+                    acquire_stack=acquire_stack,
+                )
+
+    def push(self, lock: "WitnessLock") -> None:
+        self.holds().append(_Hold(lock=lock, stack=_capture_stack()))
+
+    def pop(self, lock: "WitnessLock") -> None:
+        holds = self.holds()
+        for index in range(len(holds) - 1, -1, -1):
+            hold = holds[index]
+            if hold.lock is lock:
+                hold.count -= 1
+                if hold.count == 0:
+                    del holds[index]
+                return
+        # Releasing a lock the witness never saw acquired (e.g. the
+        # witness was enabled between acquire and release): ignore.
+
+    def snapshot_edges(self) -> List[Tuple[str, str]]:
+        with self._graph_lock:
+            return sorted(self.edges)
+
+    def reset(self) -> None:
+        with self._graph_lock:
+            self.edges.clear()
+
+
+_STATE = _WitnessState()
+_STATE.enabled = os.environ.get("REPRO_LOCK_WITNESS", "").strip() not in ("", "0", "false")
+
+
+def _capture_stack() -> str:
+    frames = traceback.extract_stack()
+    # Drop the witness's own frames from the tail so reports start at
+    # the acquisition site.
+    while frames and frames[-1].filename == __file__:
+        frames.pop()
+    return "".join(traceback.format_list(frames[-_STACK_DEPTH:]))
+
+
+class WitnessLock:
+    """Instrumented lock: validates the hierarchy on every acquisition.
+
+    Wraps a real ``threading.Lock``/``RLock`` and mirrors its interface
+    (including the ``_release_save``/``_acquire_restore``/``_is_owned``
+    trio, so it backs a ``threading.Condition``).  All bookkeeping is
+    per-thread except the shared held-before graph, which takes one
+    short internal lock only on a level pair's *first* observation.
+    """
+
+    __slots__ = ("level", "rank", "reentrant", "_inner", "_label")
+
+    def __init__(self, level_name: str, reentrant: bool) -> None:
+        spec = lockspec.level(level_name)
+        self.level = spec.name
+        self.rank = spec.rank
+        self.reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        self._label = f"{spec.name}[{spec.owner}]"
+
+    def describe(self) -> str:
+        return self._label
+
+    # -- lock interface ----------------------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        held = _STATE.on_acquire(self)
+        if held is not None:  # re-entrant re-acquisition
+            acquired = self._inner.acquire(blocking, timeout)
+            if acquired:
+                held.count += 1
+            return acquired
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _STATE.push(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        _STATE.pop(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        return inner_locked() if inner_locked is not None else False
+
+    # -- Condition support -------------------------------------------------------------
+    def _release_save(self):
+        """Fully release (dropping re-entrant depth), for ``Condition.wait``."""
+        holds = _STATE.holds()
+        for index in range(len(holds) - 1, -1, -1):
+            if holds[index].lock is self:
+                del holds[index]
+                break
+        if self.reentrant:
+            return self._inner._release_save()  # type: ignore[union-attr]
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state) -> None:
+        if self.reentrant:
+            self._inner._acquire_restore(state)  # type: ignore[union-attr]
+        else:
+            self._inner.acquire()
+        _STATE.push(self)
+
+    def _is_owned(self) -> bool:
+        inner_owned = getattr(self._inner, "_is_owned", None)
+        if inner_owned is not None:
+            return inner_owned()
+        # Plain Lock: owned iff locked but not acquirable (CPython's own
+        # Condition fallback heuristic).
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+
+LockType = Union[threading.Lock, threading.RLock, WitnessLock]
+
+
+def make_lock(level_name: str, *, reentrant: bool = False) -> LockType:
+    """A lock at ``level_name`` of the canonical hierarchy.
+
+    With the witness disabled (the default) this returns the plain
+    ``threading`` primitive — zero overhead, no wrapper.  With it
+    enabled, an instrumented :class:`WitnessLock` that validates every
+    acquisition against :mod:`repro.analysis.lockspec`.  Unknown level
+    names raise ``KeyError`` either way, so new locks cannot dodge the
+    hierarchy by never being declared.
+    """
+    spec = lockspec.level(level_name)  # validate even when disabled
+    if not _STATE.enabled:
+        return threading.RLock() if reentrant else threading.Lock()
+    if reentrant and not spec.reentrant:
+        raise ValueError(f"level {level_name!r} is not declared re-entrant in lockspec")
+    return WitnessLock(level_name, reentrant)
+
+
+def enable() -> None:
+    """Instrument locks created from now on (existing locks stay plain)."""
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    _STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    return _STATE.enabled
+
+
+class witness:
+    """Context manager scoping the witness: ``with witness(): ...``."""
+
+    def __enter__(self) -> "witness":
+        self._previous = _STATE.enabled
+        _STATE.enabled = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _STATE.enabled = self._previous
+
+
+def witness_edges() -> List[Tuple[str, str]]:
+    """Every ``(held, acquired)`` level pair witnessed so far, sorted."""
+    return _STATE.snapshot_edges()
+
+
+def reset_witness() -> None:
+    """Forget the witnessed held-before graph (tests isolate with this)."""
+    _STATE.reset()

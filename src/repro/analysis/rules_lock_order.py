@@ -1,0 +1,403 @@
+"""Static lock-order rule: the held-before graph must respect lockspec.
+
+The rule rebuilds, from source alone, an approximation of every
+``held -> acquired`` lock transition the code can perform:
+
+1. **Direct nesting** — a ``with <lock>`` (or ``.acquire()``) inside the
+   body of another ``with <lock>`` in the same function.
+2. **Nesting through calls** — a call under a held lock to a function
+   whose *summary* (the set of lock levels it may acquire, computed as a
+   fixpoint over the call graph) is non-empty.  Calls are resolved
+   conservatively: ``self.method()`` through the class and its bases,
+   ``receiver.method()`` only for the unambiguous receiver names in
+   :data:`repro.analysis.lockspec.RECEIVER_CLASSES`, and bare calls to
+   same-module functions.
+3. **Declared edges** — :data:`~repro.analysis.lockspec.KNOWN_EDGES`,
+   the transitions that exist at runtime but hide behind properties or
+   callbacks (the runtime witness confirms these dynamically).
+
+Every edge must go *down* the hierarchy (strictly increasing rank); the
+only exception is re-acquiring a level declared re-entrant.  A final
+cycle check over the surviving edges is kept as a safety net.  Lock
+expressions that resolve to no declared level are ignored — the rule
+checks the serving stack's hierarchy, not arbitrary private locks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import lockspec
+from repro.analysis.lint import Finding, Project, SourceFile, rule
+
+RULE = "lock-order"
+
+_LOCKSPEC_PATH = "repro/analysis/lockspec.py"
+
+
+@dataclass(frozen=True)
+class _Edge:
+    held: str
+    acquired: str
+    path: str
+    line: int
+    detail: str
+
+
+@dataclass
+class _Func:
+    """One function/method with the context needed to resolve its calls."""
+
+    key: Tuple[str, Optional[str], str]  # (rel_path, class name, func name)
+    node: ast.AST
+    source: SourceFile
+    class_name: Optional[str]
+
+
+class _Index:
+    """Project-wide class/method/function tables for call resolution."""
+
+    def __init__(self) -> None:
+        self.functions: List[_Func] = []
+        #: ``(class name, method name) -> function key``
+        self.methods: Dict[Tuple[str, str], Tuple[str, Optional[str], str]] = {}
+        #: ``class name -> direct base-class names``
+        self.bases: Dict[str, List[str]] = {}
+        #: ``(rel_path, function name) -> function key`` for module-level defs
+        self.module_funcs: Dict[Tuple[str, str], Tuple[str, Optional[str], str]] = {}
+
+    def add(self, func: _Func) -> None:
+        self.functions.append(func)
+        rel_path, class_name, name = func.key
+        if class_name is not None:
+            self.methods.setdefault((class_name, name), func.key)
+        else:
+            self.module_funcs.setdefault((rel_path, name), func.key)
+
+    def resolve_method(self, class_name: str, method: str) -> Optional[Tuple[str, Optional[str], str]]:
+        """Look ``method`` up on ``class_name`` and then its base chain."""
+        seen: Set[str] = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            key = self.methods.get((current, method))
+            if key is not None:
+                return key
+            queue.extend(self.bases.get(current, []))
+        return None
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _index_project(project: Project) -> _Index:
+    index = _Index()
+
+    def visit(node: ast.AST, source: SourceFile, class_name: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                index.bases.setdefault(
+                    child.name,
+                    [name for name in (_base_name(base) for base in child.bases) if name],
+                )
+                visit(child, source, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                index.add(
+                    _Func(
+                        key=(source.rel_path, class_name, child.name),
+                        node=child,
+                        source=source,
+                        class_name=class_name,
+                    )
+                )
+                # Defs nested inside this one are module-scope workers
+                # (thread bodies), not methods of the enclosing class.
+                visit(child, source, None)
+            else:
+                visit(child, source, class_name)
+
+    for source in project:
+        visit(source.tree, source, None)
+    return index
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    """The innermost attribute/name a lock or call hangs off."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _resolve_lock(node: ast.expr, class_name: Optional[str]) -> Optional[str]:
+    """Map a lock expression to a declared level name, or ``None``."""
+    if isinstance(node, ast.Name):
+        return lockspec.RECEIVER_HINTS.get((node.id, ""))
+    if isinstance(node, ast.Attribute):
+        value = node.value
+        if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+            if class_name is not None:
+                level = lockspec.ATTRIBUTE_LEVELS.get((class_name, node.attr))
+                if level is not None:
+                    return level
+            return None
+        receiver = _receiver_name(value)
+        if receiver is not None:
+            return lockspec.RECEIVER_HINTS.get((receiver, node.attr))
+    return None
+
+
+def _resolve_call(
+    call: ast.Call, func: _Func, index: _Index
+) -> Optional[Tuple[Tuple[str, Optional[str], str], str]]:
+    """``(callee key, display label)`` for a statically resolvable call."""
+    target = call.func
+    if isinstance(target, ast.Name):
+        key = index.module_funcs.get((func.key[0], target.id))
+        return (key, target.id) if key is not None else None
+    if not isinstance(target, ast.Attribute):
+        return None
+    value = target.value
+    if isinstance(value, ast.Name) and value.id in ("self", "cls"):
+        if func.class_name is None:
+            return None
+        key = index.resolve_method(func.class_name, target.attr)
+        if key is not None:
+            return key, f"{func.class_name}.{target.attr}"
+        return None
+    receiver = _receiver_name(value)
+    if receiver is None:
+        return None
+    owner = lockspec.RECEIVER_CLASSES.get(receiver)
+    if owner is None:
+        return None
+    key = index.resolve_method(owner, target.attr)
+    if key is not None:
+        return key, f"{owner}.{target.attr}"
+    return None
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def _is_reentrant_reacquire(level: str, held: Tuple[str, ...]) -> bool:
+    """Re-acquiring a re-entrant level already held is not a new edge.
+
+    A thread under ``session`` (an RLock) that also holds ``corpus`` and
+    then calls a method re-taking ``session`` does not establish a
+    ``corpus -> session`` ordering — it never blocks, it just bumps the
+    recursion count.  The runtime witness makes the same exception.
+    """
+    return level in held and lockspec.level(level).reentrant
+
+
+def _walk_body(
+    nodes: Sequence[ast.AST],
+    held: Tuple[str, ...],
+    func: _Func,
+    index: _Index,
+    summaries: Dict[Tuple[str, Optional[str], str], Set[str]],
+    edges: List[_Edge],
+) -> None:
+    for node in nodes:
+        _walk_node(node, held, func, index, summaries, edges)
+
+
+def _walk_node(
+    node: ast.AST,
+    held: Tuple[str, ...],
+    func: _Func,
+    index: _Index,
+    summaries: Dict[Tuple[str, Optional[str], str], Set[str]],
+    edges: List[_Edge],
+) -> None:
+    if isinstance(node, _SCOPE_NODES):
+        return  # nested scopes run on their own stacks; walked separately
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        inner = held
+        for item in node.items:
+            _walk_node(item.context_expr, inner, func, index, summaries, edges)
+            level = _resolve_lock(item.context_expr, func.class_name)
+            if level is not None:
+                if not _is_reentrant_reacquire(level, inner):
+                    for holder in inner:
+                        edges.append(
+                            _Edge(holder, level, func.key[0], item.context_expr.lineno,
+                                  "nested 'with' acquisition")
+                        )
+                inner = inner + (level,)
+        _walk_body(node.body, inner, func, index, summaries, edges)
+        return
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "acquire":
+            level = _resolve_lock(node.func.value, func.class_name)
+            if level is not None and not _is_reentrant_reacquire(level, held):
+                for holder in held:
+                    edges.append(
+                        _Edge(holder, level, func.key[0], node.lineno,
+                              "explicit .acquire() under held lock")
+                    )
+        elif held:
+            resolved = _resolve_call(node, func, index)
+            if resolved is not None:
+                key, label = resolved
+                for level in sorted(summaries.get(key, ())):
+                    if _is_reentrant_reacquire(level, held):
+                        continue
+                    for holder in held:
+                        edges.append(
+                            _Edge(holder, level, func.key[0], node.lineno,
+                                  f"call to {label}() which may acquire it")
+                        )
+    for child in ast.iter_child_nodes(node):
+        _walk_node(child, held, func, index, summaries, edges)
+
+
+def _direct_levels(func: _Func) -> Set[str]:
+    """Lock levels this function acquires in its own body (no calls)."""
+    levels: Set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    level = _resolve_lock(item.context_expr, func.class_name)
+                    if level is not None:
+                        levels.add(level)
+            elif (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "acquire"
+            ):
+                level = _resolve_lock(child.func.value, func.class_name)
+                if level is not None:
+                    levels.add(level)
+            visit(child)
+
+    visit(func.node)
+    return levels
+
+
+def _call_targets(func: _Func, index: _Index) -> List[Tuple[str, Optional[str], str]]:
+    targets: List[Tuple[str, Optional[str], str]] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            if isinstance(child, ast.Call):
+                resolved = _resolve_call(child, func, index)
+                if resolved is not None:
+                    targets.append(resolved[0])
+            visit(child)
+
+    visit(func.node)
+    return targets
+
+
+def _summaries(index: _Index) -> Dict[Tuple[str, Optional[str], str], Set[str]]:
+    """Fixpoint: levels each function may acquire, transitively."""
+    summary = {func.key: _direct_levels(func) for func in index.functions}
+    calls = {func.key: _call_targets(func, index) for func in index.functions}
+    changed = True
+    while changed:
+        changed = False
+        for key, targets in calls.items():
+            levels = summary[key]
+            before = len(levels)
+            for target in targets:
+                levels |= summary.get(target, set())
+            if len(levels) != before:
+                changed = True
+    return summary
+
+
+@rule(RULE, "locks must be acquired in the canonical lockspec hierarchy order")
+def check(project: Project) -> List[Finding]:
+    index = _index_project(project)
+    summaries = _summaries(index)
+
+    edges: List[_Edge] = []
+    for func in index.functions:
+        body = getattr(func.node, "body", [])
+        _walk_body(body, (), func, index, summaries, edges)
+    for held, acquired, why in lockspec.KNOWN_EDGES:
+        edges.append(_Edge(held, acquired, _LOCKSPEC_PATH, 1, f"declared edge: {why}"))
+
+    findings: List[Finding] = []
+    valid_edges: Set[Tuple[str, str]] = set()
+    seen: Set[Tuple[str, str, str, int]] = set()
+    for edge in edges:
+        dedupe = (edge.held, edge.acquired, edge.path, edge.line)
+        if dedupe in seen:
+            continue
+        seen.add(dedupe)
+        if edge.held == edge.acquired:
+            if lockspec.level(edge.held).reentrant:
+                continue
+            findings.append(
+                Finding(RULE, edge.path, edge.line,
+                        f"non-reentrant lock level '{edge.held}' re-acquired while held "
+                        f"({edge.detail})")
+            )
+            continue
+        held_rank = lockspec.rank_of(edge.held)
+        acquired_rank = lockspec.rank_of(edge.acquired)
+        if acquired_rank <= held_rank:
+            findings.append(
+                Finding(RULE, edge.path, edge.line,
+                        f"lock-order inversion: acquires '{edge.acquired}' "
+                        f"(rank {acquired_rank}) while holding '{edge.held}' "
+                        f"(rank {held_rank}) — {edge.detail}; the hierarchy in "
+                        f"analysis/lockspec.py requires strictly increasing rank")
+            )
+            continue
+        valid_edges.add((edge.held, edge.acquired))
+
+    findings.extend(_cycle_findings(valid_edges))
+    return findings
+
+
+def _cycle_findings(edges: Set[Tuple[str, str]]) -> List[Finding]:
+    """Safety net: report any cycle among the rank-valid edges."""
+    graph: Dict[str, List[str]] = {}
+    for held, acquired in sorted(edges):
+        graph.setdefault(held, []).append(acquired)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[str, int] = {}
+    stack: List[str] = []
+    cycles: List[Tuple[str, ...]] = []
+
+    def visit(node: str) -> None:
+        colour[node] = GREY
+        stack.append(node)
+        for neighbour in graph.get(node, ()):  # pragma: no branch
+            state = colour.get(neighbour, WHITE)
+            if state == GREY:  # pragma: no cover - unreachable once ranks validate
+                cycles.append(tuple(stack[stack.index(neighbour):]) + (neighbour,))
+            elif state == WHITE:
+                visit(neighbour)
+        stack.pop()
+        colour[node] = BLACK
+
+    for node in sorted(graph):
+        if colour.get(node, WHITE) == WHITE:
+            visit(node)
+    return [
+        Finding(RULE, _LOCKSPEC_PATH, 1,
+                "cycle in the held-before graph: " + " -> ".join(cycle))
+        for cycle in cycles
+    ]

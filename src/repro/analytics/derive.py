@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.analytics.base import Task, TaskResult, normalize_result
+from repro.analytics.base import Task, normalize_result
 from repro.compression.dictionary import Dictionary
 
 __all__ = [

@@ -10,7 +10,7 @@ executes exactly this work, only priced on a GPU device model.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.analytics.base import SEQUENCE_LENGTH_DEFAULT, Task, TaskResult, normalize_result
 from repro.data.corpus import Corpus

@@ -31,9 +31,8 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analytics.base import Task
 from repro.analytics.reference import UncompressedAnalytics
-from repro.api.backend import AnalyticsBackend, BackendCapabilities
+from repro.api.backend import BackendCapabilities
 from repro.api.outcome import (
-    PhasePerf,
     RunOutcome,
     RunPerf,
     perf_from_counters,

@@ -15,13 +15,14 @@ result table whose conflict rate follows the corpus' word skew.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.analytics.base import SEQUENCE_LENGTH_DEFAULT, Task, TaskResult
 from repro.analytics.reference import UncompressedAnalytics
 from repro.data.corpus import Corpus
+from repro.gpusim.device import GPUDevice
 from repro.perf import workcosts as wc
-from repro.perf.counters import GpuRunRecord, KernelStats
+from repro.perf.counters import GpuRunRecord
 
 __all__ = ["GpuUncompressedAnalytics", "GpuUncompressedRunResult"]
 
@@ -55,18 +56,18 @@ class GpuUncompressedAnalytics:
         self._reference = UncompressedAnalytics(corpus, sequence_length=sequence_length)
 
     # -- work-record construction ----------------------------------------------------------
-    def _scan_kernel(self, name: str, tokens: int, ops_per_token: float, atomic_fraction: float) -> KernelStats:
+    def _launch_scan(
+        self, device: GPUDevice, name: str, tokens: int, ops_per_token: float, atomic_fraction: float
+    ) -> None:
         num_threads = max(1, (tokens + _TOKENS_PER_THREAD - 1) // _TOKENS_PER_THREAD)
-        num_warps = max(1, (num_threads + 31) // 32)
         total_ops = tokens * ops_per_token
         atomic_ops = tokens * atomic_fraction
         distinct = max(1, self.corpus.vocabulary_size)
         # Zipf-skewed words mean many threads hit the same hot entries.
         conflicts = max(0.0, atomic_ops - distinct) * 0.15
-        return KernelStats(
-            name=name,
-            num_threads=num_threads,
-            num_warps=num_warps,
+        device.launch_modelled(
+            name,
+            num_threads,
             warp_serial_ops=(total_ops / 32.0) * _WARP_IMBALANCE,
             total_thread_ops=total_ops,
             memory_bytes=tokens * wc.TOKEN_SCAN_BYTES,
@@ -74,55 +75,52 @@ class GpuUncompressedAnalytics:
             atomic_conflicts=conflicts,
         )
 
-    def _sort_kernel(self, name: str, keys: int) -> KernelStats:
+    def _launch_sort(self, device: GPUDevice, name: str, keys: int) -> None:
         keys = max(1, keys)
         total_ops = wc.SORT_OPS_PER_KEY * keys * max(1.0, float(int(keys).bit_length()))
         num_threads = max(1, keys // 4)
-        return KernelStats(
-            name=name,
-            num_threads=num_threads,
-            num_warps=max(1, (num_threads + 31) // 32),
+        device.launch_modelled(
+            name,
+            num_threads,
             warp_serial_ops=total_ops / 32.0,
             total_thread_ops=total_ops,
             memory_bytes=keys * 16.0,
-            atomic_ops=0.0,
-            atomic_conflicts=0.0,
         )
 
     def _build_record(self, task: Task) -> GpuRunRecord:
         record = GpuRunRecord()
+        device = GPUDevice(record=record)
         tokens = self.corpus.num_tokens
         vocabulary = self.corpus.vocabulary_size
         if self.needs_pcie_transfer:
             record.pcie_bytes += float(self.corpus.size_bytes)
 
-        record.add_kernel(
-            self._scan_kernel("tokenizeKernel", tokens, ops_per_token=wc.TOKEN_SCAN_OPS, atomic_fraction=0.0)
+        self._launch_scan(
+            device, "tokenizeKernel", tokens, ops_per_token=wc.TOKEN_SCAN_OPS, atomic_fraction=0.0
         )
         if task in (Task.WORD_COUNT, Task.SORT):
-            record.add_kernel(
-                self._scan_kernel("wordCountKernel", tokens, wc.HASH_UPDATE_OPS, atomic_fraction=1.0)
+            self._launch_scan(
+                device, "wordCountKernel", tokens, wc.HASH_UPDATE_OPS, atomic_fraction=1.0
             )
             if task is Task.SORT:
-                record.add_kernel(self._sort_kernel("sortKernel", vocabulary))
+                self._launch_sort(device, "sortKernel", vocabulary)
         elif task in (Task.TERM_VECTOR, Task.INVERTED_INDEX, Task.RANKED_INVERTED_INDEX):
-            record.add_kernel(
-                self._scan_kernel("perFileCountKernel", tokens, wc.HASH_UPDATE_OPS, atomic_fraction=1.0)
+            self._launch_scan(
+                device, "perFileCountKernel", tokens, wc.HASH_UPDATE_OPS, atomic_fraction=1.0
             )
             entries = sum(len(set(doc.tokens)) for doc in self.corpus)
             if task is Task.RANKED_INVERTED_INDEX:
-                record.add_kernel(self._sort_kernel("rankKernel", entries))
+                self._launch_sort(device, "rankKernel", entries)
             else:
-                record.add_kernel(self._sort_kernel("gatherKernel", max(1, entries // 4)))
+                self._launch_sort(device, "gatherKernel", max(1, entries // 4))
         elif task is Task.SEQUENCE_COUNT:
             windows = max(1, tokens - len(self.corpus) * (self.sequence_length - 1))
-            record.add_kernel(
-                self._scan_kernel(
-                    "sequenceCountKernel",
-                    windows,
-                    wc.TOKEN_SCAN_OPS * self.sequence_length,
-                    atomic_fraction=1.0,
-                )
+            self._launch_scan(
+                device,
+                "sequenceCountKernel",
+                windows,
+                wc.TOKEN_SCAN_OPS * self.sequence_length,
+                atomic_fraction=1.0,
             )
         elif task is Task.RELATIONAL:
             # Decompress-then-scan: every query re-parses the full token
@@ -130,14 +128,18 @@ class GpuUncompressedAnalytics:
             # launches per query, with no state to amortize across
             # repeats (contrast the compressed path's two warm kernels).
             num_rows = max(1, len(self.corpus))
-            record.add_kernel(
-                self._scan_kernel("parseRowsKernel", tokens, wc.TOKEN_SCAN_OPS, atomic_fraction=0.0)
+            self._launch_scan(
+                device, "parseRowsKernel", tokens, wc.TOKEN_SCAN_OPS, atomic_fraction=0.0
             )
-            record.add_kernel(
-                self._scan_kernel("filterRowsKernel", num_rows, wc.MASK_CHECK_OPS + wc.WEIGHT_UPDATE_OPS, atomic_fraction=0.0)
+            self._launch_scan(
+                device,
+                "filterRowsKernel",
+                num_rows,
+                wc.MASK_CHECK_OPS + wc.WEIGHT_UPDATE_OPS,
+                atomic_fraction=0.0,
             )
-            record.add_kernel(
-                self._scan_kernel("aggregateKernel", num_rows, wc.HASH_UPDATE_OPS, atomic_fraction=1.0)
+            self._launch_scan(
+                device, "aggregateKernel", num_rows, wc.HASH_UPDATE_OPS, atomic_fraction=1.0
             )
         record.host_counter.charge(compute_ops=1_000.0, memory_bytes=4_096.0)
         return record

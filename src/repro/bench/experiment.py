@@ -15,7 +15,7 @@ scripts turn into the paper's figures.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analytics.base import Task
@@ -397,7 +397,6 @@ class ExperimentRunner:
         if platform.gpu is None:
             raise ValueError(f"platform {platform.key} has no GPU")
         run = self.gpu_uncompressed_run(key, task)
-        bundle = self.bundle(key)
         # Uncompressed work scales with tokens, not rules; keep the ratio of
         # tokens to rules fixed by reusing the same extrapolation factor.
         record = extrapolate_gpu_record(run.record, self._factor(key))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import List, Sequence, Union
 
 __all__ = ["format_table", "save_report", "RESULTS_DIR"]
 

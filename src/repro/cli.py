@@ -45,7 +45,7 @@ from repro.compression.serializer import load_compressed, save_compressed
 from repro.compression.compressor import compress_corpus
 from repro.data.generators import generate_dataset, list_datasets
 from repro.data.loaders import load_corpus_dir
-from repro.perf.platforms import get_platform, list_platforms
+from repro.perf.platforms import get_platform
 
 __all__ = ["main", "build_parser"]
 
@@ -170,6 +170,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = subparsers.add_parser("info", help="print statistics of a compressed corpus")
     info.add_argument("--compressed", required=True)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repo-specific static analysis rules (repro.analysis)"
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="source root to scan (directory containing the 'repro' package); "
+        "defaults to the installed package's own source tree",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        default=None,
+        metavar="NAME",
+        help="run only this rule (repeatable); default is every registered rule",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
 
     bench = subparsers.add_parser("bench", help="print the Figure 9 speedup grid")
     bench.add_argument("--datasets", default="A,B,D", help="comma-separated dataset keys")
@@ -480,6 +501,26 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import registered_rules, run_lint
+
+    if args.list_rules:
+        for name, description in registered_rules():
+            print(f"{name}: {description}")
+        return 0
+    root = Path(args.root) if args.root else None
+    findings = run_lint(root, rules=args.rules)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint: no findings", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     platform = get_platform(args.platform)
     if not platform.has_gpu:
@@ -647,6 +688,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "relational": _cmd_relational,
         "info": _cmd_info,
+        "lint": _cmd_lint,
         "bench": _cmd_bench,
         "serve-bench": _cmd_serve_bench,
     }

@@ -16,10 +16,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.analysis.lockcheck import make_lock
 from repro.compression.dag import DagStatistics, GrammarDAG
 from repro.compression.dictionary import Dictionary
 from repro.compression.grammar import Grammar, Rule, is_rule_ref, rule_ref_id
@@ -148,7 +148,7 @@ class CompressedCorpus:
         #: Serializes mutations against readers that need a coherent
         #: multi-attribute view (sessions snapshotting a layout, the
         #: serving layer pairing version with fingerprint).
-        self.lock = threading.RLock()
+        self.lock = make_lock("corpus", reentrant=True)
 
     # -- identity ------------------------------------------------------------------
     def fingerprint(self) -> str:

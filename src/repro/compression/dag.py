@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-from repro.compression.grammar import Grammar, is_rule_ref, rule_ref_id
+from repro.compression.grammar import Grammar
 
 __all__ = ["GrammarDAG", "DagStatistics"]
 

@@ -11,7 +11,7 @@ Figure 3 of the paper and is shared by every task program.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.compression.compressor import CompressedCorpus
 from repro.compression.grammar import Grammar, is_rule_ref, rule_ref_id

@@ -19,7 +19,7 @@ that shows why it was abandoned.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.core.layout import DeviceRuleLayout
 

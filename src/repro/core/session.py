@@ -35,6 +35,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.lockcheck import make_lock
 from repro.compression.compressor import CompressedCorpus
 from repro.core.layout import DeviceRuleLayout
 from repro.core.scheduler import DEFAULT_OVERSIZE_THRESHOLD, FineGrainedScheduler
@@ -174,7 +175,7 @@ class DeviceSession:
         self._built_version = compressed.version
         # Re-entrant so a batch can hold the lock across several
         # ensure/state/drain calls (the engine and the serving layer do).
-        self._lock = threading.RLock()
+        self._lock = make_lock("session", reentrant=True)
 
     @property
     def lock(self) -> threading.RLock:

@@ -12,7 +12,7 @@ time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.analytics.base import Task
 from repro.compression.compressor import CompressedCorpus

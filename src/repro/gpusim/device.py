@@ -198,6 +198,46 @@ class GPUDevice:
         self.launch_history.append(launch)
         return launch
 
+    def launch_modelled(
+        self,
+        name: str,
+        num_threads: int,
+        *,
+        warp_serial_ops: float,
+        total_thread_ops: float,
+        memory_bytes: float = 0.0,
+        shared_memory_bytes: float = 0.0,
+        atomic_ops: float = 0.0,
+        atomic_conflicts: float = 0.0,
+    ) -> KernelLaunch:
+        """Record an analytically-modelled kernel launch.
+
+        Baselines that price work from closed-form volume models (the
+        uncompressed GPU comparator derives ops from token counts rather
+        than executing per-thread kernels) still must go through the
+        device so the launch lands in :attr:`record` and
+        :attr:`launch_history` like every simulated kernel.  The caller
+        supplies the aggregate counters directly; the device only derives
+        the warp count and does the recording.
+        """
+        if num_threads <= 0:
+            raise ValueError("a kernel launch needs at least one thread")
+        stats = KernelStats(
+            name=name,
+            num_threads=num_threads,
+            num_warps=(num_threads + self.warp_size - 1) // self.warp_size,
+            warp_serial_ops=float(warp_serial_ops),
+            total_thread_ops=float(total_thread_ops),
+            memory_bytes=float(memory_bytes),
+            shared_memory_bytes=float(shared_memory_bytes),
+            atomic_ops=float(atomic_ops),
+            atomic_conflicts=float(atomic_conflicts),
+        )
+        self.record.add_kernel(stats)
+        launch = KernelLaunch(stats=stats)
+        self.launch_history.append(launch)
+        return launch
+
     @staticmethod
     def _as_thread_vector(vector: Optional[np.ndarray], num_threads: int) -> np.ndarray:
         if vector is None:

@@ -18,7 +18,7 @@ the counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["CostCounter", "KernelStats", "GpuRunRecord", "PhaseTiming"]
 

@@ -49,6 +49,7 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serve.sharding import ShardedAnalyticsService
 
+from repro.analysis.lockcheck import make_lock
 from repro.analytics.base import Task
 from repro.api.backend import BackendCapabilities
 from repro.api.backends import CorpusSource
@@ -482,7 +483,7 @@ class AsyncServeBackend:
         # Serializes scheduling against close(): a call that passes the
         # closed check has its coroutine queued on the loop before close()
         # can queue the shutdown, so the drain always sees its task.
-        self._call_lock = threading.Lock()
+        self._call_lock = make_lock("aio.call")
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="gtadoc-serve-async", daemon=True

@@ -27,12 +27,13 @@ Both knobs surface in :class:`CacheStats` (``weight_bytes``,
 from __future__ import annotations
 
 import sys
-import threading
 import time
 from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
+
+from repro.analysis.lockcheck import make_lock
 
 __all__ = ["CacheStats", "LRUCache", "approx_size_bytes"]
 
@@ -129,7 +130,7 @@ class LRUCache:
         self._clock = clock
         self._entries: "OrderedDict[Any, _Entry]" = OrderedDict()
         self._weight = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.cache")
         self._hits = 0
         self._misses = 0
         self._evictions = 0

@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
+from repro.analysis.lockcheck import make_lock
 from repro.api.query import Query
 
 __all__ = ["BatchSlot", "CoalescedRequest", "CoalescerCore", "GroupState", "QueryCoalescer"]
@@ -144,7 +145,7 @@ class QueryCoalescer:
             raise ValueError("coalescing window must be non-negative")
         self.window = float(window)
         self._core = CoalescerCore(max_batch)
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.coalescer")
         self._arrival = threading.Condition(self._lock)
 
     @property

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.lockcheck import make_lock
 from repro.api.backends import GTadocBackend
 from repro.api.outcome import RunOutcome
 from repro.api.query import Query
@@ -241,7 +242,7 @@ def _drive_threaded(
     outcomes: List[Optional[RunOutcome]] = [None] * len(items)
     errors: List[BaseException] = []
     cursor = {"next": 0}
-    cursor_lock = threading.Lock()
+    cursor_lock = make_lock("replay.cursor")
     stop = threading.Event()
 
     def worker() -> None:

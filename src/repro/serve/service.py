@@ -39,10 +39,10 @@ front the same registry every other engine sits behind.
 from __future__ import annotations
 
 import copy
-import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.analysis.lockcheck import make_lock
 from repro.analytics.base import Task
 from repro.api.backend import BackendCapabilities
 from repro.api.backends import CorpusSource, _as_compressed, _file_indices_for
@@ -70,7 +70,7 @@ class CorpusMemo:
 
     def __init__(self, capacity: int) -> None:
         self._capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.corpus_memo")
         self._entries: Dict[int, Tuple[Corpus, CompressedCorpus]] = {}
 
     def resolve(self, source: CorpusSource) -> CompressedCorpus:
@@ -274,7 +274,7 @@ class ServingCore:
             max_weight_bytes=self.config.result_cache_bytes,
             ttl=self.config.result_cache_ttl,
         )
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("serve.stats")
         self._queries = 0
         self._executed_queries = 0
         self._micro_batches = 0
@@ -284,14 +284,14 @@ class ServingCore:
         # Fingerprint generations: bumped by invalidate() *before* entries
         # are dropped, so in-flight write-backs guarded on an older epoch
         # can never resurrect an invalidated entry.
-        self._epoch_lock = threading.Lock()
+        self._epoch_lock = make_lock("serve.epoch")
         self._epochs: Dict[str, int] = {}
         # Mutable-corpus tracking: per corpus uid, the last (version,
         # fingerprint) a routed query observed.  Mutations do not notify
         # the serving layer; the next query that touches the corpus sees
         # the version advance here and retires the old fingerprint's
         # entries (counted as epoch expirations, not evictions).
-        self._version_lock = threading.Lock()
+        self._version_lock = make_lock("serve.version")
         self._uid_versions: Dict[str, Tuple[int, str]] = {}
         self._corpus_memo = CorpusMemo(self.config.corpus_memo_capacity)
         self._default: Optional[CompressedCorpus] = (
@@ -339,6 +339,11 @@ class ServingCore:
         """
 
     def stats(self) -> ServiceStats:
+        # Cache stats are snapshotted before taking the stats lock: the
+        # stats lock is a leaf (rank 60 in analysis/lockspec.py) and must
+        # never be held across the cache locks (rank 30).
+        session_cache = self._sessions.stats()
+        result_cache = self._results.stats()
         with self._stats_lock:
             return ServiceStats(
                 queries=self._queries,
@@ -347,8 +352,8 @@ class ServingCore:
                 coalesced_queries=self._coalesced_queries,
                 kernel_launches=self._kernel_launches,
                 shared_kernel_launches=self._shared_kernel_launches,
-                session_cache=self._sessions.stats(),
-                result_cache=self._results.stats(),
+                session_cache=session_cache,
+                result_cache=result_cache,
             )
 
     @property

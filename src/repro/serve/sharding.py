@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import functools
 import hashlib
-import threading
 from concurrent.futures import Executor
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -51,6 +50,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import asyncio
 
+from repro.analysis.lockcheck import make_lock
 from repro.analytics.base import Task
 from repro.api.backend import BackendCapabilities
 from repro.api.backends import CorpusSource
@@ -302,7 +302,7 @@ class ShardedAnalyticsService:
         self.config = config
         self._engine_config = engine_config
         self._service_config = service_config or ServiceConfig()
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.router")
         self._shards: List[_Shard] = [
             self._new_shard(shard_id) for shard_id in range(config.num_shards)
         ]
@@ -334,7 +334,7 @@ class ShardedAnalyticsService:
         # Placement traffic has its own lock: charging a finished outcome
         # must not contend with the routing hot path.
         self._network = CostCounter()
-        self._network_lock = threading.Lock()
+        self._network_lock = make_lock("serve.network")
         self._corpus_memo = CorpusMemo(self._service_config.corpus_memo_capacity)
         self._closed = False
         self._default: Optional[CompressedCorpus] = (

@@ -1,0 +1,254 @@
+"""Lint engine tests: golden bad examples + a clean full-repo run.
+
+Each rule gets a miniature synthetic repo (a tmp ``src`` tree with just
+enough files for the rule to resolve) containing exactly one deliberate
+violation, and must report exactly one finding at the violating line.
+The capstone is the full-repo run: the real source tree must come back
+with zero findings — that is the invariant CI enforces.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import registered_rules, run_lint
+from repro.cli import main as cli_main
+
+
+def _mini_repo(tmp_path: Path, files: dict) -> Path:
+    root = tmp_path / "src"
+    for rel_path, content in files.items():
+        target = root / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content), encoding="utf-8")
+    return root
+
+
+# ----------------------------------------------------------------------------------------
+# Golden bad examples: exactly one finding each
+# ----------------------------------------------------------------------------------------
+
+class TestGoldenBadExamples:
+    def test_lock_order_inversion_nested_with(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/core/session.py": """
+                class DeviceSession:
+                    def snapshot(self):
+                        with self.compressed.lock:
+                            with self._lock:
+                                return self._layout
+            """,
+        })
+        findings = run_lint(root, rules=["lock-order"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "lock-order"
+        assert finding.path == "repro/core/session.py"
+        assert finding.line == 5
+        assert "'session'" in finding.message and "'corpus'" in finding.message
+
+    def test_lock_order_inversion_through_call(self, tmp_path):
+        # The exact shape of the real bug this PR fixed: a leaf stats
+        # lock held across a cache-lock-taking call on another object.
+        root = _mini_repo(tmp_path, {
+            "repro/serve/service.py": """
+                class LRUCache:
+                    def stats(self):
+                        with self._lock:
+                            return dict(self._counters)
+
+
+                class ServingCore:
+                    def stats(self):
+                        with self._stats_lock:
+                            return self._sessions.stats()
+            """,
+        })
+        findings = run_lint(root, rules=["lock-order"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.line == 11
+        assert "'serve.cache'" in finding.message
+        assert "LRUCache.stats" in finding.message
+
+    def test_kernel_discipline_raw_stats_construction(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/baselines/rogue.py": """
+                from repro.perf.counters import KernelStats
+
+
+                def build_stats():
+                    return KernelStats(
+                        name="rogueKernel",
+                        num_threads=32,
+                        num_warps=1,
+                        warp_serial_ops=1.0,
+                        total_thread_ops=32.0,
+                    )
+            """,
+        })
+        findings = run_lint(root, rules=["kernel-discipline"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.path == "repro/baselines/rogue.py"
+        assert "ad-hoc KernelStats" in finding.message
+
+    def test_kernel_discipline_missing_vector_counterpart(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/core/traversal.py": """
+                def count_words(device, layout):
+                    def kernel(tid, ctx):
+                        ctx.charge(compute_ops=1.0)
+                    device.launch("orphanKernel", kernel, 8)
+            """,
+            "repro/core/vectorized.py": """
+                def count_words_vec(device, layout):
+                    device.launch_bulk("someOtherKernel", 8)
+            """,
+        })
+        findings = run_lint(root, rules=["kernel-discipline"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.path == "repro/core/traversal.py"
+        assert "'orphanKernel'" in finding.message
+
+    def test_plan_coverage_unregistered_task(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/analytics/base.py": """
+                import enum
+
+
+                class Task(str, enum.Enum):
+                    WORD_COUNT = "word_count"
+                    SORT = "sort"
+            """,
+            "repro/core/plans.py": """
+                from repro.analytics.base import Task
+
+                PLAN_REGISTRY = {
+                    Task.WORD_COUNT: "plan",
+                }
+            """,
+        })
+        findings = run_lint(root, rules=["plan-coverage"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.path == "repro/core/plans.py"
+        assert "Task.SORT" in finding.message
+
+    def test_plan_coverage_backend_missing_protocol_member(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/api/registry.py": """
+                class HalfBackend:
+                    name = "half"
+
+                    def run(self, query):
+                        return None
+
+                    def run_batch(self, queries):
+                        return []
+
+
+                register_backend(HalfBackend.name, HalfBackend)
+            """,
+        })
+        findings = run_lint(root, rules=["plan-coverage"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert "HalfBackend" in finding.message
+        assert "capabilities" in finding.message
+
+    def test_determinism_unseeded_rng(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/core/noise.py": """
+                import random
+
+
+                def jitter(value):
+                    return value + random.random()
+            """,
+        })
+        findings = run_lint(root, rules=["determinism"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.path == "repro/core/noise.py"
+        assert finding.line == 6
+        assert "random.random()" in finding.message
+
+    def test_determinism_wall_clock_read(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/gpusim/stamp.py": """
+                import time
+
+
+                def stamp_launch(record):
+                    record.stamp = time.perf_counter()
+            """,
+        })
+        findings = run_lint(root, rules=["determinism"])
+        assert len(findings) == 1
+        assert "time.perf_counter()" in findings[0].message
+
+
+# ----------------------------------------------------------------------------------------
+# The real repo is clean
+# ----------------------------------------------------------------------------------------
+
+class TestFullRepo:
+    def test_full_repo_zero_findings(self):
+        assert run_lint() == []
+
+    def test_all_rules_registered(self):
+        names = [name for name, _ in registered_rules()]
+        assert names == sorted(
+            ["determinism", "kernel-discipline", "lock-order", "plan-coverage"]
+        )
+
+
+# ----------------------------------------------------------------------------------------
+# CLI front end
+# ----------------------------------------------------------------------------------------
+
+class TestCli:
+    def test_lint_clean_repo_exits_zero(self, capsys):
+        assert cli_main(["lint"]) == 0
+        assert "no findings" in capsys.readouterr().err
+
+    def test_lint_bad_repo_exits_nonzero_with_locations(self, tmp_path, capsys):
+        root = _mini_repo(tmp_path, {
+            "repro/core/noise.py": """
+                import random
+
+
+                def jitter(value):
+                    return value + random.random()
+            """,
+        })
+        assert cli_main(["lint", "--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "repro/core/noise.py:6: [determinism]" in out
+
+    def test_lint_rule_selection(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/core/noise.py": """
+                import random
+
+
+                def jitter(value):
+                    return value + random.random()
+            """,
+        })
+        # The violation is invisible to a different rule.
+        assert cli_main(["lint", "--root", str(root), "--rule", "lock-order"]) == 0
+
+    def test_lint_unknown_rule_rejected(self):
+        with pytest.raises(KeyError):
+            cli_main(["lint", "--rule", "no-such-rule"])
+
+    def test_lint_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-order:" in out and "determinism:" in out

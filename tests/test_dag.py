@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.compression.dag import GrammarDAG
-from repro.compression.grammar import Grammar, Rule, make_rule_ref
+from repro.compression.grammar import make_rule_ref
 from tests.test_grammar import build_example_grammar
 
 
