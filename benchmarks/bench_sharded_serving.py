@@ -18,15 +18,32 @@ through a 3-shard pool whose shards each hold 2.  It asserts the
 sharded replay returns bit-identical results to the serial baseline,
 launches no more kernels per query than the single service, and never
 lets a shard exceed its configured ``max_sessions``.
+
+Two transport scenarios ride on top: the same trace through a
+**process-transport** pool (each shard's serving core in a spawned
+worker process, corpora shipped over framed pipes) must also match the
+serial baseline bit for bit, with its *actual* serialized wire traffic
+priced under the cluster spec next to the modelled placement numbers;
+and a **kill-one-shard** run hard-kills a live worker mid-trace and
+asserts the pool answers every remaining request identically to serial
+— zero wrong answers, the crash visible only in the failure counters.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
+from repro.analytics.base import Task, results_equal
+from repro.api.query import Query
 from repro.bench.tables import format_table, save_report
 from repro.compression.compressor import compress_corpus
 from repro.data.generators import generate_dataset, list_datasets
 from repro.serve import (
+    AnalyticsService,
     ServiceConfig,
+    ShardedAnalyticsService,
+    ShardedServiceConfig,
     TraceConfig,
     replay_trace,
     replay_trace_sharded,
@@ -37,6 +54,10 @@ REQUESTS_PER_CORPUS = 12
 NUM_THREADS = 8
 NUM_SHARDS = 3
 MAX_SESSIONS_PER_DEVICE = 2
+#: Transport measurements merge into the serving perf trajectory so the
+#: CI artifact tracks wire traffic next to the kernel-mode numbers.
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_serving.json"
 
 
 def _build_report(scale: float) -> str:
@@ -143,14 +164,159 @@ def _build_report(scale: float) -> str:
             f"{stats.network_seconds * 1000:.2f} ms modelled network"
         ),
     )
+    transports, transport_trajectory = _transport_comparison(
+        corpora, trace, device_config, threaded_sharded=sharded
+    )
+    fault, fault_trajectory = _kill_one_shard_scenario(corpora, device_config)
+    _merge_trajectory(
+        {"transports": transport_trajectory, "kill_one_shard": fault_trajectory}
+    )
+
     summary = (
         "Every corpus stays resident on its owning shard, so the pool "
         "serves the multi-corpus mix without the session thrash the "
         "single device's LRU suffers — results stay bit-identical to "
-        "serial per-query execution, launches per query do not regress, "
-        "and no shard exceeds its session budget."
+        "serial per-query execution (in-process and process transports "
+        "alike, and through a mid-trace worker kill), launches per "
+        "query do not regress, and no shard exceeds its session budget."
     )
-    return overview + "\n\n" + placement + "\n\n" + summary
+    return "\n\n".join([overview, placement, transports, fault, summary])
+
+
+def _merge_trajectory(measurements: dict) -> None:
+    """Fold this benchmark's measurements into ``BENCH_serving.json``.
+
+    The kernel-mode benchmark owns the file; this one only updates its
+    own key, so either can run (and CI can upload) independently.
+    """
+    trajectory = {}
+    if BENCH_JSON.exists():
+        try:
+            trajectory = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except ValueError:
+            trajectory = {}
+    trajectory["sharded_serving"] = measurements
+    BENCH_JSON.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+
+
+def _transport_comparison(corpora, trace, device_config, *, threaded_sharded):
+    """The same trace through a process-transport pool, wire traffic priced."""
+    process = replay_trace_sharded(
+        corpora,
+        trace,
+        num_shards=NUM_SHARDS,
+        replicas=2,
+        num_threads=NUM_THREADS,
+        service_config=device_config,
+        transport="process",
+    )
+    assert process.transport == "process"
+    assert process.results_match, (
+        "process-transport served results diverged from the serial baseline"
+    )
+    assert process.stats.wire_messages > 0 and process.stats.wire_bytes > 0
+
+    def row(label, report):
+        stats = report.stats
+        return [
+            label,
+            f"{report.elapsed_seconds:6.3f} s",
+            f"{stats.wire_messages:6.0f}",
+            f"{stats.wire_bytes / 1024:8.1f}",
+            f"{stats.wire_seconds * 1000:7.3f}",
+            f"{stats.network_seconds * 1000:7.3f}",
+        ]
+
+    table = format_table(
+        ["transport", "wall-clock", "wire msgs", "wire KiB", "wire ms", "placement ms"],
+        [
+            row("inprocess (threads)", threaded_sharded),
+            row("process (spawned workers)", process),
+        ],
+        title=(
+            "Transports: identical answers; only the process pool pays "
+            "real serialization, priced under the same cluster spec"
+        ),
+    )
+
+    def measurements(report):
+        stats = report.stats
+        return {
+            "elapsed_seconds": report.elapsed_seconds,
+            "wire_messages": stats.wire_messages,
+            "wire_bytes": stats.wire_bytes,
+            "wire_seconds": stats.wire_seconds,
+            "network_seconds": stats.network_seconds,
+            "kernel_launches": stats.kernel_launches,
+            "results_match": bool(report.results_match),
+        }
+
+    return table, {
+        "num_shards": NUM_SHARDS,
+        "num_requests": len(trace),
+        "inprocess": measurements(threaded_sharded),
+        "process": measurements(process),
+    }
+
+
+#: Per-corpus probes for the crash scenario — cheap, deterministic, and
+#: covering distinct result shapes.
+FAULT_PROBES = (
+    Query(task=Task.WORD_COUNT, top_k=10),
+    Query(task=Task.SORT, top_k=8),
+    Query(task=Task.SEQUENCE_COUNT, sequence_length=3, top_k=5),
+)
+
+
+def _kill_one_shard_scenario(corpora, device_config):
+    """Hard-kill a live worker mid-trace; every answer must stay right."""
+    serial = [AnalyticsService(compressed) for compressed in corpora]
+    expected = [
+        [service.submit(query).result for query in FAULT_PROBES]
+        for service in serial
+    ]
+    service = ShardedAnalyticsService(
+        service_config=device_config,
+        sharded_config=ShardedServiceConfig(
+            num_shards=NUM_SHARDS, transport="process"
+        ),
+    )
+    wrong = served = 0
+    try:
+        # Warm every corpus onto its owning worker first, so the kill
+        # lands on a shard with real resident state.
+        for index, compressed in enumerate(corpora):
+            outcome = service.submit(FAULT_PROBES[0], source=compressed)
+            served += 1
+            wrong += not results_equal(
+                FAULT_PROBES[0].task, outcome.result, expected[index][0]
+            )
+        victim = service._shards[service.shard_for(corpora[0])]
+        victim.transport.kill()
+        for index, compressed in enumerate(corpora):
+            for probe, want in zip(FAULT_PROBES, expected[index]):
+                outcome = service.submit(probe, source=compressed)
+                served += 1
+                wrong += not results_equal(probe.task, outcome.result, want)
+        stats = service.stats()
+    finally:
+        service.close()
+
+    assert wrong == 0, f"{wrong} wrong answers after a worker kill"
+    assert stats.shard_failures >= 1, "the kill was never observed as a failure"
+    assert stats.replaced_shards == stats.shard_failures
+    line = (
+        f"Kill-one-shard: worker of corpus 0 hard-killed after warmup; "
+        f"{served} requests served, {wrong} wrong answers, "
+        f"{stats.shard_failures} shard failure(s), "
+        f"{stats.replaced_shards} replacement shard(s) spawned."
+    )
+    return line, {
+        "requests_served": served,
+        "wrong_answers": wrong,
+        "shard_failures": stats.shard_failures,
+        "replaced_shards": stats.replaced_shards,
+    }
 
 
 def test_sharded_serving(benchmark, bench_scale) -> None:

@@ -125,6 +125,7 @@ def _ensure_rules_loaded() -> None:
     # importable even if a rule module is mid-edit.
     from repro.analysis import (  # noqa: F401  (imported for registration side effect)
         rules_determinism,
+        rules_epoch_guard,
         rules_kernels,
         rules_lock_order,
         rules_plans,

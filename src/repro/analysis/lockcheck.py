@@ -40,20 +40,24 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis import lockspec
 
 __all__ = [
     "LockOrderViolation",
+    "HoldProfile",
     "make_lock",
     "enable",
     "disable",
     "is_enabled",
     "witness",
     "witness_edges",
+    "witness_report",
+    "held_levels",
     "reset_witness",
     "WitnessLock",
 ]
@@ -120,6 +124,25 @@ class _Hold:
     lock: "WitnessLock"
     stack: str
     count: int = 1
+    #: ``time.monotonic()`` of the first (outermost) acquisition —
+    #: re-entrant re-acquisitions measure one combined hold.
+    since: float = field(default_factory=time.monotonic)
+
+
+@dataclass(frozen=True)
+class HoldProfile:
+    """Aggregated hold times of one lock level, in seconds."""
+
+    level: str
+    rank: int
+    count: int
+    total: float
+    min: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
 
 
 class _WitnessState:
@@ -130,6 +153,8 @@ class _WitnessState:
         self._graph_lock = threading.Lock()
         #: ``(held level, acquired level) -> first witnessed edge``.
         self.edges: Dict[Tuple[str, str], _Edge] = {}
+        #: ``level -> [count, total, min, max]`` hold-time aggregates.
+        self.hold_times: Dict[str, List[float]] = {}
         self._local = threading.local()
 
     # -- per-thread holds --------------------------------------------------------------
@@ -201,17 +226,48 @@ class _WitnessState:
                 hold.count -= 1
                 if hold.count == 0:
                     del holds[index]
+                    self.record_hold(lock.level, time.monotonic() - hold.since)
                 return
         # Releasing a lock the witness never saw acquired (e.g. the
         # witness was enabled between acquire and release): ignore.
+
+    def record_hold(self, level: str, seconds: float) -> None:
+        """Fold one finished hold into the per-level aggregates."""
+        with self._graph_lock:
+            entry = self.hold_times.get(level)
+            if entry is None:
+                self.hold_times[level] = [1.0, seconds, seconds, seconds]
+            else:
+                entry[0] += 1.0
+                entry[1] += seconds
+                entry[2] = min(entry[2], seconds)
+                entry[3] = max(entry[3], seconds)
 
     def snapshot_edges(self) -> List[Tuple[str, str]]:
         with self._graph_lock:
             return sorted(self.edges)
 
+    def snapshot_hold_times(self) -> Dict[str, HoldProfile]:
+        with self._graph_lock:
+            return {
+                level: HoldProfile(
+                    level=level,
+                    rank=lockspec.rank_of(level),
+                    count=int(entry[0]),
+                    total=entry[1],
+                    min=entry[2],
+                    max=entry[3],
+                )
+                for level, entry in sorted(
+                    self.hold_times.items(),
+                    key=lambda item: lockspec.rank_of(item[0]),
+                )
+            }
+
     def reset(self) -> None:
         with self._graph_lock:
             self.edges.clear()
+            self.hold_times.clear()
 
 
 _STATE = _WitnessState()
@@ -283,7 +339,9 @@ class WitnessLock:
         holds = _STATE.holds()
         for index in range(len(holds) - 1, -1, -1):
             if holds[index].lock is self:
+                hold = holds[index]
                 del holds[index]
+                _STATE.record_hold(self.level, time.monotonic() - hold.since)
                 break
         if self.reentrant:
             return self._inner._release_save()  # type: ignore[union-attr]
@@ -360,6 +418,28 @@ def witness_edges() -> List[Tuple[str, str]]:
     return _STATE.snapshot_edges()
 
 
+def witness_report() -> Dict[str, HoldProfile]:
+    """Per-level hold-time aggregates witnessed so far, ordered by rank.
+
+    Each completed (outermost) acquisition of an instrumented lock
+    contributes one sample — count, total, min and max seconds held,
+    with :attr:`HoldProfile.mean` derived.  Only populated while the
+    witness is enabled; :func:`reset_witness` clears it.
+    """
+    return _STATE.snapshot_hold_times()
+
+
+def held_levels() -> List[str]:
+    """Level names of every instrumented lock the *current thread* holds.
+
+    The transport uses this as a runtime tripwire: a blocking pipe
+    receive must never happen while ``"serve.transport"`` (or anything
+    else) is held, and under the witness that invariant is checked on
+    every wire round trip rather than trusted.
+    """
+    return [hold.lock.level for hold in _STATE.holds()]
+
+
 def reset_witness() -> None:
-    """Forget the witnessed held-before graph (tests isolate with this)."""
+    """Forget the witnessed edges and hold times (tests isolate with this)."""
     _STATE.reset()

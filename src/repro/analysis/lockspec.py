@@ -1,8 +1,8 @@
 """The canonical lock hierarchy of the serving stack.
 
-Eight modules own :mod:`threading` locks — ``core/session.py``,
-``serve/{service,sharding,aio,coalescer,caches,replay}.py`` and
-``compression/compressor.py`` — and a query's path through the serving
+Nine modules own :mod:`threading` locks — ``core/session.py``,
+``serve/{service,sharding,transport,aio,coalescer,caches,replay}.py``
+and ``compression/compressor.py`` — and a query's path through the serving
 stack can hold several of them at once (the shard router routes while
 resolving a corpus fingerprint; the engine holds its session lock while
 delta-syncing against the corpus; a cache write-back evaluates its epoch
@@ -25,6 +25,11 @@ rank  level               lock
                           replication heat, resize/close.  Held while
                           resolving a corpus identity (rank 50) and while
                           walking shard session keys (rank 30) on resize.
+ 12   serve.transport     ``ProcessTransport._lock`` — a process shard's
+                          spawn state, liveness flag and wire counters.
+                          Held briefly under the router lock (stats
+                          reads, enqueue); never held across a blocking
+                          pipe receive.
  20   serve.coalescer     ``QueryCoalescer._lock`` (+ its arrival
                           ``Condition``) — micro-batch group bookkeeping.
                           Never holds anything else: batches execute after
@@ -101,6 +106,8 @@ class LockLevel:
 LEVELS: Tuple[LockLevel, ...] = (
     LockLevel("serve.router", 10, "ShardedAnalyticsService._lock",
               note="shard routing, replication heat, resize/close"),
+    LockLevel("serve.transport", 12, "ProcessTransport._lock",
+              note="process-shard spawn state, liveness and wire counters"),
     LockLevel("serve.coalescer", 20, "QueryCoalescer._lock",
               note="micro-batch group bookkeeping + arrival condition"),
     LockLevel("serve.cache", 30, "LRUCache._lock",
@@ -148,6 +155,7 @@ def rank_of(name: str) -> int:
 ATTRIBUTE_LEVELS: Dict[Tuple[str, str], str] = {
     ("ShardedAnalyticsService", "_lock"): "serve.router",
     ("ShardedAnalyticsService", "_network_lock"): "serve.network",
+    ("ProcessTransport", "_lock"): "serve.transport",
     ("QueryCoalescer", "_lock"): "serve.coalescer",
     ("QueryCoalescer", "_arrival"): "serve.coalescer",
     ("LRUCache", "_lock"): "serve.cache",
@@ -205,4 +213,6 @@ KNOWN_EDGES: Tuple[Tuple[str, str, str], ...] = (
      "put_if evaluates the epoch write-back guard under the cache lock"),
     ("serve.corpus_memo", "corpus",
      "CorpusMemo fingerprints corpora while holding the memo lock"),
+    ("serve.router", "serve.transport",
+     "stats() reads each process shard's wire counters under the router lock"),
 )

@@ -1,0 +1,110 @@
+"""Epoch-guard rule: serving caches never write back unguarded.
+
+The serving layer's result cache is only correct because every write
+lands through :meth:`repro.serve.caches.LRUCache.put_if` with an epoch
+guard: the guard re-checks, *inside the cache's critical section*, that
+the corpus epoch the result was computed against is still current.  A
+raw ``put`` (or a guard-less ``put_if``) reopens the classic race the
+guard closes — compute against epoch N, corpus mutates and invalidation
+sweeps the cache, stale write-back lands *after* the sweep and serves
+pre-mutation answers forever.
+
+This rule enforces the pattern structurally in ``repro/serve/``: any
+attribute a serving class assigns an ``LRUCache(...)`` to is a serving
+cache, and every ``.put(...)`` / guard-less ``.put_if(...)`` on such an
+attribute is flagged.  ``caches.py`` itself is exempt (``put`` is
+defined there, delegating to ``put_if``), as are reads and
+``get_or_create`` (the session path keys by fingerprint, so a stale
+epoch can never be *looked up*; the races live on the write-back side).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.lint import Finding, Project, SourceFile, rule
+
+RULE = "epoch-guard"
+
+#: Where LRUCache is defined; its own delegation is not a violation.
+_CACHE_MODULE = "repro/serve/caches.py"
+
+
+def _is_lru_cache_call(node: ast.AST) -> bool:
+    """``LRUCache(...)`` or ``caches.LRUCache(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "LRUCache"
+    return isinstance(func, ast.Attribute) and func.attr == "LRUCache"
+
+
+def _cache_attributes(class_node: ast.ClassDef) -> Set[str]:
+    """Attribute names the class assigns an ``LRUCache(...)`` to."""
+    attrs: Set[str] = set()
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Assign) or not _is_lru_cache_call(node.value):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attrs.add(target.attr)
+    return attrs
+
+
+def _has_guard(call: ast.Call) -> bool:
+    """Whether a ``put_if`` call passes a guard (3rd positional or keyword)."""
+    if len(call.args) >= 3:
+        return True
+    return any(keyword.arg == "guard" for keyword in call.keywords)
+
+
+def _check_class(source: SourceFile, class_node: ast.ClassDef) -> List[Finding]:
+    cache_attrs = _cache_attributes(class_node)
+    if not cache_attrs:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        receiver = node.func.value
+        if not (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and receiver.attr in cache_attrs
+        ):
+            continue
+        if node.func.attr == "put":
+            findings.append(source.finding(
+                RULE, node,
+                f"raw put() on serving cache self.{receiver.attr} in "
+                f"{class_node.name}: write back through put_if(..., "
+                f"guard=<epoch check>) so a stale result computed against a "
+                f"retired corpus epoch cannot land after invalidation",
+            ))
+        elif node.func.attr == "put_if" and not _has_guard(node):
+            findings.append(source.finding(
+                RULE, node,
+                f"put_if() without a guard on serving cache "
+                f"self.{receiver.attr} in {class_node.name}: pass guard= "
+                f"re-checking the corpus epoch under the cache lock",
+            ))
+    return findings
+
+
+@rule(RULE, "serve/ caches write back only through epoch-guarded put_if")
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.under("repro/serve"):
+        if source.rel_path == _CACHE_MODULE:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(_check_class(source, node))
+    return findings

@@ -243,6 +243,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shards a hot corpus fans out across in a --shards replay",
     )
     serve.add_argument(
+        "--processes",
+        action="store_true",
+        help=(
+            "run each shard's serving core in its own worker process "
+            "(crash-isolated, corpora shipped over a framed pipe; "
+            "requires --shards)"
+        ),
+    )
+    serve.add_argument(
         "--max-sessions", type=int, default=4, help="bound on resident device sessions"
     )
     serve.add_argument(
@@ -589,6 +598,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             relational_fraction=args.relational_fraction,
         ),
     )
+    if args.processes and not args.shards:
+        print("error: --processes requires --shards", file=sys.stderr)
+        return 2
     if args.shards:
         report = replay_trace_sharded(
             compressed,
@@ -600,6 +612,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             serial_baseline=not args.no_serial_baseline,
             use_async=args.use_async,
             concurrency=args.concurrency,
+            transport="process" if args.processes else None,
         )
         concurrency_row = (
             "max in-flight requests" if args.use_async else "worker threads",
@@ -651,8 +664,24 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 ("replica promotions", stats.replica_promotions),
                 ("replica demotions", stats.replica_demotions),
                 ("placement network", f"{stats.network_seconds * 1000:.3f} ms"),
+                ("shard transport", report.transport),
             ]
         )
+        if stats.wire_messages:
+            rows.extend(
+                [
+                    ("wire messages", f"{stats.wire_messages:.0f}"),
+                    ("wire bytes", f"{stats.wire_bytes:.0f}"),
+                    ("wire network", f"{stats.wire_seconds * 1000:.3f} ms"),
+                ]
+            )
+        if stats.shard_failures:
+            rows.append(
+                (
+                    "shard failures",
+                    f"{stats.shard_failures} ({stats.replaced_shards} replaced)",
+                )
+            )
     if report.serial_launches is not None:
         rows.extend(
             [

@@ -266,6 +266,78 @@ class CompressedCorpus:
                 return None
             return kinds
 
+    # -- replica maintenance -------------------------------------------------------
+    def adopt_epoch(
+        self,
+        *,
+        dictionary: Dictionary,
+        grammar: Grammar,
+        file_names: Sequence[str],
+        splitter_ids: Sequence[int],
+        original_size_bytes: int,
+        original_tokens: int,
+    ) -> None:
+        """Replace this corpus's entire content in place (replica refresh).
+
+        The object keeps its identity — serving cores rekey warm
+        sessions by corpus *object* identity when they observe a new
+        epoch, so a shard worker must hold exactly one corpus object per
+        uid and refresh it through this method rather than rebuilding.
+        The live builder is dropped; a later incremental append lazily
+        replays the adopted content through :meth:`_ensure_builder`.
+        """
+        with self.lock:
+            self._builder = None
+            self.dictionary = dictionary
+            self.grammar = grammar
+            self.file_names = list(file_names)
+            self.splitter_ids = list(splitter_ids)
+            self.original_size_bytes = original_size_bytes
+            self.original_tokens = original_tokens
+            self.dag = GrammarDAG(grammar)
+            self._splitter_set = set(self.splitter_ids)
+            self._root_segments = self._compute_root_segments()
+            self._fingerprint = None
+            self.version += 1
+            self._mutation_log.append((self.version, "rebuild"))
+            del self._mutation_log[:-64]
+
+    def align_replica(
+        self, *, uid: str, version: int, fingerprint: Optional[str] = None
+    ) -> None:
+        """Stamp this replica with its primary's identity.
+
+        A replica built from a shipped snapshot (or advanced by a
+        shipped delta) has the primary's *content* but its own local
+        ``uid``/``version`` bookkeeping; this re-stamps both so routing
+        identity and the epoch protocol line up across the process
+        boundary.  When the primary's version jumped further than the
+        local mutation count (several primary mutations shipped as one),
+        the newest log entry is re-stamped too — ``mutations_since`` then
+        reports the gap honestly and epoch observers fall back to a
+        rebuild instead of trusting a wrong delta.  ``fingerprint`` is a
+        content tripwire: a mismatch means the replica diverged from its
+        primary and raises instead of serving silently wrong answers.
+        """
+        with self.lock:
+            if fingerprint is not None and self.fingerprint() != fingerprint:
+                raise ValueError(
+                    "replica content diverged from its primary: fingerprint "
+                    f"{self.fingerprint()[:12]} != expected {fingerprint[:12]}"
+                )
+            if version < self.version:
+                raise ValueError(
+                    f"replica version cannot move backwards ({self.version} -> {version})"
+                )
+            if (
+                version != self.version
+                and self._mutation_log
+                and self._mutation_log[-1][0] == self.version
+            ):
+                self._mutation_log[-1] = (version, self._mutation_log[-1][1])
+            self.version = version
+            self._uid = uid
+
     def append_files(
         self,
         documents: Union[Corpus, Mapping[str, Union[str, Sequence[str]]], Iterable[Document]],

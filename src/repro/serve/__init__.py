@@ -51,6 +51,14 @@ from repro.serve.sharding import (
     rendezvous_rank,
 )
 from repro.serve.trace import TraceConfig, synthesize_trace
+from repro.serve.transport import (
+    InProcessTransport,
+    ProcessTransport,
+    ShardFailure,
+    ShardTransport,
+    create_transport,
+)
+from repro.serve.worker import ShardHost
 
 __all__ = [
     "AnalyticsService",
@@ -63,6 +71,12 @@ __all__ = [
     "ShardedServiceConfig",
     "ShardedStats",
     "rendezvous_rank",
+    "ShardTransport",
+    "InProcessTransport",
+    "ProcessTransport",
+    "ShardFailure",
+    "ShardHost",
+    "create_transport",
     "CacheStats",
     "LRUCache",
     "approx_size_bytes",

@@ -289,10 +289,13 @@ class AsyncAnalyticsService(ServingCore):
     **Shard-router mode.**  Constructed with ``router=`` (a
     :class:`~repro.serve.sharding.ShardedAnalyticsService`), the service
     becomes the shard pool's async client: ``submit`` routes each query
-    to its owning shard and awaits the shard executor's work, so one
+    to its owning shard and awaits the shard transport's future, so one
     event loop fans any number of in-flight queries across the pool
-    without holding a caller thread per request.  Serving state
-    (session LRU, result cache, coalescing) then lives *in the shards*;
+    without holding a caller thread per request — whether the shard is
+    an in-process thread pool or a worker process behind a framed pipe
+    (the router's configured transport; a crashed worker is replaced
+    and the query transparently re-routed).  Serving state (session
+    LRU, result cache, coalescing) then lives *in the shards*;
     ``stats``/``invalidate``/``resident_sessions`` delegate to the
     router, and closing this service does not close the router.
     """

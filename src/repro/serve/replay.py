@@ -33,7 +33,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.lockcheck import make_lock
@@ -89,6 +89,9 @@ class ReplayReport:
     serial_elapsed_seconds: Optional[float] = None
     #: Mutation events the trace applied mid-replay (live-corpus traces).
     num_mutations: int = 0
+    #: Shard transport the pool deployed (sharded replays only):
+    #: ``"inprocess"`` or ``"process"``.
+    transport: Optional[str] = None
 
     @property
     def requests_per_second(self) -> Optional[float]:
@@ -465,6 +468,7 @@ def replay_trace_sharded(
     serial_baseline: bool = True,
     use_async: bool = False,
     concurrency: int = 64,
+    transport: Optional[str] = None,
 ) -> ReplayReport:
     """Replay ``trace`` through a fingerprint-routed shard pool.
 
@@ -476,7 +480,9 @@ def replay_trace_sharded(
     up to ``concurrency`` in-flight queries to the owning shards
     through :class:`~repro.serve.aio.AsyncAnalyticsService`'s
     shard-router mode.  The serial baseline is the same one every other
-    replay measures against.
+    replay measures against.  ``transport`` picks the shard deployment
+    (``"inprocess"``/``"process"``); ``None`` keeps the sharded config's
+    choice, which itself defaults to ``REPRO_SHARD_TRANSPORT``.
     """
     from repro.serve.sharding import ShardedAnalyticsService, ShardedServiceConfig
 
@@ -486,6 +492,8 @@ def replay_trace_sharded(
         sharded_config = ShardedServiceConfig(
             num_shards=num_shards, replication_factor=replicas
         )
+    if transport is not None:
+        sharded_config = dataclass_replace(sharded_config, transport=transport)
     service = ShardedAnalyticsService(
         corpora[0],
         engine_config=engine_config,
@@ -522,6 +530,7 @@ def replay_trace_sharded(
             mode = "threads+sharded"
             drivers = num_threads
         stats = service.stats()
+        transport_kind = service.transport_kind
     finally:
         service.close()
 
@@ -545,4 +554,5 @@ def replay_trace_sharded(
         elapsed_seconds=elapsed,
         serial_elapsed_seconds=serial_elapsed,
         num_mutations=num_mutations,
+        transport=transport_kind,
     )

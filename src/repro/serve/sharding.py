@@ -29,6 +29,22 @@ fingerprint:
   (messages only for non-empty sends), priced under the configured
   :class:`~repro.cluster.simulator.ClusterSpec`'s latency and bandwidth
   (:attr:`ShardedStats.network_seconds`).
+* **Pluggable shard transports.**  *Where* a shard's serving core runs
+  is a deployment choice, not part of routing: every shard sits behind
+  a :class:`~repro.serve.transport.ShardTransport`.  The default is the
+  in-process thread pool; ``transport="process"`` (or the
+  ``REPRO_SHARD_TRANSPORT`` environment variable) promotes each shard
+  to a spawned worker process — one GIL per shard, crash-isolated.  A
+  worker that dies with work in flight surfaces as
+  :class:`~repro.serve.transport.ShardFailure`; the router replaces the
+  dead shard with a fresh worker (new shard id, so rendezvous rankings
+  re-route its corpora to live owners) and retries — queries are
+  idempotent reads, so failover changes latency, never answers.  The
+  replacement is counted in :attr:`ShardedStats.shard_failures` /
+  :attr:`ShardedStats.replaced_shards`, and the *actual* serialized
+  traffic (framed queries, results and corpus shipping) is metered in
+  :attr:`ShardedStats.wire_bytes` and priced under the same cluster
+  spec as the modelled placement numbers.
 
 The service satisfies the synchronous
 :class:`~repro.api.backend.AnalyticsBackend` protocol and is registered
@@ -41,10 +57,9 @@ without holding a caller thread per request.
 
 from __future__ import annotations
 
-import functools
 import hashlib
+import os
 from concurrent.futures import Executor
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -64,6 +79,12 @@ from repro.data.corpus import Corpus
 from repro.perf import workcosts as wc
 from repro.perf.counters import CostCounter
 from repro.serve.service import AnalyticsService, CorpusMemo, ServiceConfig, ServiceStats
+from repro.serve.transport import (
+    TRANSPORT_KINDS,
+    ShardFailure,
+    ShardTransport,
+    create_transport,
+)
 
 __all__ = [
     "ShardedServiceConfig",
@@ -135,6 +156,12 @@ class ShardedServiceConfig:
     heat_decay_window: int = 1024
     #: Network model used to price placement traffic.
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    #: Shard deployment shape: ``"inprocess"`` (serving cores on thread
+    #: pools, today's default), ``"process"`` (spawned worker processes
+    #: behind framed pipes — crash isolation and one GIL per shard), or
+    #: ``None`` to follow the ``REPRO_SHARD_TRANSPORT`` environment
+    #: variable (falling back to in-process).
+    transport: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -151,6 +178,11 @@ class ShardedServiceConfig:
             raise ValueError("max_tracked_corpora must be >= 1")
         if self.heat_decay_window < 1:
             raise ValueError("heat_decay_window must be >= 1")
+        if self.transport is not None and self.transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"transport must be None or one of {TRANSPORT_KINDS}, "
+                f"got {self.transport!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -187,6 +219,19 @@ class ShardedStats:
     #: Those messages/bytes priced under the configured cluster's
     #: latency and bandwidth.
     network_seconds: float
+    #: Shard workers observed dead with work in flight.
+    shard_failures: int = 0
+    #: Fresh shards spawned to replace dead workers.
+    replaced_shards: int = 0
+    #: *Actual* serialized transport traffic — every framed message and
+    #: its bytes, queries, results and corpus shipping alike.  Zero for
+    #: in-process shards, where nothing crosses a wire; the modelled
+    #: ``network_*`` placement numbers above are transport-independent.
+    wire_messages: float = 0.0
+    wire_bytes: float = 0.0
+    #: The wire traffic priced under the same cluster spec as
+    #: :attr:`network_seconds`.
+    wire_seconds: float = 0.0
 
     # -- aggregates over the shard pool ------------------------------------------------
     @property
@@ -243,31 +288,27 @@ class ShardedStats:
 
 
 class _Shard:
-    """One shard worker: a serving core on its own executor (one device)."""
+    """One shard worker: a serving core behind a transport (one device)."""
 
-    __slots__ = ("shard_id", "service", "executor", "routed")
+    __slots__ = ("shard_id", "transport", "routed")
 
-    def __init__(
-        self,
-        shard_id: int,
-        engine_config: Optional[GTadocConfig],
-        service_config: Optional[ServiceConfig],
-        workers: int,
-    ) -> None:
+    def __init__(self, shard_id: int, transport: ShardTransport) -> None:
         self.shard_id = shard_id
-        self.service = AnalyticsService(
-            engine_config=engine_config, service_config=service_config
-        )
-        # Outcomes served through the pool carry the pool's backend name.
-        self.service.name = ShardedAnalyticsService.name
-        self.executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix=f"gtadoc-shard-{shard_id}"
-        )
+        self.transport = transport
         #: Queries the router placed on this shard.
         self.routed = 0
 
+    @property
+    def service(self) -> AnalyticsService:
+        """The shard's serving core — in-process transports only.
+
+        A process shard's core lives in its worker; reach it through
+        :attr:`transport` ops instead.
+        """
+        return self.transport.service
+
     def close(self) -> None:
-        self.executor.shutdown(wait=True)
+        self.transport.close()
 
 
 class ShardedAnalyticsService:
@@ -283,6 +324,11 @@ class ShardedAnalyticsService:
 
     name = "serve_sharded"
     description = "Sharded serving: rendezvous-routed shard pool with hot-corpus replication"
+
+    #: Dead-shard retries per query before the failure propagates.  Each
+    #: retry replaces the dead worker and re-routes, so hitting the cap
+    #: means shards are dying faster than they can be respawned.
+    MAX_FAILOVER_ATTEMPTS = 3
 
     def __init__(
         self,
@@ -302,6 +348,17 @@ class ShardedAnalyticsService:
         self.config = config
         self._engine_config = engine_config
         self._service_config = service_config or ServiceConfig()
+        transport_kind = (
+            config.transport
+            or os.environ.get("REPRO_SHARD_TRANSPORT", "").strip()
+            or "inprocess"
+        )
+        if transport_kind not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"REPRO_SHARD_TRANSPORT must be one of {TRANSPORT_KINDS}, "
+                f"got {transport_kind!r}"
+            )
+        self._transport_kind = transport_kind
         self._lock = make_lock("serve.router")
         self._shards: List[_Shard] = [
             self._new_shard(shard_id) for shard_id in range(config.num_shards)
@@ -331,6 +388,13 @@ class ShardedAnalyticsService:
         self._promotions = 0
         self._demotions = 0
         self._moved_sessions = 0
+        self._shard_failures = 0
+        self._replaced_shards = 0
+        # Wire traffic of shards that already left the pool (dead workers,
+        # resizes) — folded into stats() so replacing a shard never makes
+        # the pool's serialized-traffic totals go backwards.
+        self._retired_wire_messages = 0.0
+        self._retired_wire_bytes = 0.0
         # Placement traffic has its own lock: charging a finished outcome
         # must not contend with the routing hot path.
         self._network = CostCounter()
@@ -344,9 +408,15 @@ class ShardedAnalyticsService:
     def _new_shard(self, shard_id: int) -> _Shard:
         return _Shard(
             shard_id,
-            self._engine_config,
-            self._service_config,
-            self.config.shard_workers,
+            create_transport(
+                self._transport_kind,
+                shard_id=shard_id,
+                # Outcomes served through the pool carry the pool's name.
+                name=self.name,
+                engine_config=self._engine_config,
+                service_config=self._service_config,
+                workers=self.config.shard_workers,
+            ),
         )
 
     # -- the protocol surface ----------------------------------------------------------
@@ -369,18 +439,32 @@ class ShardedAnalyticsService:
         source: Optional[CorpusSource] = None,
         engine_config: Optional[GTadocConfig] = None,
     ) -> RunOutcome:
-        """Route one query to its owning shard and answer it there."""
+        """Route one query to its owning shard and answer it there.
+
+        A :class:`~repro.serve.transport.ShardFailure` — the shard's
+        worker process died with this query in flight — is a placement
+        problem, not an answer: the dead shard is replaced and the query
+        re-routes to the corpus's next live rendezvous owner, up to
+        :attr:`MAX_FAILOVER_ATTEMPTS` times.  Queries are idempotent
+        reads, so failover changes latency, never answers.
+        """
         query = as_query(query)
         compressed = self._resolve_target(source)
-        # Routing and enqueueing happen under one lock hold, so a
-        # concurrent resize/close cannot shut the chosen shard's
-        # executor in between.
-        with self._lock:
-            shard = self._route_locked(self._route_key_locked(compressed))
-            future = shard.executor.submit(
-                shard.service.submit, query, source=compressed, engine_config=engine_config
-            )
-        outcome = future.result()
+        outcome: Optional[RunOutcome] = None
+        for attempt in range(self.MAX_FAILOVER_ATTEMPTS + 1):
+            # Routing and enqueueing happen under one lock hold, so a
+            # concurrent resize/close cannot shut the chosen shard's
+            # transport in between.
+            with self._lock:
+                shard = self._route_locked(self._route_key_locked(compressed))
+                future = shard.transport.submit(query, compressed, engine_config)
+            try:
+                outcome = future.result()
+                break
+            except ShardFailure:
+                self._handle_shard_failure(shard)
+                if attempt >= self.MAX_FAILOVER_ATTEMPTS:
+                    raise
         self._charge_outcome(query, outcome)
         return outcome
 
@@ -413,18 +497,30 @@ class ShardedAnalyticsService:
             route_key = self._route_key_locked(compressed)
             futures = [
                 (
+                    shard,
                     positions,
-                    shard.executor.submit(
-                        shard.service.run_batch,
+                    shard.transport.run_batch(
                         [queries[position] for position in positions],
-                        source=compressed,
-                        engine_config=engine_config,
+                        compressed,
+                        engine_config,
                     ),
                 )
                 for shard, positions in self._group_locked(len(queries), route_key)
             ]
-        for positions, future in futures:
-            for position, outcome in zip(positions, future.result()):
+        for shard, positions, future in futures:
+            try:
+                served = future.result()
+            except ShardFailure:
+                # The group's worker died mid-batch: replace it, then
+                # re-route each position individually through submit's
+                # own failover loop (idempotent reads — same answers).
+                self._handle_shard_failure(shard)
+                for position in positions:
+                    outcomes[position] = self.submit(
+                        queries[position], source=compressed, engine_config=engine_config
+                    )
+                continue
+            for position, outcome in zip(positions, served):
                 outcomes[position] = outcome
                 self._charge_outcome(queries[position], outcome)
         return outcomes
@@ -455,15 +551,22 @@ class ShardedAnalyticsService:
             )
         else:
             compressed = self._resolve_target(source)
-        with self._lock:
-            shard = self._route_locked(self._route_key_locked(compressed))
-            job = loop.run_in_executor(
-                shard.executor,
-                functools.partial(
-                    shard.service.submit, query, source=compressed, engine_config=engine_config
-                ),
-            )
-        outcome = await job
+        outcome: Optional[RunOutcome] = None
+        for attempt in range(self.MAX_FAILOVER_ATTEMPTS + 1):
+            with self._lock:
+                shard = self._route_locked(self._route_key_locked(compressed))
+                job = asyncio.wrap_future(
+                    shard.transport.submit(query, compressed, engine_config), loop=loop
+                )
+            try:
+                outcome = await job
+                break
+            except ShardFailure:
+                # Replacing a shard drains its transport; keep that
+                # blocking work off the event loop.
+                await loop.run_in_executor(None, self._handle_shard_failure, shard)
+                if attempt >= self.MAX_FAILOVER_ATTEMPTS:
+                    raise
         self._charge_outcome(query, outcome)
         return outcome
 
@@ -492,26 +595,35 @@ class ShardedAnalyticsService:
             route_key = self._route_key_locked(compressed)
             jobs = [
                 (
+                    shard,
                     positions,
-                    loop.run_in_executor(
-                        shard.executor,
-                        functools.partial(
-                            shard.service.run_batch,
+                    asyncio.wrap_future(
+                        shard.transport.run_batch(
                             [queries[position] for position in positions],
-                            source=compressed,
-                            engine_config=engine_config,
+                            compressed,
+                            engine_config,
                         ),
+                        loop=loop,
                     ),
                 )
                 for shard, positions in self._group_locked(len(queries), route_key)
             ]
 
-        async def settle(positions: List[int], job) -> None:
-            for position, outcome in zip(positions, await job):
+        async def settle(shard: _Shard, positions: List[int], job) -> None:
+            try:
+                served = await job
+            except ShardFailure:
+                await loop.run_in_executor(None, self._handle_shard_failure, shard)
+                for position in positions:
+                    outcomes[position] = await self.submit_async(
+                        queries[position], source=compressed, engine_config=engine_config
+                    )
+                return
+            for position, outcome in zip(positions, served):
                 outcomes[position] = outcome
                 self._charge_outcome(queries[position], outcome)
 
-        await asyncio.gather(*(settle(positions, job) for positions, job in jobs))
+        await asyncio.gather(*(settle(shard, positions, job) for shard, positions, job in jobs))
         return outcomes
 
     # -- routing -----------------------------------------------------------------------
@@ -670,6 +782,40 @@ class ShardedAnalyticsService:
             groups[shard.shard_id][1].append(position)
         return list(groups.values())
 
+    # -- crash isolation ---------------------------------------------------------------
+    def _handle_shard_failure(self, shard: _Shard) -> None:
+        """Replace a dead shard with a fresh worker.
+
+        The replacement takes a **new** shard id, so every rendezvous
+        ranking that named the dead shard re-ranks and its corpora land
+        on live owners — replicas of their state rebuild there on next
+        touch, exactly like a resize, but the sessions lost with the
+        worker are counted as :attr:`ShardedStats.shard_failures`, not
+        ``moved_sessions`` (nothing *moved*; a process died).  The dead
+        transport's wire traffic is folded into the retired totals so
+        pool-level accounting never goes backwards.  Idempotent under
+        racing callers: only the caller that still finds the shard in
+        the pool performs (and counts) the replacement.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                index = self._shards.index(shard)
+            except ValueError:
+                return  # a concurrent failover already replaced it
+            replacement = self._new_shard(self._next_shard_id)
+            self._next_shard_id += 1
+            self._shards[index] = replacement
+            # The shard set changed: every memoized ranking is stale.
+            self._rank_cache.clear()
+            self._shard_failures += 1
+            self._replaced_shards += 1
+            self._retired_wire_messages += shard.transport.wire_messages
+            self._retired_wire_bytes += shard.transport.wire_bytes
+        # Drain outside the router lock: close joins the worker process.
+        shard.close()
+
     def _owners(self, fingerprint: str) -> List[_Shard]:
         """The shards currently serving ``fingerprint`` (no counters touched)."""
         ranked = self._ranked(fingerprint)
@@ -725,11 +871,16 @@ class ShardedAnalyticsService:
             return len(self._shards)
 
     @property
+    def transport_kind(self) -> str:
+        """The deployed shard transport: ``"inprocess"`` or ``"process"``."""
+        return self._transport_kind
+
+    @property
     def resident_sessions(self) -> int:
         """Device sessions resident across the whole pool."""
         with self._lock:
             shards = list(self._shards)
-        return sum(shard.service.resident_sessions for shard in shards)
+        return sum(shard.transport.resident_sessions for shard in shards)
 
     def resize(self, num_shards: int) -> int:
         """Grow or shrink the pool to ``num_shards``; returns moved sessions.
@@ -763,16 +914,18 @@ class ShardedAnalyticsService:
             self._rank_cache.clear()
             moved = 0
             for shard in removed:
-                moved += shard.service.resident_sessions
+                moved += shard.transport.resident_sessions
+                self._retired_wire_messages += shard.transport.wire_messages
+                self._retired_wire_bytes += shard.transport.wire_bytes
                 shard.close()
             for shard in survivors:
-                for key in shard.service.session_keys():
+                for key in shard.transport.session_keys():
                     # Sessions are keyed by their epoch's fingerprint; a
                     # mutated corpus routes by uid, so translate through
                     # the alias recorded at routing time.
                     route_key = self._routing_alias.get(key[0], key[0])
                     if shard not in self._owners(route_key):
-                        if shard.service.drop_session(key):
+                        if shard.transport.drop_session(key):
                             moved += 1
             self._moved_sessions += moved
             return moved
@@ -788,7 +941,7 @@ class ShardedAnalyticsService:
         self._corpus_memo.drop_fingerprint(compressed.fingerprint())
         with self._lock:
             shards = list(self._shards)
-        return sum(shard.service.invalidate(compressed) for shard in shards)
+        return sum(shard.transport.invalidate(compressed) for shard in shards)
 
     def stats(self) -> ShardedStats:
         with self._lock:
@@ -799,15 +952,22 @@ class ShardedAnalyticsService:
             moved = self._moved_sessions
             replicated = len(self._replica_cursor)
             routed = tuple(shard.routed for shard in shards)
+            failures = self._shard_failures
+            replaced = self._replaced_shards
+            wire_messages = self._retired_wire_messages
+            wire_bytes = self._retired_wire_bytes
+            for shard in shards:
+                wire_messages += shard.transport.wire_messages
+                wire_bytes += shard.transport.wire_bytes
         with self._network_lock:
             messages = self._network.network_messages
             sent_bytes = self._network.network_bytes
         return ShardedStats(
-            shards=tuple(shard.service.stats() for shard in shards),
+            shards=tuple(shard.transport.stats() for shard in shards),
             shard_ids=tuple(shard.shard_id for shard in shards),
             routed_queries=routed,
             resident_sessions=tuple(
-                shard.service.resident_sessions for shard in shards
+                shard.transport.resident_sessions for shard in shards
             ),
             placements=placements,
             replica_promotions=promotions,
@@ -817,6 +977,11 @@ class ShardedAnalyticsService:
             network_messages=messages,
             network_bytes=sent_bytes,
             network_seconds=self._network_seconds(messages, sent_bytes),
+            shard_failures=failures,
+            replaced_shards=replaced,
+            wire_messages=wire_messages,
+            wire_bytes=wire_bytes,
+            wire_seconds=self._network_seconds(wire_messages, wire_bytes),
         )
 
     def close(self) -> None:

@@ -1,0 +1,488 @@
+"""Length-prefixed wire codec for the process-shard transport.
+
+A :class:`~repro.serve.transport.ProcessTransport` talks to its worker
+over a byte pipe, so everything the serving data plane exchanges —
+queries, outcomes, corpus snapshots/deltas, stats — must cross a
+process boundary without relying on pickle (whose byte stream is
+neither stable across sessions nor safe to speak over a real socket
+later).  This module is that contract:
+
+* **Value codec.**  JSON scalars (``None``/``bool``/``int``/``float``/
+  ``str``) pass through untouched; every non-scalar value becomes a
+  two-element JSON array ``[tag, payload]``.  Scalars are never arrays,
+  so the encoding is unambiguous without escaping.  The codec is
+  *closed*: encoding a type it does not know raises ``TypeError``
+  instead of silently degrading, so a new field sneaking into a wire
+  type fails loudly in the round-trip tests rather than corrupting a
+  worker.
+* **Framing.**  :func:`encode_frame` prefixes the JSON body with its
+  big-endian ``uint32`` length; :func:`decode_frame` verifies the
+  prefix against the received byte count.  ``multiprocessing`` pipes
+  already preserve message boundaries, so the prefix is redundancy
+  there — an integrity tripwire against torn writes — and becomes the
+  actual record separator when the same codec runs over a raw socket.
+* **Corpus shipping.**  :func:`corpus_snapshot` captures a coherent
+  full replica (content + ``uid``/``version``/``fingerprint`` identity)
+  under the corpus lock; :func:`corpus_from_snapshot` and
+  :func:`adopt_corpus_snapshot` rebuild it worker-side — adopting *in
+  place* for a known uid, because serving cores rekey warm state by
+  corpus object identity.
+
+Numeric values are coerced through ``int()``/``float()`` on encode, so
+numpy scalars inside task results arrive as plain Python numbers; JSON
+keeps the int/float distinction and round-trips floats exactly (repr
+round-trip), so decoded results compare bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analytics.base import Task
+from repro.api.outcome import PhasePerf, RunOutcome, RunPerf
+from repro.api.query import FrozenExtras, Query
+from repro.compression.compressor import CompressedCorpus
+from repro.compression.dictionary import Dictionary
+from repro.compression.grammar import Grammar, Rule
+from repro.core.session import GTadocConfig
+from repro.core.strategy import TraversalStrategy
+from repro.relational.spec import (
+    Aggregate,
+    Condition,
+    FieldSpec,
+    RelationalQuery,
+    RowSchema,
+)
+from repro.serve.caches import CacheStats
+from repro.serve.service import ServiceStats
+from repro.serve.trace import MutationEvent
+
+__all__ = [
+    "WireError",
+    "encode_value",
+    "decode_value",
+    "encode_frame",
+    "decode_frame",
+    "corpus_snapshot",
+    "corpus_from_snapshot",
+    "adopt_corpus_snapshot",
+    "corpus_delta",
+    "apply_corpus_delta",
+]
+
+#: Frame header: big-endian uint32 body length.
+_HEADER = struct.Struct(">I")
+
+#: One tag per encodable non-scalar type (arrays ``[tag, payload]``).
+_TAG_LIST = "L"
+_TAG_TUPLE = "T"
+_TAG_DICT = "D"
+_TAG_TASK = "K"
+_TAG_STRATEGY = "S"
+_TAG_RELATIONAL = "R"
+_TAG_QUERY = "q"
+_TAG_MUTATION = "M"
+_TAG_PHASE_PERF = "h"
+_TAG_RUN_PERF = "f"
+_TAG_OUTCOME = "O"
+_TAG_ENGINE_CONFIG = "G"
+_TAG_CACHE_STATS = "c"
+_TAG_SERVICE_STATS = "s"
+
+
+class WireError(ValueError):
+    """A frame or payload that violates the wire contract."""
+
+
+# ----------------------------------------------------------------------------------------
+# Value codec
+# ----------------------------------------------------------------------------------------
+
+def _encode_relational(spec: RelationalQuery) -> Dict[str, Any]:
+    return {
+        "schema": {
+            "delimiter": spec.schema.delimiter,
+            "fields": [
+                [f.name, f.type, f.column, f.key] for f in spec.schema.fields
+            ],
+        },
+        "predicate": [[c.field, c.op, c.value] for c in spec.predicate],
+        "group_by": spec.group_by,
+        "aggregates": [[a.op, a.field] for a in spec.aggregates],
+        "order_by": spec.order_by,
+    }
+
+
+def _decode_relational(payload: Dict[str, Any]) -> RelationalQuery:
+    schema = RowSchema(
+        fields=tuple(
+            FieldSpec(name=name, type=type_, column=column, key=key)
+            for name, type_, column, key in payload["schema"]["fields"]
+        ),
+        delimiter=payload["schema"]["delimiter"],
+    )
+    return RelationalQuery(
+        schema=schema,
+        predicate=tuple(
+            Condition(field=field, op=op, value=value)
+            for field, op, value in payload["predicate"]
+        ),
+        group_by=payload["group_by"],
+        aggregates=tuple(
+            Aggregate(op=op, field=field) for op, field in payload["aggregates"]
+        ),
+        order_by=payload["order_by"],
+    )
+
+
+def encode_value(value: Any) -> Any:
+    """Lower ``value`` to the tagged JSON-safe form (closed codec)."""
+    # The enums subclass ``str``, so they must be tagged *before* the
+    # scalar passthrough or they would decode as bare strings.
+    if isinstance(value, Task):
+        return [_TAG_TASK, value.value]
+    if isinstance(value, TraversalStrategy):
+        return [_TAG_STRATEGY, value.value]
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, list):
+        return [_TAG_LIST, [encode_value(item) for item in value]]
+    if isinstance(value, tuple):
+        return [_TAG_TUPLE, [encode_value(item) for item in value]]
+    if isinstance(value, (dict, FrozenExtras)):
+        return [
+            _TAG_DICT,
+            [[encode_value(key), encode_value(item)] for key, item in value.items()],
+        ]
+    if isinstance(value, RelationalQuery):
+        return [_TAG_RELATIONAL, _encode_relational(value)]
+    if isinstance(value, Query):
+        return [
+            _TAG_QUERY,
+            {
+                "task": value.task.value,
+                "sequence_length": value.sequence_length,
+                "top_k": value.top_k,
+                "files": list(value.files) if value.files is not None else None,
+                "terms": list(value.terms) if value.terms is not None else None,
+                "traversal": value.traversal.value if value.traversal else None,
+                "extras": [
+                    [key, encode_value(item)]
+                    for key, item in value.extras.items_tuple
+                ],
+            },
+        ]
+    if isinstance(value, MutationEvent):
+        return [
+            _TAG_MUTATION,
+            {
+                "kind": value.kind,
+                "documents": [[name, text] for name, text in value.documents],
+                "source": value.source,
+            },
+        ]
+    if isinstance(value, PhasePerf):
+        return [
+            _TAG_PHASE_PERF,
+            [value.kernel_launches, value.ops, value.memory_bytes, value.pcie_bytes],
+        ]
+    if isinstance(value, RunPerf):
+        return [
+            _TAG_RUN_PERF,
+            [encode_value(value.initialization), encode_value(value.traversal)],
+        ]
+    if isinstance(value, RunOutcome):
+        # ``raw`` holds engine-internal objects (device sessions, run
+        # records) that have no business crossing a process boundary;
+        # it is deliberately dropped, like the in-process result cache
+        # already does for cached hits.
+        return [
+            _TAG_OUTCOME,
+            {
+                "query": encode_value(value.query),
+                "backend": value.backend,
+                "task": value.task.value,
+                "result": encode_value(value.result),
+                "perf": encode_value(value.perf),
+                "details": encode_value(dict(value.details)),
+            },
+        ]
+    if isinstance(value, GTadocConfig):
+        return [
+            _TAG_ENGINE_CONFIG,
+            {
+                "sequence_length": value.sequence_length,
+                "oversize_threshold": value.oversize_threshold,
+                "max_group_size": value.max_group_size,
+                "use_memory_pool": value.use_memory_pool,
+                "needs_pcie_transfer": value.needs_pcie_transfer,
+                "kernel_mode": value.kernel_mode,
+            },
+        ]
+    if isinstance(value, CacheStats):
+        return [
+            _TAG_CACHE_STATS,
+            {
+                "capacity": value.capacity,
+                "size": value.size,
+                "hits": value.hits,
+                "misses": value.misses,
+                "evictions": value.evictions,
+                "invalidations": value.invalidations,
+                "expirations": value.expirations,
+                "weight_bytes": value.weight_bytes,
+                "weight_capacity": value.weight_capacity,
+                "ttl": value.ttl,
+            },
+        ]
+    if isinstance(value, ServiceStats):
+        return [
+            _TAG_SERVICE_STATS,
+            {
+                "queries": value.queries,
+                "executed_queries": value.executed_queries,
+                "micro_batches": value.micro_batches,
+                "coalesced_queries": value.coalesced_queries,
+                "kernel_launches": value.kernel_launches,
+                "shared_kernel_launches": value.shared_kernel_launches,
+                "session_cache": encode_value(value.session_cache),
+                "result_cache": encode_value(value.result_cache),
+            },
+        ]
+    raise TypeError(f"wire codec cannot encode {type(value).__name__}: {value!r}")
+
+
+def decode_value(encoded: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if not isinstance(encoded, list) or len(encoded) != 2:
+        raise WireError(f"malformed wire value: {encoded!r}")
+    tag, payload = encoded
+    if tag == _TAG_LIST:
+        return [decode_value(item) for item in payload]
+    if tag == _TAG_TUPLE:
+        return tuple(decode_value(item) for item in payload)
+    if tag == _TAG_DICT:
+        return {decode_value(key): decode_value(item) for key, item in payload}
+    if tag == _TAG_TASK:
+        return Task.from_name(payload)
+    if tag == _TAG_STRATEGY:
+        return TraversalStrategy(payload)
+    if tag == _TAG_RELATIONAL:
+        return _decode_relational(payload)
+    if tag == _TAG_QUERY:
+        return Query(
+            task=Task.from_name(payload["task"]),
+            sequence_length=payload["sequence_length"],
+            top_k=payload["top_k"],
+            files=tuple(payload["files"]) if payload["files"] is not None else None,
+            terms=tuple(payload["terms"]) if payload["terms"] is not None else None,
+            traversal=(
+                TraversalStrategy(payload["traversal"])
+                if payload["traversal"] is not None
+                else None
+            ),
+            extras={key: decode_value(item) for key, item in payload["extras"]},
+        )
+    if tag == _TAG_MUTATION:
+        return MutationEvent(
+            kind=payload["kind"],
+            documents=tuple((name, text) for name, text in payload["documents"]),
+            source=payload["source"],
+        )
+    if tag == _TAG_PHASE_PERF:
+        launches, ops, memory_bytes, pcie_bytes = payload
+        return PhasePerf(
+            kernel_launches=launches,
+            ops=ops,
+            memory_bytes=memory_bytes,
+            pcie_bytes=pcie_bytes,
+        )
+    if tag == _TAG_RUN_PERF:
+        initialization, traversal = payload
+        return RunPerf(
+            initialization=decode_value(initialization),
+            traversal=decode_value(traversal),
+        )
+    if tag == _TAG_OUTCOME:
+        return RunOutcome(
+            query=decode_value(payload["query"]),
+            backend=payload["backend"],
+            task=Task.from_name(payload["task"]),
+            result=decode_value(payload["result"]),
+            perf=decode_value(payload["perf"]),
+            raw=None,
+            details=decode_value(payload["details"]),
+        )
+    if tag == _TAG_ENGINE_CONFIG:
+        return GTadocConfig(**payload)
+    if tag == _TAG_CACHE_STATS:
+        return CacheStats(**payload)
+    if tag == _TAG_SERVICE_STATS:
+        return ServiceStats(
+            queries=payload["queries"],
+            executed_queries=payload["executed_queries"],
+            micro_batches=payload["micro_batches"],
+            coalesced_queries=payload["coalesced_queries"],
+            kernel_launches=payload["kernel_launches"],
+            shared_kernel_launches=payload["shared_kernel_launches"],
+            session_cache=decode_value(payload["session_cache"]),
+            result_cache=decode_value(payload["result_cache"]),
+        )
+    raise WireError(f"unknown wire tag {tag!r}")
+
+
+# ----------------------------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------------------------
+
+def encode_frame(value: Any) -> bytes:
+    """One wire frame: uint32 body length + the JSON body."""
+    body = json.dumps(encode_value(value), separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(frame: bytes) -> Any:
+    """Decode one frame, verifying the length prefix against the bytes."""
+    if len(frame) < _HEADER.size:
+        raise WireError(f"truncated frame: {len(frame)} bytes")
+    (length,) = _HEADER.unpack_from(frame)
+    body = frame[_HEADER.size:]
+    if len(body) != length:
+        raise WireError(
+            f"frame length mismatch: header says {length} bytes, got {len(body)}"
+        )
+    return decode_value(json.loads(body.decode("utf-8")))
+
+
+# ----------------------------------------------------------------------------------------
+# Corpus shipping
+# ----------------------------------------------------------------------------------------
+
+def corpus_snapshot(compressed: CompressedCorpus) -> Dict[str, Any]:
+    """A coherent full-replica payload of ``compressed``'s current epoch.
+
+    Content (the on-disk serializer's shape) plus identity: ``uid``,
+    ``version`` and the current ``fingerprint`` — the worker's replica
+    is stamped with all three so routing identity and the mutable-corpora
+    epoch protocol survive the process boundary.
+    """
+    with compressed.lock:
+        return {
+            "name": compressed.name,
+            "file_names": list(compressed.file_names),
+            "splitter_ids": list(compressed.splitter_ids),
+            "original_size_bytes": compressed.original_size_bytes,
+            "original_tokens": compressed.original_tokens,
+            "dictionary": compressed.dictionary.to_dict(),
+            "rules": [list(rule.symbols) for rule in compressed.grammar],
+            "uid": compressed.uid,
+            "version": compressed.version,
+            "fingerprint": compressed.fingerprint(),
+        }
+
+
+def _snapshot_content(payload: Dict[str, Any]) -> Tuple[Dictionary, Grammar]:
+    dictionary = Dictionary.from_dict(payload["dictionary"])
+    rules = [
+        Rule(rule_id=index, symbols=list(body))
+        for index, body in enumerate(payload["rules"])
+    ]
+    return dictionary, Grammar(rules)
+
+
+def corpus_from_snapshot(payload: Dict[str, Any]) -> CompressedCorpus:
+    """Materialize a fresh replica from a :func:`corpus_snapshot` payload."""
+    dictionary, grammar = _snapshot_content(payload)
+    replica = CompressedCorpus(
+        name=payload["name"],
+        dictionary=dictionary,
+        grammar=grammar,
+        file_names=payload["file_names"],
+        splitter_ids=payload["splitter_ids"],
+        original_size_bytes=int(payload["original_size_bytes"]),
+        original_tokens=int(payload["original_tokens"]),
+    )
+    replica.align_replica(
+        uid=payload["uid"],
+        version=payload["version"],
+        fingerprint=payload["fingerprint"],
+    )
+    return replica
+
+
+def adopt_corpus_snapshot(replica: CompressedCorpus, payload: Dict[str, Any]) -> None:
+    """Swap a snapshot into an *existing* replica in place.
+
+    Serving cores rekey warm sessions by corpus object identity when
+    they observe a new epoch, so a worker must keep exactly one
+    :class:`CompressedCorpus` object per uid for its whole lifetime.
+    """
+    dictionary, grammar = _snapshot_content(payload)
+    with replica.lock:
+        replica.adopt_epoch(
+            dictionary=dictionary,
+            grammar=grammar,
+            file_names=payload["file_names"],
+            splitter_ids=payload["splitter_ids"],
+            original_size_bytes=int(payload["original_size_bytes"]),
+            original_tokens=int(payload["original_tokens"]),
+        )
+        replica.align_replica(
+            uid=payload["uid"],
+            version=payload["version"],
+            fingerprint=payload["fingerprint"],
+        )
+
+
+def corpus_delta(
+    compressed: CompressedCorpus, since_version: int, known_files: int
+) -> Optional[Dict[str, Any]]:
+    """An append-only delta since ``since_version``, or ``None``.
+
+    ``None`` means the delta path is unavailable — the epoch gap left
+    the mutation-log window, or a rebuild (replace/remove) intervened —
+    and the caller must ship a full snapshot instead.  The delta carries
+    the appended files' token streams plus the target identity; applying
+    it via :func:`apply_corpus_delta` reproduces the primary's grammar
+    bit for bit because online Sequitur appends are deterministic and
+    grouping-insensitive.
+    """
+    with compressed.lock:
+        kinds = compressed.mutations_since(since_version)
+        if kinds is None or any(kind != "append" for kind in kinds):
+            return None
+        if known_files > len(compressed.file_names):
+            return None
+        return {
+            "uid": compressed.uid,
+            "version": compressed.version,
+            "fingerprint": compressed.fingerprint(),
+            "appended": [
+                [name, compressed.expand_file_tokens(index)]
+                for index, name in enumerate(compressed.file_names)
+                if index >= known_files
+            ],
+        }
+
+
+def apply_corpus_delta(replica: CompressedCorpus, payload: Dict[str, Any]) -> None:
+    """Apply an append delta to a replica and re-stamp its identity."""
+    appended = {name: list(tokens) for name, tokens in payload["appended"]}
+    with replica.lock:
+        if appended:
+            replica.append_files(appended)
+        replica.align_replica(
+            uid=payload["uid"],
+            version=payload["version"],
+            fingerprint=payload["fingerprint"],
+        )

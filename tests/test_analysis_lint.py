@@ -192,6 +192,70 @@ class TestGoldenBadExamples:
         assert len(findings) == 1
         assert "time.perf_counter()" in findings[0].message
 
+    def test_epoch_guard_raw_put_on_serving_cache(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/serve/rogue.py": """
+                from repro.serve.caches import LRUCache
+
+
+                class RogueCore:
+                    def __init__(self):
+                        self._results = LRUCache(capacity=8)
+
+                    def _finish(self, key, outcome):
+                        self._results.put(key, outcome)
+            """,
+        })
+        findings = run_lint(root, rules=["epoch-guard"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "epoch-guard"
+        assert finding.path == "repro/serve/rogue.py"
+        assert finding.line == 10
+        assert "self._results" in finding.message
+        assert "put_if" in finding.message
+
+    def test_epoch_guard_guardless_put_if(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/serve/rogue.py": """
+                from repro.serve import caches
+
+
+                class RogueCore:
+                    def __init__(self):
+                        self._results = caches.LRUCache(capacity=8)
+
+                    def _finish(self, key, outcome, weight):
+                        self._results.put_if(key, outcome, weight=weight)
+            """,
+        })
+        findings = run_lint(root, rules=["epoch-guard"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.line == 10
+        assert "guard" in finding.message
+
+    def test_epoch_guard_accepts_guarded_writes_and_plain_dicts(self, tmp_path):
+        root = _mini_repo(tmp_path, {
+            "repro/serve/fine.py": """
+                from repro.serve.caches import LRUCache
+
+
+                class GuardedCore:
+                    def __init__(self):
+                        self._results = LRUCache(capacity=8)
+                        self._shipped = {}
+
+                    def _finish(self, key, outcome, epoch):
+                        self._results.put_if(
+                            key, outcome, guard=lambda: self._epoch() == epoch
+                        )
+                        # A plain dict is not a serving cache.
+                        self._shipped.update({key: outcome})
+            """,
+        })
+        assert run_lint(root, rules=["epoch-guard"]) == []
+
 
 # ----------------------------------------------------------------------------------------
 # The real repo is clean
@@ -204,7 +268,13 @@ class TestFullRepo:
     def test_all_rules_registered(self):
         names = [name for name, _ in registered_rules()]
         assert names == sorted(
-            ["determinism", "kernel-discipline", "lock-order", "plan-coverage"]
+            [
+                "determinism",
+                "epoch-guard",
+                "kernel-discipline",
+                "lock-order",
+                "plan-coverage",
+            ]
         )
 
 

@@ -11,6 +11,7 @@ the held-before edges real serving traffic produces.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -232,3 +233,132 @@ class TestServingIntegration:
         assert outcome.result
         edges = witness_edges()
         assert ("session", "corpus") in edges
+
+
+# ----------------------------------------------------------------------------------------
+# Hold-time profiling and per-thread held-lock introspection
+# ----------------------------------------------------------------------------------------
+
+class TestHoldProfiles:
+    def test_report_empty_until_a_lock_is_released(self):
+        with witness():
+            lock = make_lock("serve.cache")
+            assert lockcheck.witness_report() == {}
+            with lock:
+                assert lockcheck.witness_report() == {}  # samples on release
+            report = lockcheck.witness_report()
+        profile = report["serve.cache"]
+        assert profile.count == 1
+        assert profile.rank == 30
+        assert 0.0 <= profile.min <= profile.mean <= profile.max <= profile.total
+
+    def test_profiles_aggregate_and_order_by_rank(self):
+        with witness():
+            router = make_lock("serve.router")      # rank 10
+            cache = make_lock("serve.cache")        # rank 30
+            for _ in range(3):
+                with router:
+                    pass
+            with cache:
+                time.sleep(0.01)
+            report = lockcheck.witness_report()
+        assert report["serve.router"].count == 3
+        assert report["serve.cache"].count == 1
+        assert report["serve.cache"].max >= 0.01
+        ranks = [profile.rank for profile in report.values()]
+        assert ranks == sorted(ranks)
+
+    def test_reentrant_reacquisition_samples_outermost_hold_only(self):
+        with witness():
+            session = make_lock("session", reentrant=True)
+            with session:
+                with session:
+                    pass
+            report = lockcheck.witness_report()
+        assert report["session"].count == 1
+
+    def test_held_levels_tracks_the_current_thread_in_order(self):
+        with witness():
+            router = make_lock("serve.router")
+            transport = make_lock("serve.transport")
+            assert lockcheck.held_levels() == []
+            with router:
+                assert lockcheck.held_levels() == ["serve.router"]
+                with transport:
+                    assert lockcheck.held_levels() == [
+                        "serve.router",
+                        "serve.transport",
+                    ]
+                assert lockcheck.held_levels() == ["serve.router"]
+            assert lockcheck.held_levels() == []
+
+    def test_held_levels_is_per_thread(self):
+        with witness():
+            router = make_lock("serve.router")
+            seen = []
+            with router:
+                worker = threading.Thread(
+                    target=lambda: seen.append(lockcheck.held_levels())
+                )
+                worker.start()
+                worker.join(timeout=5.0)
+        assert seen == [[]]
+
+    def test_empty_profile_mean_is_zero(self):
+        profile = lockcheck.HoldProfile(
+            level="serve.cache", rank=30, count=0, total=0.0, min=0.0, max=0.0
+        )
+        assert profile.mean == 0.0
+
+    def test_reset_clears_hold_times(self):
+        with witness():
+            with make_lock("serve.cache"):
+                pass
+            assert lockcheck.witness_report()
+            reset_witness()
+            assert lockcheck.witness_report() == {}
+
+    def test_serving_traffic_yields_consistent_profiles(self, tiny_corpus):
+        with witness():
+            compressed = compress_corpus(tiny_corpus)
+            service = AnalyticsService(
+                compressed, service_config=ServiceConfig(coalesce_window=0.0)
+            )
+            service.submit("word_count")
+            report = lockcheck.witness_report()
+        assert "session" in report
+        assert "corpus" in report
+        for profile in report.values():
+            assert profile.count >= 1
+            assert 0.0 <= profile.min <= profile.mean <= profile.max
+            assert profile.total >= profile.max
+
+    def test_process_pool_witnesses_transport_edge_and_profile(self, tiny_corpus):
+        from repro.serve import ShardedAnalyticsService, ShardedServiceConfig
+
+        with witness():
+            compressed = compress_corpus(tiny_corpus)
+            service = ShardedAnalyticsService(
+                compressed,
+                service_config=ServiceConfig(coalesce_window=0.0),
+                sharded_config=ShardedServiceConfig(
+                    num_shards=2, transport="process"
+                ),
+            )
+            try:
+                outcome = service.submit("word_count")
+                # Reading the wire counters takes the transport lock under
+                # the router lock: the declared router->transport edge.
+                service.stats()
+            finally:
+                service.close()
+            report = lockcheck.witness_report()
+            edges = witness_edges()
+        assert outcome.result
+        assert ("serve.router", "serve.transport") in edges
+        profile = report["serve.transport"]
+        assert profile.count >= 1
+        # The transport lock only guards counters and spawn state; if a
+        # blocking pipe receive ever slipped under it, the max hold would
+        # be the round trip itself (the recv tripwire guards this too).
+        assert profile.max < 5.0

@@ -356,7 +356,7 @@ class TestResize:
             # Rebalancing moves are not data-invalidation events.
             assert all(shard.session_cache.invalidations == 0 for shard in stats.shards)
             for index, shard in enumerate(shard_objects):
-                for key in shard.service.session_keys():
+                for key in shard.transport.session_keys():
                     assert after[key[0]] == index
 
     def test_growth_with_no_sessions_moves_nothing(self):

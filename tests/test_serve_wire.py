@@ -1,0 +1,246 @@
+"""Wire-codec tests: every serving data-plane type crosses the process
+boundary losslessly, frames verify their integrity, and the codec stays
+closed (unknown types fail loudly instead of degrading)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics.base import Task
+from repro.api.outcome import PhasePerf, RunOutcome, RunPerf
+from repro.api.query import Query
+from repro.compression.compressor import compress_corpus
+from repro.core.session import GTadocConfig
+from repro.core.strategy import TraversalStrategy
+from repro.data.corpus import Corpus
+from repro.relational.spec import (
+    Aggregate,
+    Condition,
+    FieldSpec,
+    RelationalQuery,
+    RowSchema,
+)
+from repro.serve import AnalyticsService, TraceConfig, synthesize_trace
+from repro.serve import wire
+from repro.serve.caches import CacheStats
+from repro.serve.trace import MutationEvent
+
+
+def roundtrip(value):
+    return wire.decode_frame(wire.encode_frame(value))
+
+
+RELATIONAL = RelationalQuery(
+    schema=RowSchema(
+        fields=(
+            FieldSpec(name="city", type="str", column=0),
+            FieldSpec(name="pop", type="int", column=1),
+        ),
+        delimiter=",",
+    ),
+    predicate=(Condition(field="pop", op="gt", value=10),),
+    group_by="city",
+    aggregates=(Aggregate(op="count"), Aggregate(op="sum", field="pop")),
+    order_by="sum(pop)",
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            3.5,
+            0.1 + 0.2,  # repr round-trip keeps floats exact
+            "",
+            "tokens and spaces",
+            [1, "two", None],
+            (1, (2, 3), []),
+            {"a": 1, "b": [2.0]},
+            {("tuple", "key"): {"nested": (1,)}},  # session keys
+            Task.WORD_COUNT,
+            TraversalStrategy.TOP_DOWN,
+        ],
+    )
+    def test_scalars_and_containers(self, value):
+        decoded = roundtrip(value)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_query_full_knobs(self):
+        query = Query(
+            task=Task.SEQUENCE_COUNT,
+            sequence_length=4,
+            top_k=7,
+            files=("a.txt", "b.txt"),
+            terms=("alpha", "beta"),
+            traversal=TraversalStrategy.BOTTOM_UP,
+            extras={"tag": "hot", "trace": 3},
+        )
+        assert roundtrip(query) == query
+
+    def test_relational_query(self):
+        query = Query(task=Task.RELATIONAL, extras={"relational": RELATIONAL})
+        decoded = roundtrip(query)
+        assert decoded == query
+        assert decoded.extras["relational"] == RELATIONAL
+
+    def test_mutation_event(self):
+        event = MutationEvent(
+            kind="append", documents=(("new.txt", "fresh tokens here"),), source=1
+        )
+        assert roundtrip(event) == event
+
+    def test_engine_config(self):
+        config = GTadocConfig(sequence_length=5, kernel_mode="scalar")
+        assert roundtrip(config) == config
+
+    def test_run_outcome_drops_raw_keeps_everything_else(self):
+        outcome = RunOutcome(
+            query=Query(task=Task.WORD_COUNT, top_k=3),
+            backend="serve_sharded",
+            task=Task.WORD_COUNT,
+            result={"alpha": 4, "beta": 2},
+            perf=RunPerf(
+                initialization=PhasePerf(kernel_launches=1, ops=10.0),
+                traversal=PhasePerf(kernel_launches=2, ops=20.0, memory_bytes=64.0),
+            ),
+            raw=object(),  # engine-internal; must not cross the wire
+            details={"strategy": TraversalStrategy.TOP_DOWN.value, "cached": False},
+        )
+        decoded = roundtrip(outcome)
+        assert decoded.raw is None
+        for field in ("query", "backend", "task", "result", "perf", "details"):
+            assert getattr(decoded, field) == getattr(outcome, field)
+
+    def test_service_stats(self):
+        corpus = Corpus.from_texts({"a.txt": "alpha beta alpha " * 20})
+        service = AnalyticsService(corpus)
+        service.submit(Query(task=Task.WORD_COUNT))
+        stats = service.stats()
+        decoded = roundtrip(stats)
+        assert decoded == stats
+        assert isinstance(decoded.session_cache, CacheStats)
+
+    def test_codec_is_closed(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            wire.encode_value({1, 2, 3})
+        with pytest.raises(TypeError, match="cannot encode"):
+            wire.encode_frame(object())
+
+
+class TestFraming:
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.decode_frame(b"\x00\x00")
+
+    def test_length_mismatch_rejected(self):
+        frame = wire.encode_frame({"key": "value"})
+        with pytest.raises(wire.WireError, match="length mismatch"):
+            wire.decode_frame(frame[:-1])
+
+    def test_unknown_tag_rejected(self):
+        import json
+        import struct
+
+        body = json.dumps(["Z", "payload"]).encode("utf-8")
+        with pytest.raises(wire.WireError, match="unknown wire tag"):
+            wire.decode_frame(struct.pack(">I", len(body)) + body)
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(wire.WireError, match="malformed"):
+            wire.decode_value(["L", [], "extra"])
+
+
+class TestTraceSpaceProperty:
+    """Property-based closure: *everything* the trace synthesizer can
+    produce — every task, knob combination, relational spec and mutation
+    event — round-trips through the codec unchanged."""
+
+    FILE_NAMES = tuple(f"doc_{index}.txt" for index in range(5))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_synthesized_traces_roundtrip(self, seed):
+        config = TraceConfig(
+            num_requests=24,
+            seed=seed,
+            relational_fraction=0.3,
+            mutation_fraction=0.2,
+            sequence_lengths=(None, 3, 5),
+        )
+        trace = synthesize_trace(self.FILE_NAMES, config)
+        for item in trace:
+            decoded = roundtrip(item)
+            assert decoded == item
+            assert type(decoded) is type(item)
+
+
+class TestCorpusShipping:
+    def _compressed(self):
+        return compress_corpus(
+            Corpus.from_texts(
+                {
+                    "a.txt": "alpha beta gamma delta " * 25,
+                    "b.txt": "epsilon zeta eta theta " * 20,
+                }
+            )
+        )
+
+    def test_snapshot_roundtrip_preserves_identity_and_content(self):
+        primary = self._compressed()
+        replica = wire.corpus_from_snapshot(wire.corpus_snapshot(primary))
+        assert replica.uid == primary.uid
+        assert replica.version == primary.version
+        assert replica.fingerprint() == primary.fingerprint()
+        assert replica.file_names == primary.file_names
+        for index in range(len(primary.file_names)):
+            assert replica.expand_file_tokens(index) == primary.expand_file_tokens(index)
+
+    def test_append_delta_reproduces_primary_bit_for_bit(self):
+        primary = self._compressed()
+        replica = wire.corpus_from_snapshot(wire.corpus_snapshot(primary))
+        shipped_version, shipped_files = primary.version, len(primary.file_names)
+
+        MutationEvent(
+            kind="append", documents=(("c.txt", "iota kappa " * 15),)
+        ).apply(primary)
+        delta = wire.corpus_delta(primary, shipped_version, shipped_files)
+        assert delta is not None
+        wire.apply_corpus_delta(replica, delta)
+        assert replica.fingerprint() == primary.fingerprint()
+        assert replica.version == primary.version
+        assert replica.uid == primary.uid
+
+    def test_replace_mutation_forces_snapshot_fallback(self):
+        primary = self._compressed()
+        shipped_version, shipped_files = primary.version, len(primary.file_names)
+        MutationEvent(
+            kind="replace", documents=(("a.txt", "rewritten text " * 10),)
+        ).apply(primary)
+        assert wire.corpus_delta(primary, shipped_version, shipped_files) is None
+        # The fallback snapshot still carries the routing identity.
+        snapshot = wire.corpus_snapshot(primary)
+        assert snapshot["uid"] == primary.uid
+        assert snapshot["version"] == primary.version
+
+    def test_snapshot_payload_is_wire_encodable(self):
+        primary = self._compressed()
+        assert roundtrip(wire.corpus_snapshot(primary)) == wire.corpus_snapshot(primary)
+
+    def test_adopt_snapshot_refreshes_in_place(self):
+        primary = self._compressed()
+        replica = wire.corpus_from_snapshot(wire.corpus_snapshot(primary))
+        MutationEvent(
+            kind="replace", documents=(("a.txt", "fresh epoch " * 12),)
+        ).apply(primary)
+        before = replica
+        wire.adopt_corpus_snapshot(replica, wire.corpus_snapshot(primary))
+        assert replica is before  # same object: warm sessions can rekey
+        assert replica.fingerprint() == primary.fingerprint()
+        assert replica.version == primary.version
